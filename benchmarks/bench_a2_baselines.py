@@ -1,0 +1,84 @@
+"""A2 (Section 1.1 baselines): the Abraham et al. scenario map.
+
+The paper positions its asynchronous-ring results against the other
+scenarios of Abraham et al. [4]:
+
+- synchronous fully connected / ring — (n-1)-resilient (simultaneity
+  forbids rushing; echo rounds catch equivocation);
+- asynchronous fully connected — (⌈n/2⌉-1)-resilient via Shamir sharing,
+  and exactly ⌈n/2⌉ breaks it (share pooling);
+- asynchronous ring — the paper's hard case, thresholds per E3-E7.
+
+This bench regenerates that map: honest success + uniformity for each
+baseline, punished rushing under synchrony, and the sharp Shamir
+threshold.
+"""
+
+import math
+
+from repro import run_protocol
+from repro.attacks import shamir_pooling_attack_protocol
+from repro.protocols import async_complete_protocol, default_threshold
+from repro.sim.execution import FAIL
+from repro.sim.topology import complete_graph, unidirectional_ring
+from repro.sync import (
+    run_sync_protocol,
+    sync_broadcast_protocol,
+    sync_ring_protocol,
+    sync_rushing_attempt_protocol,
+)
+from repro.util.errors import ConfigurationError
+
+
+def test_a2_scenario_map(benchmark, experiment_report):
+    rows = []
+
+    # Synchronous baselines: honest success, cheater punished.
+    for n in (6, 10, 16):
+        g = complete_graph(n)
+        honest = run_sync_protocol(g, sync_broadcast_protocol(g), seed=n)
+        cheat = run_sync_protocol(
+            g, sync_rushing_attempt_protocol(g, 2, 5), seed=n
+        )
+        ring = unidirectional_ring(n)
+        ring_res = run_sync_protocol(ring, sync_ring_protocol(ring), seed=n)
+        rows.append(
+            f"sync n={n:<3} broadcast={honest.outcome} ring={ring_res.outcome} "
+            f"delayed-cheater={cheat.outcome}"
+        )
+        assert not honest.failed and not ring_res.failed
+        assert cheat.outcome == FAIL
+    experiment_report("A2a synchronous scenarios (rushing impossible)", rows)
+
+    # Shamir async complete network: sharp threshold at ceil(n/2).
+    rows = []
+    for n in (8, 11, 14):
+        g = complete_graph(n)
+        t = default_threshold(n)
+        honest = run_protocol(g, async_complete_protocol(g), seed=n)
+        pooled = run_protocol(
+            g,
+            shamir_pooling_attack_protocol(g, list(range(2, 2 + t)), 5),
+            seed=n,
+        )
+        try:
+            shamir_pooling_attack_protocol(g, list(range(2, 1 + t)), 5)
+            below_feasible = True
+        except ConfigurationError:
+            below_feasible = False
+        rows.append(
+            f"shamir n={n:<3} honest={honest.outcome} "
+            f"pool(k={t})={pooled.outcome} pool(k={t-1}) feasible="
+            f"{below_feasible}"
+        )
+        assert not honest.failed
+        assert pooled.outcome == 5
+        assert not below_feasible
+    experiment_report(
+        "A2b async complete network: Shamir threshold at ceil(n/2)", rows
+    )
+
+    g = complete_graph(10)
+    benchmark(
+        lambda: run_protocol(g, async_complete_protocol(g), seed=1).outcome
+    )

@@ -1,0 +1,59 @@
+"""A5 (ablation): message complexity of every protocol in the repo.
+
+The classical ring-election literature the paper cites (Chang-Roberts,
+Dolev/Peterson) is organized around message complexity; this table
+records what the rational-agent protocols cost on top:
+
+- Basic-LEAD / A-LEADuni: n messages per processor → n² total;
+- PhaseAsyncLead: 2n per processor (data + validation) → 2n²;
+- wake-up + A-LEADuni: one extra n² id-circulation phase;
+- Shamir complete-network: Θ(n) per processor but Θ(n)-sized reveal
+  payloads (n² messages, n³ field elements).
+
+The asserted shapes are exact counts, not estimates.
+"""
+
+from repro import run_protocol, unidirectional_ring
+from repro.protocols import (
+    alead_uni_protocol,
+    async_complete_protocol,
+    basic_lead_protocol,
+    phase_async_protocol,
+    wakeup_alead_protocol,
+)
+from repro.sim.events import SendEvent
+from repro.sim.topology import complete_graph
+
+
+def _total_sends(result) -> int:
+    return sum(1 for e in result.trace if isinstance(e, SendEvent))
+
+
+def test_a5_message_complexity(benchmark, experiment_report):
+    rows = []
+    for n in (8, 16, 32):
+        ring = unidirectional_ring(n)
+        basic = _total_sends(run_protocol(ring, basic_lead_protocol(ring), seed=1))
+        alead = _total_sends(run_protocol(ring, alead_uni_protocol(ring), seed=1))
+        phase = _total_sends(run_protocol(ring, phase_async_protocol(ring), seed=1))
+        wake = _total_sends(run_protocol(ring, wakeup_alead_protocol(ring), seed=1))
+        g = complete_graph(n)
+        shamir = _total_sends(run_protocol(g, async_complete_protocol(g), seed=1))
+        rows.append(
+            f"n={n:<3} basic={basic:<5} alead={alead:<5} phase={phase:<6} "
+            f"wakeup+alead={wake:<6} shamir={shamir}"
+        )
+        assert basic == n * n
+        assert alead == n * n
+        assert phase == 2 * n * n
+        assert wake == 2 * n * n  # n² wake-up + n² election
+        # Shamir: n(n-1) shares + n(n-1) reveals = 2n(n-1).
+        assert shamir == 2 * n * (n - 1)
+    experiment_report("A5 message complexity (exact counts)", rows)
+
+    ring = unidirectional_ring(32)
+    benchmark(
+        lambda: _total_sends(
+            run_protocol(ring, alead_uni_protocol(ring), seed=2)
+        )
+    )

@@ -1,0 +1,68 @@
+"""E10 (Theorem 8.1): FLE ⇔ fair coin toss, with bias propagation.
+
+Paper claims:
+- an ε-unbiased FLE gives a (n/2)ε-unbiased coin (take the low bit);
+- log2(n) independent ε-unbiased coins give a ((1/2+ε)^log2(n))-bounded
+  FLE.
+
+We measure: honest reductions stay balanced/uniform; a *biased* FLE
+(single-cheater Basic-LEAD forcing an even id) propagates to a constant
+coin, saturating the paper's bound.
+"""
+
+from collections import Counter
+
+from repro import unidirectional_ring
+from repro.attacks import basic_cheat_protocol
+from repro.cointoss import (
+    CoinTossRunner,
+    coin_bias_bound_from_fle,
+    fle_bias_bound_from_coin,
+    independent_coin_fle,
+)
+from repro.protocols import alead_uni_protocol
+from repro.util.rng import RngRegistry
+
+
+def test_e10_reductions(benchmark, experiment_report):
+    rows = []
+    ring = unidirectional_ring(8)
+
+    # Honest FLE -> coin: balanced.
+    runner = CoinTossRunner(ring, alead_uni_protocol)
+    tosses = [runner.toss(RngRegistry(s)) for s in range(200)]
+    ones = sum(tosses)
+    rows.append(f"honest FLE->coin: Pr[1]={ones/200:.2f} (target 0.5)")
+    assert 0.35 <= ones / 200 <= 0.65
+
+    # Honest coins -> FLE over n=8: uniform-ish.
+    counts = Counter(
+        independent_coin_fle(ring, alead_uni_protocol, 8, RngRegistry(s))
+        for s in range(200)
+    )
+    top = max(counts.values()) / 200
+    rows.append(f"honest coin->FLE(8): max Pr={top:.2f} (target 0.125)")
+    assert set(counts) <= set(range(1, 9))
+    assert top < 0.30
+
+    # Fully biased FLE -> constant coin (saturates (n/2)eps).
+    biased = CoinTossRunner(ring, lambda t: basic_cheat_protocol(t, 2, 4))
+    outs = {biased.toss(RngRegistry(s)) for s in range(20)}
+    rows.append(f"biased FLE (forces id 4) -> coin outcomes {sorted(outs)}")
+    assert outs == {0}
+
+    # The analytic bounds themselves.
+    rows.append(
+        f"bounds: coin eps from (n=8, eps=0.01) FLE <= "
+        f"{coin_bias_bound_from_fle(8, 0.01):.3f}; "
+        f"FLE eps from (eps=0.05) coins <= "
+        f"{fle_bias_bound_from_coin(8, 0.05):.3f}"
+    )
+    assert coin_bias_bound_from_fle(8, 0.01) == 0.04
+    experiment_report("E10 FLE <-> coin toss (Thm 8.1)", rows)
+
+    benchmark(
+        lambda: independent_coin_fle(
+            ring, alead_uni_protocol, 8, RngRegistry(1)
+        )
+    )

@@ -1,0 +1,93 @@
+"""E11 (Section 1.1 lineage): full-information coin-flipping comparators.
+
+The paper's random-function construction descends from the Ben-Or–Linial
+full-information line. This bench regenerates that line's headline
+shapes:
+
+- parity: one player has influence 1 (the Basic-LEAD analogue);
+- majority: single-player influence ~Θ(1/√n), coalition influence grows
+  with k (Θ(k/√n) regime);
+- tribes: a log-sized tribe keeps constant influence — the n/log n
+  ceiling for one-round games;
+- sequential games: the last mover dictates parity; late movers gain on
+  majority;
+- Saks' pass-the-baton: coalition bias negligible at small k, total at
+  k = n/2 — the O(n/log n)-resilient leader-election benchmark.
+"""
+
+import math
+
+from repro.fullinfo import (
+    SequentialCoinGame,
+    baton_survival_probability,
+    coalition_influence,
+    majority_function,
+    parity_function,
+    tribes_function,
+)
+
+
+def test_e11_one_round_influence(benchmark, experiment_report):
+    rows = []
+    par = parity_function(9)
+    rows.append(f"parity(9): single-player influence = "
+                f"{coalition_influence(par, [0]):.3f} (expect 1.0)")
+    assert coalition_influence(par, [0]) == 1.0
+
+    for n in (9, 13):
+        maj = majority_function(n)
+        series = []
+        for k in (1, 2, 3):
+            inf = coalition_influence(maj, list(range(k)))
+            series.append(inf)
+        rows.append(
+            f"majority({n}): influence k=1..3 = "
+            + ", ".join(f"{v:.3f}" for v in series)
+            + f" (1/sqrt(n)={1/math.sqrt(n):.3f})"
+        )
+        assert series == sorted(series)
+        assert series[0] < 0.5
+
+    tri = tribes_function(2, 4)
+    own_tribe = coalition_influence(tri, [0, 1])
+    split = coalition_influence(tri, [0, 2])
+    rows.append(
+        f"tribes(2x4): own-tribe influence={own_tribe:.3f} vs "
+        f"split pair={split:.3f}"
+    )
+    assert own_tribe > 0.3
+    experiment_report("E11a one-round boolean influence", rows)
+
+    benchmark(lambda: coalition_influence(majority_function(13), [0, 1, 2]))
+
+
+def test_e11_sequential_and_baton(benchmark, experiment_report):
+    rows = []
+    par = parity_function(6)
+    last = SequentialCoinGame(par, [5]).forced_probability(1)
+    first = SequentialCoinGame(par, [0]).forced_probability(1)
+    rows.append(
+        f"sequential parity(6): last mover forces Pr=1 ({last:.2f}); "
+        f"first mover gains nothing ({first:.2f})"
+    )
+    assert last == 1.0 and abs(first - 0.5) < 1e-9
+
+    maj = majority_function(7)
+    late = SequentialCoinGame(maj, [5, 6]).forced_probability(1)
+    rows.append(f"sequential majority(7): two late movers Pr[1] = {late:.3f}")
+    assert 0.5 < late < 1.0
+    experiment_report("E11b sequential (rushing-analogue) games", rows)
+
+    rows = []
+    n = 64
+    for k in (2, 8, 16, 32):
+        p = baton_survival_probability(n, range(k), trials=300)
+        rows.append(
+            f"baton n={n} k={k:<3} Pr[leader in C]={p:.3f} "
+            f"(honest {k/n:.3f}, n/log2(n)={n/math.log2(n):.0f})"
+        )
+    experiment_report("E11c pass-the-baton coalition bias", rows)
+    assert baton_survival_probability(n, range(32), trials=120) == 1.0
+    assert baton_survival_probability(n, range(2), trials=400) < 0.12
+
+    benchmark(lambda: baton_survival_probability(64, range(8), trials=50))

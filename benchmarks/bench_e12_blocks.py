@@ -1,0 +1,81 @@
+"""E12 (Afek et al. [5] applications): fair consensus and renaming.
+
+The building blocks the paper credits to Afek et al. — knowledge sharing
+plus the election rule — yield Fair Consensus (everyone outputs a
+uniformly chosen processor's input) and Fair Renaming (a uniform
+rotation of names). Both must be exactly fair under honest execution and
+inherit the ring's punishment mechanism under deviation (covered in the
+test suite); here we regenerate the fairness series.
+"""
+
+from collections import Counter
+
+from repro import run_protocol, unidirectional_ring
+from repro.analysis.distribution import (
+    OutcomeDistribution,
+    chi_square_uniformity,
+)
+from repro.blocks import (
+    fair_consensus_protocol,
+    fair_renaming_protocol,
+    knowledge_sharing_protocol,
+)
+from repro.blocks.renaming import my_name
+
+
+def test_e12_blocks_fairness(benchmark, experiment_report):
+    rows = []
+
+    # Knowledge sharing: attribution correctness at several sizes.
+    for n in (5, 9, 16):
+        ring = unidirectional_ring(n)
+        proto = knowledge_sharing_protocol(
+            ring, payload_fn=lambda ctx: ctx.rng.randrange(10**6)
+        )
+        res = run_protocol(ring, proto, seed=n)
+        ok = not res.failed and all(
+            res.outcome[pid - 1] == proto[pid].payload for pid in ring.nodes
+        )
+        rows.append(f"knowledge n={n:<3} attribution correct: {ok}")
+        assert ok
+    experiment_report("E12a knowledge-sharing block", rows)
+
+    # Fair consensus: decided input uniform over processors.
+    rows = []
+    n = 6
+    ring = unidirectional_ring(n)
+    counts = Counter()
+    trials = 360
+    for s in range(trials):
+        res = run_protocol(
+            ring, fair_consensus_protocol(ring, lambda p: p), seed=s
+        )
+        assert not res.failed
+        counts[res.outcome] += 1
+    dist = OutcomeDistribution(n=n, trials=trials, counts=counts)
+    p = chi_square_uniformity(dist)
+    rows.append(f"consensus n={n}: decided-input chi2 p={p:.3f}")
+    assert p > 1e-4
+    experiment_report("E12b fair consensus uniformity", rows)
+
+    # Fair renaming: each processor's new name uniform; order preserved.
+    rows = []
+    counts = Counter()
+    for s in range(trials):
+        res = run_protocol(ring, fair_renaming_protocol(ring), seed=s)
+        assert not res.failed
+        counts[my_name(res.outcome, 1)] += 1
+        names = [my_name(res.outcome, pid) for pid in ring.nodes]
+        assert sorted(names) == list(range(1, n + 1))
+    dist = OutcomeDistribution(n=n, trials=trials, counts=counts)
+    p = chi_square_uniformity(dist)
+    rows.append(f"renaming n={n}: name-of-processor-1 chi2 p={p:.3f}")
+    assert p > 1e-4
+    experiment_report("E12c fair renaming uniformity", rows)
+
+    ring = unidirectional_ring(16)
+    benchmark(
+        lambda: run_protocol(
+            ring, fair_renaming_protocol(ring), seed=1
+        ).outcome
+    )

@@ -1,0 +1,69 @@
+"""E4 (Theorem C.1): randomly located adversaries succeed w.h.p.
+
+Paper claim: with each processor adversarial w.p. p = √(8 log n / n)
+(k ≈ √(8 n log n) in expectation), the symmetric attack controls the
+outcome with probability → 1. The success probability is over *both* the
+placement and the honest secrets. We sweep n and density multipliers;
+the paper's shape: success rises toward 1 as n grows at the recommended
+density, and the attack degrades gracefully when too sparse (long
+segments break the replay) — at small n the recommended density
+overshoots n/2 and the attack degenerates, which the series shows.
+"""
+
+import random
+
+from repro import run_protocol, unidirectional_ring
+from repro.attacks import (
+    RingPlacement,
+    random_location_attack_protocol,
+    recommended_probability,
+)
+from repro.util.rng import RngRegistry
+
+
+def _success_rate(n: int, p: float, trials: int, target: int = 9) -> float:
+    ring = unidirectional_ring(n)
+    wins = 0
+    for t in range(trials):
+        pl = RingPlacement.random_locations(n, p, random.Random(7000 + t))
+        if pl is None:
+            continue
+        res = run_protocol(
+            ring,
+            random_location_attack_protocol(ring, pl, target),
+            rng=RngRegistry(t),
+        )
+        wins += res.outcome == target
+    return wins / trials
+
+
+def test_e4_random_coalition_whp(benchmark, experiment_report):
+    rows = []
+    series = {}
+    for n in (128, 256, 400):
+        p = recommended_probability(n)
+        for scale, label in ((0.25, "p/4"), (0.5, "p/2"), (1.0, "p")):
+            rate = _success_rate(n, min(1.0, scale * p), trials=8)
+            series[(n, label)] = rate
+            rows.append(
+                f"n={n:<4} density={label:<4} "
+                f"(={min(1.0, scale * p):.3f}) success={rate:.2f}"
+            )
+    experiment_report("E4 randomly-located attack success (Thm C.1)", rows)
+
+    # Shape assertions: in-regime densities win consistently at larger n.
+    assert series[(256, "p/2")] >= 0.75
+    assert series[(400, "p/2")] >= 0.75
+    assert series[(400, "p")] >= 0.75
+    # Too sparse -> long segments -> attack cannot finish reliably.
+    assert series[(400, "p/4")] <= series[(400, "p/2")] + 0.15
+
+    def one_run():
+        pl = RingPlacement.random_locations(256, 0.2, random.Random(1))
+        ring = unidirectional_ring(256)
+        return run_protocol(
+            ring, random_location_attack_protocol(ring, pl, 3),
+            rng=RngRegistry(5),
+        ).outcome
+
+    benchmark(one_run)

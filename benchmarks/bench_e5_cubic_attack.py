@@ -1,0 +1,44 @@
+"""E5 (Theorem 4.3): the cubic attack controls A-LEADuni with
+k = O(n^(1/3)) adversaries.
+
+Paper claim: adversaries placed on the arithmetic staircase
+(l_i ≈ (k+1-i)(k-1)) control the outcome whenever k ≥ 2·n^(1/3). We run
+the attack at the feasibility frontier for increasing k — where k/n^(1/3)
+approaches ~1.26 — far below the √n requirement of the rushing attack,
+and benchmark the largest configuration.
+"""
+
+import math
+
+from repro import run_protocol, unidirectional_ring
+from repro.attacks import RingPlacement, cubic_attack_protocol
+
+
+def test_e5_cubic_attack(benchmark, experiment_report):
+    rows = []
+    for k in (4, 5, 6, 8, 10):
+        n = k + (k - 1) * k * (k + 1) // 2  # the attack's max coverage
+        ring = unidirectional_ring(n)
+        pl = RingPlacement.cubic(n, k)
+        target = n // 2
+        res = run_protocol(ring, cubic_attack_protocol(ring, pl, target), seed=k)
+        forced = res.outcome == target
+        rows.append(
+            f"k={k:<3} n={n:<4} k/n^(1/3)={k / n ** (1/3):.2f} "
+            f"sqrt(n)={math.isqrt(n):<3} forced={forced}"
+        )
+        assert forced, res.fail_reason
+        assert k < math.isqrt(n) or n < 16  # strictly below rushing regime
+    experiment_report(
+        "E5 cubic attack at the k=O(n^(1/3)) frontier (Thm 4.3)", rows
+    )
+
+    k = 10
+    n = k + (k - 1) * k * (k + 1) // 2
+    ring = unidirectional_ring(n)
+    pl = RingPlacement.cubic(n, k)
+    benchmark(
+        lambda: run_protocol(
+            ring, cubic_attack_protocol(ring, pl, 7), seed=1
+        ).outcome
+    )

@@ -1,0 +1,65 @@
+"""F1 (Figure 1): honest-segment geometry across placements.
+
+Figure 1 of the paper illustrates the adversary locations a_1..a_k and
+the honest segments I_j between them — the geometry every attack's
+feasibility condition is stated in. This bench tabulates the segment
+profiles of the three placement families and checks each family meets
+its attack's precondition:
+
+- equal spacing: max l_j ≤ k-1 once k ≥ √n (Lemma 4.1's condition);
+- cubic staircase: l_i ≤ l_{i+1} + (k-1), l_k ≤ k-1 (Thm 4.3);
+- random: max l_j concentrates near its logarithmic envelope (Thm C.1).
+"""
+
+import math
+import random
+
+from repro.analysis.segments import segment_statistics
+from repro.attacks import RingPlacement, recommended_probability
+
+
+def test_f1_segment_geometry(benchmark, experiment_report):
+    rows = []
+    for n in (64, 144, 256):
+        k = math.isqrt(n)
+        stats = segment_statistics(RingPlacement.equal_spacing(n, k))
+        rows.append(
+            f"equal  n={n:<4} k={k:<3} l in [{stats.min_length},"
+            f"{stats.max_length}] rushing_feasible={stats.rushing_feasible}"
+        )
+        assert stats.rushing_feasible
+    experiment_report("F1a equal-spacing profiles", rows)
+
+    rows = []
+    for k in (5, 7, 9):
+        n = k + (k - 1) * k * (k + 1) // 2
+        stats = segment_statistics(RingPlacement.cubic(n, k))
+        rows.append(
+            f"cubic  n={n:<4} k={k:<3} staircase={list(stats.lengths)} "
+            f"cubic_feasible={stats.cubic_feasible}"
+        )
+        assert stats.cubic_feasible
+    experiment_report("F1b cubic staircase profiles", rows)
+
+    rows = []
+    for n in (256, 400):
+        p = recommended_probability(n) / 2
+        maxima = []
+        for seed in range(12):
+            pl = RingPlacement.random_locations(n, p, random.Random(seed))
+            if pl is not None:
+                maxima.append(segment_statistics(pl).max_length)
+        mean_max = sum(maxima) / len(maxima)
+        # Extreme-value envelope: the max of ~np geometric(p) gaps
+        # concentrates below ~ln(n)/p (the log factor in Thm C.1).
+        envelope = math.log(n) / p
+        rows.append(
+            f"random n={n:<4} p={p:.3f} mean max l_j={mean_max:.1f} "
+            f"ln(n)/p≈{envelope:.1f}"
+        )
+        assert mean_max <= envelope
+    experiment_report("F1c random-placement segment maxima", rows)
+
+    benchmark(
+        lambda: segment_statistics(RingPlacement.equal_spacing(400, 20))
+    )

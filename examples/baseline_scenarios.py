@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Baseline scenarios: why the asynchronous ring is the hard case.
+
+The paper (Section 1.1) contrasts its ring results with the other
+Abraham et al. scenarios. This example runs all of them side by side:
+
+- synchronous fully connected / ring: rushing impossible, a withholding
+  cheater is punished — (n-1)-resilient territory;
+- asynchronous fully connected: Shamir sharing gives (⌈n/2⌉-1)
+  resilience, sharp — a ⌈n/2⌉ pool reconstructs early and steers;
+- asynchronous ring: the thresholds collapse to polynomial-in-n
+  fractions (n^(1/3)..√n), the gap the paper's contributions live in.
+"""
+
+import math
+
+from repro import run_protocol, unidirectional_ring
+from repro.attacks import (
+    RingPlacement,
+    cubic_attack_protocol,
+    shamir_pooling_attack_protocol,
+)
+from repro.protocols import async_complete_protocol, default_threshold
+from repro.sim.topology import complete_graph
+from repro.sync import (
+    run_sync_protocol,
+    sync_broadcast_protocol,
+    sync_ring_protocol,
+    sync_rushing_attempt_protocol,
+)
+
+
+def main() -> None:
+    n = 12
+    print(f"=== Baseline scenario map (n={n}) ===\n")
+
+    print("-- synchronous, fully connected --")
+    g = complete_graph(n)
+    res = run_sync_protocol(g, sync_broadcast_protocol(g), seed=1)
+    print(f"honest: elected {res.outcome} in {res.rounds} rounds")
+    res = run_sync_protocol(g, sync_rushing_attempt_protocol(g, 2, 7), seed=1)
+    print(f"withholding cheater targeting 7: outcome {res.outcome} "
+          f"(punished — simultaneity forbids rushing)")
+
+    print("\n-- synchronous ring --")
+    ring = unidirectional_ring(n)
+    res = run_sync_protocol(ring, sync_ring_protocol(ring), seed=2)
+    print(f"honest: elected {res.outcome} in {res.rounds} rounds")
+
+    print("\n-- asynchronous, fully connected (Shamir sharing) --")
+    t = default_threshold(n)
+    res = run_protocol(g, async_complete_protocol(g), seed=3)
+    print(f"honest: elected {res.outcome}; threshold T = ceil(n/2) = {t}")
+    coalition = list(range(2, 2 + t))
+    res = run_protocol(
+        g, shamir_pooling_attack_protocol(g, coalition, 7), seed=3
+    )
+    print(f"pooling coalition of {t}: outcome {res.outcome} "
+          f"(T shares reconstruct early -> resilience is exactly T-1)")
+
+    print("\n-- asynchronous ring (the paper's territory) --")
+    k = 6
+    n_ring = k + (k - 1) * k * (k + 1) // 2
+    ring = unidirectional_ring(n_ring)
+    pl = RingPlacement.cubic(n_ring, k)
+    res = run_protocol(ring, cubic_attack_protocol(ring, pl, 7), seed=4)
+    print(
+        f"A-LEADuni on n={n_ring}: {k} adversaries "
+        f"(~{k / n_ring ** (1/3):.2f}·n^(1/3)) force outcome {res.outcome}"
+    )
+    print("\nSynchrony buys n-1; a complete asynchronous graph buys "
+          "ceil(n/2)-1;")
+    print("the asynchronous ring drops to polynomial thresholds — which is")
+    print("why the paper's PhaseAsyncLead pushing it to Θ(√n) matters.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Setup shim: lets ``pip install -e .`` work offline (no wheel package).
+
+Metadata lives in setup.cfg; pytest configuration lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

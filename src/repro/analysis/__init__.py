@@ -1,0 +1,65 @@
+"""Measurement toolkit: outcome distributions, bias, synchronization.
+
+These are the instruments behind every experiment in EXPERIMENTS.md:
+
+- :mod:`repro.analysis.distribution` — Monte-Carlo outcome histograms,
+  chi-square uniformity tests, fail rates;
+- :mod:`repro.analysis.bias` — the paper's ε (``max_j Pr[outcome=j] - 1/n``)
+  and attack success probability estimation;
+- :mod:`repro.analysis.sync` — ``Sent_i^t`` synchronization-gap series
+  (Section 5's ``m``-synchronization measure);
+- :mod:`repro.analysis.segments` — honest-segment geometry statistics
+  (Figure 1's quantities).
+"""
+
+from repro.analysis.distribution import (
+    OutcomeDistribution,
+    estimate_distribution,
+    chi_square_uniformity,
+)
+from repro.analysis.bias import (
+    BiasReport,
+    empirical_bias,
+    attack_success_rate,
+)
+from repro.analysis.sync import sync_gap_for, honest_sync_profile, max_send_lead
+from repro.analysis.segments import segment_statistics, SegmentStats
+from repro.analysis.lemma33 import Lemma33Verdict, lemma33_verdict, honest_secret
+from repro.analysis.frontier import (
+    FrontierPoint,
+    forcing_frontier,
+    smallest_forcing_coalition,
+)
+from repro.analysis.stats import (
+    Proportion,
+    proportion,
+    proportions_differ,
+    wilson_interval,
+)
+from repro.analysis.render import render_sync_timeline, trace_to_dicts
+
+__all__ = [
+    "OutcomeDistribution",
+    "estimate_distribution",
+    "chi_square_uniformity",
+    "BiasReport",
+    "empirical_bias",
+    "attack_success_rate",
+    "sync_gap_for",
+    "honest_sync_profile",
+    "max_send_lead",
+    "segment_statistics",
+    "SegmentStats",
+    "Lemma33Verdict",
+    "lemma33_verdict",
+    "honest_secret",
+    "FrontierPoint",
+    "forcing_frontier",
+    "smallest_forcing_coalition",
+    "Proportion",
+    "proportion",
+    "proportions_differ",
+    "wilson_interval",
+    "render_sync_timeline",
+    "trace_to_dicts",
+]

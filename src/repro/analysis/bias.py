@@ -1,0 +1,75 @@
+"""Bias and resilience measurement.
+
+The paper's central quantity is the ε of ``ε-k-unbiased``:
+``ε = max_j Pr[outcome = j] - 1/n`` under the best adversarial deviation
+(Definition after 2.3). These helpers estimate both sides empirically:
+
+- :func:`empirical_bias` — given a (possibly adversarial) protocol
+  factory, how far above ``1/n`` the most likely valid outcome sits;
+- :func:`attack_success_rate` — for attacks that target a specific ``w``,
+  the fraction of runs with ``outcome == w`` (the paper's attacks achieve
+  rate 1, i.e. ε = 1 - 1/n).
+"""
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Hashable, Optional
+
+from repro.analysis.distribution import (
+    OutcomeDistribution,
+    ProtocolFactory,
+    estimate_distribution,
+)
+from repro.sim.topology import Topology
+
+
+@dataclass(frozen=True)
+class BiasReport:
+    """Empirical bias of a protocol under some deviation."""
+
+    n: int
+    trials: int
+    max_probability: float
+    fail_rate: float
+
+    @property
+    def epsilon(self) -> float:
+        """``max_j Pr[outcome=j] - 1/n`` (clamped at 0 from below)."""
+        return max(0.0, self.max_probability - 1.0 / self.n)
+
+
+def empirical_bias(
+    topology: Topology,
+    factory: ProtocolFactory,
+    trials: int,
+    base_seed: int = 0,
+    distribution: Optional[OutcomeDistribution] = None,
+) -> BiasReport:
+    """Estimate the bias ε of ``factory`` over ``trials`` executions."""
+    dist = (
+        distribution
+        if distribution is not None
+        else estimate_distribution(topology, factory, trials, base_seed)
+    )
+    return BiasReport(
+        n=len(topology),
+        trials=dist.trials,
+        max_probability=dist.max_probability(),
+        fail_rate=dist.fail_rate,
+    )
+
+
+def attack_success_rate(
+    topology: Topology,
+    factory_for_target: Callable[[Topology, int], Dict[Hashable, object]],
+    target: int,
+    trials: int,
+    base_seed: int = 0,
+) -> float:
+    """Fraction of runs in which the attack forces ``outcome == target``."""
+    dist = estimate_distribution(
+        topology,
+        lambda topo: factory_for_target(topo, target),
+        trials,
+        base_seed,
+    )
+    return dist.probability(target)

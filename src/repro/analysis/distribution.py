@@ -1,0 +1,105 @@
+"""Monte-Carlo estimation of outcome distributions.
+
+An FLE protocol must elect every id with probability exactly ``1/n``
+(Section 2). These helpers run a protocol factory many times with
+independent seeds, histogram the outcomes, and test uniformity with a
+chi-square statistic (scipy when available, plain implementation
+otherwise, so the core library stays dependency-free).
+"""
+
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, Optional
+
+from repro.sim.execution import FAIL, run_protocol
+from repro.sim.topology import Topology
+from repro.util.rng import RngRegistry
+
+#: A protocol factory: builds a fresh strategy vector per execution.
+ProtocolFactory = Callable[[Topology], Dict[Hashable, object]]
+
+
+@dataclass
+class OutcomeDistribution:
+    """Histogram of outcomes over repeated executions."""
+
+    n: int
+    trials: int
+    counts: Counter = field(default_factory=Counter)
+
+    @property
+    def fail_count(self) -> int:
+        """Number of executions with outcome ``FAIL``."""
+        return self.counts.get(FAIL, 0)
+
+    @property
+    def fail_rate(self) -> float:
+        """Fraction of executions that failed."""
+        return self.fail_count / self.trials if self.trials else 0.0
+
+    def probability(self, outcome) -> float:
+        """Empirical ``Pr[outcome]``."""
+        return self.counts.get(outcome, 0) / self.trials if self.trials else 0.0
+
+    def max_probability(self) -> float:
+        """``max_j Pr[outcome = j]`` over valid ids only."""
+        valid = [self.counts.get(j, 0) for j in range(1, self.n + 1)]
+        return max(valid) / self.trials if self.trials else 0.0
+
+    def valid_counts(self) -> Dict[int, int]:
+        """Counts restricted to valid ids ``1..n`` (zeros included)."""
+        return {j: self.counts.get(j, 0) for j in range(1, self.n + 1)}
+
+
+def estimate_distribution(
+    topology: Topology,
+    factory: ProtocolFactory,
+    trials: int,
+    base_seed: int = 0,
+) -> OutcomeDistribution:
+    """Run ``factory`` ``trials`` times with derived seeds and histogram."""
+    n = len(topology)
+    dist = OutcomeDistribution(n=n, trials=trials)
+    for t in range(trials):
+        result = run_protocol(
+            topology, factory(topology), rng=RngRegistry(base_seed).spawn(str(t))
+        )
+        dist.counts[result.outcome] += 1
+    return dist
+
+
+def chi_square_uniformity(dist: OutcomeDistribution) -> float:
+    """p-value of the chi-square test that valid outcomes are uniform.
+
+    ``FAIL`` outcomes are excluded from the test (an honest run never
+    fails; attack runs are evaluated by other means). Returns 1.0 when
+    there are no valid outcomes to test.
+    """
+    counts = list(dist.valid_counts().values())
+    total = sum(counts)
+    if total == 0:
+        return 1.0
+    expected = total / dist.n
+    statistic = sum((c - expected) ** 2 / expected for c in counts)
+    dof = dist.n - 1
+    try:
+        from scipy.stats import chi2
+
+        return float(chi2.sf(statistic, dof))
+    except ImportError:  # pragma: no cover - scipy present in this env
+        return _chi2_sf(statistic, dof)
+
+
+def _chi2_sf(statistic: float, dof: int) -> float:
+    """Survival function of chi-square via the regularized upper gamma.
+
+    Wilson-Hilferty approximation — accurate enough for pass/fail
+    uniformity thresholds when scipy is unavailable.
+    """
+    if statistic <= 0:
+        return 1.0
+    z = ((statistic / dof) ** (1.0 / 3.0) - (1 - 2.0 / (9 * dof))) / math.sqrt(
+        2.0 / (9 * dof)
+    )
+    return 0.5 * math.erfc(z / math.sqrt(2.0))

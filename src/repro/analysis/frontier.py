@@ -1,0 +1,105 @@
+"""Conjecture 4.7 tooling: locating A-LEADuni's resilience frontier.
+
+The paper proves A-LEADuni safe up to O(n^(1/4)) (Thm 5.1) and broken
+from 2·n^(1/3) placed adversaries (Thm 4.3), conjecturing the truth sits
+at Θ(n^(1/3)) (Conjecture 4.7). :func:`forcing_frontier` searches, per
+ring size, for the smallest coalition at which any implemented attack
+family forces the outcome — the empirical frontier an experimenter can
+track against the conjecture as better attacks are added.
+"""
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.attacks.cubic import cubic_attack_protocol
+from repro.attacks.equal_spacing import (
+    equal_spacing_attack_protocol_unchecked,
+)
+from repro.attacks.placement import RingPlacement
+from repro.sim.execution import run_protocol
+from repro.sim.topology import Topology, unidirectional_ring
+from repro.util.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class FrontierPoint:
+    """The smallest forcing coalition found for one ring size."""
+
+    n: int
+    k_min: int
+    family: str
+    lower_bound: float  # n^(1/4): below this Thm 5.1 proves safety
+    conjecture: float  # ~n^(1/3): Conjecture 4.7's guess
+    upper_bound: float  # 2·n^(1/3): Thm 4.3 proves forcing
+
+    @property
+    def within_gap(self) -> bool:
+        """True when the found frontier sits inside the proven gap."""
+        return self.lower_bound <= self.k_min <= self.upper_bound + 1
+
+
+AttackBuilder = Callable[[Topology, int, int], Optional[dict]]
+
+
+def _try_cubic(ring: Topology, n: int, k: int):
+    try:
+        return cubic_attack_protocol(ring, RingPlacement.cubic(n, k), 7)
+    except ConfigurationError:
+        return None
+
+
+def _try_rushing(ring: Topology, n: int, k: int):
+    try:
+        pl = RingPlacement.equal_spacing(n, k)
+        return equal_spacing_attack_protocol_unchecked(ring, pl, 7)
+    except ConfigurationError:
+        return None
+
+
+#: The attack families the search sweeps, in preference order.
+FAMILIES: Dict[str, AttackBuilder] = {
+    "cubic": _try_cubic,
+    "rushing": _try_rushing,
+}
+
+
+def smallest_forcing_coalition(
+    n: int, seeds: int = 2, k_max: Optional[int] = None
+) -> FrontierPoint:
+    """Scan k upward until some family forces the target on all seeds."""
+    ring = unidirectional_ring(n)
+    if k_max is None:
+        k_max = math.isqrt(n) + 2
+    for k in range(2, k_max + 1):
+        for family, builder in FAMILIES.items():
+            protocol = builder(ring, n, k)
+            if protocol is None:
+                continue
+            if all(
+                run_protocol(ring, builder(ring, n, k), seed=s).outcome == 7
+                for s in range(seeds)
+            ):
+                return FrontierPoint(
+                    n=n,
+                    k_min=k,
+                    family=family,
+                    lower_bound=n ** 0.25,
+                    conjecture=n ** (1 / 3),
+                    upper_bound=2 * n ** (1 / 3),
+                )
+    return FrontierPoint(
+        n=n,
+        k_min=k_max + 1,
+        family="none",
+        lower_bound=n ** 0.25,
+        conjecture=n ** (1 / 3),
+        upper_bound=2 * n ** (1 / 3),
+    )
+
+
+def forcing_frontier(
+    sizes: List[int], seeds: int = 2
+) -> List[FrontierPoint]:
+    """The frontier table across ring sizes (the Conjecture 4.7 series)."""
+    return [smallest_forcing_coalition(n, seeds=seeds) for n in sizes]

@@ -1,0 +1,96 @@
+"""Lemma 3.3, executable: when does a deviation from A-LEADuni succeed?
+
+The lemma characterizes non-failing executions by three conditions on the
+adversaries' outgoing traffic:
+
+1. every exposed adversary sends (at least) ``n`` messages — the paper
+   says exactly ``n``; in our executor extra messages past the honest
+   processors' ``n`` receives are silently dropped, so the effective
+   condition is on the *first* ``n``;
+2. the sums of the first ``n`` outgoing messages of all exposed
+   adversaries agree modulo ``n``;
+3. for every adversary ``a_j``, its last ``l_j`` (of the first ``n``)
+   outgoing messages are the secrets of its honest segment ``I_j`` in
+   ring-reversed order (far end first, immediate successor last).
+
+:func:`lemma33_verdict` evaluates the three conditions on a finished
+execution trace and cross-checks the lemma's iff against the actual
+outcome; tests fuzz deviations against it.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.attacks.placement import RingPlacement
+from repro.sim.execution import FAIL, ExecutionResult
+
+
+@dataclass(frozen=True)
+class Lemma33Verdict:
+    """Evaluation of the three conditions plus the lemma's iff check."""
+
+    sends_enough: bool  # condition 1
+    sums_agree: bool  # condition 2
+    replays_correct: bool  # condition 3
+    outcome_valid: bool
+    consistent_with_lemma: bool
+    details: tuple
+
+    @property
+    def conditions_hold(self) -> bool:
+        return self.sends_enough and self.sums_agree and self.replays_correct
+
+
+def honest_secret(result: ExecutionResult, pid: int) -> Optional[int]:
+    """An honest A-LEADuni processor's secret is its first sent value."""
+    sent = result.trace.sent_values(pid)
+    return sent[0] if sent else None
+
+
+def lemma33_verdict(
+    result: ExecutionResult, placement: RingPlacement
+) -> Lemma33Verdict:
+    """Evaluate Lemma 3.3's conditions on a finished execution."""
+    n = placement.n
+    distances = placement.distances()
+    details: List[str] = []
+
+    sends_enough = True
+    sums: Dict[int, int] = {}
+    replays_correct = True
+    for j, pid in enumerate(placement.positions):
+        l_j = distances[j]
+        sent = result.trace.sent_values(pid)
+        if l_j >= 1 and len(sent) < n:
+            sends_enough = False
+            details.append(f"a_{j+1} (pid {pid}) sent only {len(sent)} < {n}")
+            continue
+        first_n = sent[:n]
+        if l_j >= 1:
+            sums[pid] = sum(int(v) % n for v in first_n) % n
+        if l_j >= 1:
+            expected = []
+            for h in reversed(placement.segment(j)):
+                secret = honest_secret(result, h)
+                expected.append(secret)
+            actual = [int(v) % n for v in first_n[n - l_j :]]
+            if actual != expected:
+                replays_correct = False
+                details.append(
+                    f"a_{j+1} (pid {pid}) replay mismatch: {actual} != {expected}"
+                )
+
+    sums_agree = len(set(sums.values())) <= 1
+    if not sums_agree:
+        details.append(f"outgoing sums differ: {sums}")
+
+    outcome_valid = result.outcome != FAIL
+    conditions = sends_enough and sums_agree and replays_correct
+    return Lemma33Verdict(
+        sends_enough=sends_enough,
+        sums_agree=sums_agree,
+        replays_correct=replays_correct,
+        outcome_valid=outcome_valid,
+        consistent_with_lemma=(conditions == outcome_valid),
+        details=tuple(details),
+    )

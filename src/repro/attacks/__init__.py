@@ -1,0 +1,62 @@
+"""Adversarial deviations analysed by the paper, one module per attack.
+
+==============================  ===============================  ==========
+Attack                          Paper reference                  Protocol
+==============================  ===============================  ==========
+Single-cheater wait-and-cancel  Claim B.1                        Basic-LEAD
+Equal-spacing rushing           Lemma 4.1 / Theorem 4.2          A-LEADuni
+Randomly-located rushing        Theorem C.1                      A-LEADuni
+Cubic attack                    Theorem 4.3                      A-LEADuni
+Partial-sum covert channel      Appendix E.4                     sum-variant
+Rushing + brute-forced ``f``    Remark after Theorem 6.1         PhaseAsyncLead
+==============================  ===============================  ==========
+"""
+
+from repro.attacks.placement import RingPlacement
+from repro.attacks.basic_cheat import (
+    BasicLeadCheaterStrategy,
+    basic_cheat_protocol,
+)
+from repro.attacks.equal_spacing import (
+    RushingAdversary,
+    equal_spacing_attack_protocol,
+    equal_spacing_attack_protocol_unchecked,
+)
+from repro.attacks.cubic import CubicAdversary, cubic_attack_protocol
+from repro.attacks.random_location import (
+    RandomLocationAdversary,
+    random_location_attack_protocol,
+    recommended_probability,
+)
+from repro.attacks.partial_sum import (
+    PartialSumAdversary,
+    partial_sum_attack_protocol,
+)
+from repro.attacks.phase_rushing import (
+    PhaseRushingAdversary,
+    phase_rushing_attack_protocol,
+)
+from repro.attacks.shamir_pool import (
+    PoolingAdversary,
+    shamir_pooling_attack_protocol,
+)
+
+__all__ = [
+    "RingPlacement",
+    "BasicLeadCheaterStrategy",
+    "basic_cheat_protocol",
+    "RushingAdversary",
+    "equal_spacing_attack_protocol",
+    "equal_spacing_attack_protocol_unchecked",
+    "CubicAdversary",
+    "cubic_attack_protocol",
+    "RandomLocationAdversary",
+    "random_location_attack_protocol",
+    "recommended_probability",
+    "PartialSumAdversary",
+    "partial_sum_attack_protocol",
+    "PhaseRushingAdversary",
+    "phase_rushing_attack_protocol",
+    "PoolingAdversary",
+    "shamir_pooling_attack_protocol",
+]

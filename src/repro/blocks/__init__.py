@@ -1,0 +1,35 @@
+"""Afek et al.'s rational-agent building blocks on the ring.
+
+The paper (Section 1.1) credits Afek et al. [5] with re-organizing the
+A-LEADuni machinery into reusable building blocks — *wake-up* (see
+:mod:`repro.protocols.wakeup`) and *knowledge sharing* — and with
+applying them to Fair Consensus and Renaming. This package provides:
+
+- :mod:`repro.blocks.knowledge` — the buffered knowledge-sharing
+  sub-protocol generalized to arbitrary payloads (A-LEADuni's secret
+  sharing is the special case payload = random residue);
+- :mod:`repro.blocks.consensus` — fair consensus: all processors output
+  the input of a uniformly elected processor;
+- :mod:`repro.blocks.renaming` — order-preserving fair renaming: new
+  names are ring positions relative to a uniformly elected origin, so
+  each processor's new name is uniform over [n].
+"""
+
+from repro.blocks.knowledge import (
+    KnowledgeSharingStrategy,
+    knowledge_sharing_protocol,
+)
+from repro.blocks.consensus import (
+    FairConsensusStrategy,
+    fair_consensus_protocol,
+)
+from repro.blocks.renaming import FairRenamingStrategy, fair_renaming_protocol
+
+__all__ = [
+    "KnowledgeSharingStrategy",
+    "knowledge_sharing_protocol",
+    "FairConsensusStrategy",
+    "fair_consensus_protocol",
+    "FairRenamingStrategy",
+    "fair_renaming_protocol",
+]

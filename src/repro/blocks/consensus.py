@@ -1,0 +1,61 @@
+"""Fair consensus on the ring (Afek et al. [5]).
+
+Fair consensus asks every processor to output the *input* of a uniformly
+chosen processor — consensus whose decision value is fair among the
+participants. The construction composes the knowledge-sharing block with
+the A-LEADuni election rule: each processor contributes
+``(input, random residue)``; after sharing, the residues elect a uniform
+position and everyone outputs that position's input. Both components are
+protected by the same return-intact validation, so a deviation faces
+exactly the A-LEADuni attack surface (the paper's ring thresholds apply
+verbatim — the shared payload is just richer).
+"""
+
+from typing import Any, Callable, Dict, Hashable, List
+
+from repro.blocks.knowledge import KnowledgeSharingStrategy
+from repro.protocols.outcome import residue_to_id
+from repro.sim.strategy import Context, Strategy
+from repro.sim.topology import Topology
+from repro.util.errors import ConfigurationError
+from repro.util.modmath import mod_sum
+
+InputFn = Callable[[int], Any]
+
+
+class FairConsensusStrategy(KnowledgeSharingStrategy):
+    """Knowledge sharing specialized to fair consensus."""
+
+    def __init__(self, pid: int, n: int, input_value: Any):
+        self.input_value = input_value
+        super().__init__(
+            pid,
+            n,
+            payload_fn=self._payload,
+            finish_fn=self._finish,
+        )
+
+    def _payload(self, ctx: Context) -> Any:
+        return (self.input_value, ctx.rng.randrange(self.n))
+
+    def _finish(self, values: List[Any], ctx: Context) -> None:
+        for v in values:
+            if not (isinstance(v, tuple) and len(v) == 2):
+                ctx.abort("fair consensus: malformed payload")
+                return
+        residues = [int(v[1]) % self.n for v in values]
+        leader = residue_to_id(mod_sum(residues, self.n), self.n)
+        ctx.terminate(values[leader - 1][0])
+
+
+def fair_consensus_protocol(
+    topology: Topology, input_fn: InputFn
+) -> Dict[Hashable, Strategy]:
+    """Fair-consensus strategy vector; ``input_fn(pid)`` supplies inputs."""
+    n = len(topology)
+    if set(topology.nodes) != set(range(1, n + 1)):
+        raise ConfigurationError("fair consensus requires node ids 1..n")
+    return {
+        pid: FairConsensusStrategy(pid, n, input_fn(pid))
+        for pid in topology.nodes
+    }

@@ -1,0 +1,33 @@
+"""A-LEADuni recomposed from the knowledge-sharing block.
+
+Afek et al.'s observation (paper §1.1) is that A-LEADuni decomposes into
+reusable blocks: the buffered knowledge-sharing sub-protocol plus the
+sum-mod-n election rule on top. :func:`alead_via_blocks_protocol` is that
+composition; because the block draws its payload from the same per-
+processor RNG stream and moves it with the same buffering discipline,
+the composition is *message-for-message identical* to the monolithic
+`repro.protocols.alead_uni` on every seed — which
+``tests/test_decomposition.py`` asserts, validating both the block and
+the decomposition claim.
+"""
+
+from typing import Dict, Hashable, List
+
+from repro.blocks.knowledge import knowledge_sharing_protocol
+from repro.protocols.outcome import residue_to_id
+from repro.sim.strategy import Context, Strategy
+from repro.sim.topology import Topology
+from repro.util.modmath import mod_sum
+
+
+def alead_via_blocks_protocol(topology: Topology) -> Dict[Hashable, Strategy]:
+    """A-LEADuni expressed as knowledge-sharing + election finish."""
+    n = len(topology)
+
+    def payload_fn(ctx: Context) -> int:
+        return ctx.rng.randrange(n)
+
+    def finish_fn(values: List[int], ctx: Context) -> None:
+        ctx.terminate(residue_to_id(mod_sum(values, n), n))
+
+    return knowledge_sharing_protocol(topology, payload_fn, finish_fn)

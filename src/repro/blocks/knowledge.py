@@ -1,0 +1,117 @@
+"""The knowledge-sharing building block (Afek et al. [5]).
+
+A-LEADuni's secret-sharing sub-protocol, factored out and generalized:
+every processor contributes an arbitrary *payload*; after the protocol,
+every processor holds the full payload vector, attributed to ring
+positions, with the same one-round buffering that forces contributions to
+be committed before anything about the others is learned. Each processor
+validates that its own payload returned intact (abort otherwise), exactly
+like A-LEADuni's line-13 validation.
+
+The strategies take a ``payload_fn(ctx) -> payload`` so callers decide
+what is shared (a random residue for leader election, an input value for
+consensus, an id for renaming) and a ``finish_fn(values, ctx)`` deciding
+the output from the collected vector.
+"""
+
+from typing import Any, Callable, Dict, Hashable, List, Optional
+
+from repro.sim.strategy import Context, Strategy
+from repro.sim.topology import Topology
+from repro.util.errors import ConfigurationError
+
+PayloadFn = Callable[[Context], Any]
+FinishFn = Callable[[List[Any], Context], None]
+
+
+def _default_finish(values: List[Any], ctx: Context) -> None:
+    """Terminate with the collected vector itself (as a tuple)."""
+    ctx.terminate(tuple(values))
+
+
+class KnowledgeSharingStrategy(Strategy):
+    """One processor of the knowledge-sharing block.
+
+    Parameters
+    ----------
+    pid, n:
+        Ring position (1..n, position 1 is the origin) and ring size.
+    payload_fn:
+        Called once at wakeup to produce this processor's contribution.
+    finish_fn:
+        Called with the full vector ``values[0..n-1]`` (indexed by ring
+        position - 1) once sharing completes; must terminate the context.
+    """
+
+    def __init__(
+        self,
+        pid: int,
+        n: int,
+        payload_fn: PayloadFn,
+        finish_fn: Optional[FinishFn] = None,
+    ):
+        self.pid = pid
+        self.n = n
+        self.payload_fn = payload_fn
+        self.finish_fn = finish_fn if finish_fn is not None else _default_finish
+        self.payload: Any = None
+        self.buffer: Any = None
+        self.rounds = 0
+        self.received: List[Any] = []
+
+    @property
+    def is_origin(self) -> bool:
+        return self.pid == 1
+
+    def on_wakeup(self, ctx: Context) -> None:
+        self.payload = self.payload_fn(ctx)
+        if self.is_origin:
+            ctx.send_next(self.payload)
+        else:
+            self.buffer = self.payload
+
+    def on_receive(self, ctx: Context, value: Any, sender: Hashable) -> None:
+        self.rounds += 1
+        if self.is_origin:
+            # Pipe: forward the first n-1, validate the n-th.
+            self.received.append(value)
+            if self.rounds < self.n:
+                ctx.send_next(value)
+                return
+        else:
+            ctx.send_next(self.buffer)
+            self.buffer = value
+            self.received.append(value)
+            if self.rounds < self.n:
+                return
+        if value != self.payload:
+            ctx.abort("knowledge sharing: own payload did not return")
+            return
+        self.finish_fn(self._attributed(), ctx)
+
+    def _attributed(self) -> List[Any]:
+        """Collected payloads re-indexed by ring position (1..n → 0..n-1).
+
+        Processor ``p``'s round-``r`` incoming payload originates at ring
+        position ``p - r mod n`` (same arithmetic as A-LEADuni).
+        """
+        values: List[Any] = [None] * self.n
+        for r, value in enumerate(self.received, start=1):
+            idx = (self.pid - r) % self.n
+            values[idx - 1 if idx != 0 else self.n - 1] = value
+        return values
+
+
+def knowledge_sharing_protocol(
+    topology: Topology,
+    payload_fn: PayloadFn,
+    finish_fn: Optional[FinishFn] = None,
+) -> Dict[Hashable, Strategy]:
+    """Knowledge-sharing strategy vector for a unidirectional ring 1..n."""
+    n = len(topology)
+    if set(topology.nodes) != set(range(1, n + 1)):
+        raise ConfigurationError("knowledge sharing requires node ids 1..n")
+    return {
+        pid: KnowledgeSharingStrategy(pid, n, payload_fn, finish_fn)
+        for pid in topology.nodes
+    }

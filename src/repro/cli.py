@@ -1,0 +1,233 @@
+"""Command-line interface: run protocols, attacks, and measurements.
+
+Examples::
+
+    python -m repro run --protocol phase-async --n 64 --seed 3
+    python -m repro attack --name cubic --n 111 --k 6 --target 42
+    python -m repro bias --protocol alead-uni --n 8 --trials 500
+    python -m repro certificate --graph ring --n 12
+
+Everything printed is derived from the same public API the examples and
+benches use; the CLI exists so downstream users can poke the system
+without writing a script.
+"""
+
+import argparse
+import math
+import sys
+from typing import Optional
+
+from repro.analysis.bias import empirical_bias
+from repro.analysis.distribution import (
+    chi_square_uniformity,
+    estimate_distribution,
+)
+from repro.attacks import (
+    RingPlacement,
+    basic_cheat_protocol,
+    cubic_attack_protocol,
+    equal_spacing_attack_protocol,
+    partial_sum_attack_protocol,
+    phase_rushing_attack_protocol,
+    shamir_pooling_attack_protocol,
+)
+from repro.protocols import (
+    alead_uni_protocol,
+    async_complete_protocol,
+    basic_lead_protocol,
+    default_threshold,
+    phase_async_protocol,
+)
+from repro.sim.execution import run_protocol
+from repro.sim.topology import complete_graph, unidirectional_ring
+from repro.trees import impossibility_certificate
+
+PROTOCOLS = {
+    "basic-lead": (basic_lead_protocol, "ring"),
+    "alead-uni": (alead_uni_protocol, "ring"),
+    "phase-async": (phase_async_protocol, "ring"),
+    "async-complete": (async_complete_protocol, "complete"),
+}
+
+
+def _topology(kind: str, n: int):
+    return unidirectional_ring(n) if kind == "ring" else complete_graph(n)
+
+
+def _cmd_run(args) -> int:
+    maker, kind = PROTOCOLS[args.protocol]
+    topo = _topology(kind, args.n)
+    result = run_protocol(topo, maker(topo), seed=args.seed)
+    print(f"protocol : {args.protocol} (n={args.n}, seed={args.seed})")
+    print(f"outcome  : {result.outcome}")
+    print(f"steps    : {result.steps}")
+    if result.failed:
+        print(f"reason   : {result.fail_reason}")
+    return 0 if not result.failed else 1
+
+
+def _build_attack(args):
+    n, k, target = args.n, args.k, args.target
+    if args.name == "basic-cheat":
+        topo = unidirectional_ring(n)
+        return topo, basic_cheat_protocol(topo, cheater=2, target=target)
+    if args.name == "rushing":
+        topo = unidirectional_ring(n)
+        kk = k if k else math.isqrt(n)
+        pl = RingPlacement.equal_spacing(n, kk)
+        return topo, equal_spacing_attack_protocol(topo, pl, target)
+    if args.name == "cubic":
+        topo = unidirectional_ring(n)
+        kk = k if k else max(3, round(2 * n ** (1 / 3)))
+        pl = RingPlacement.cubic(n, kk)
+        return topo, cubic_attack_protocol(topo, pl, target)
+    if args.name == "partial-sum":
+        topo = unidirectional_ring(n)
+        return topo, partial_sum_attack_protocol(topo, k if k else 4, target)
+    if args.name == "phase-rushing":
+        topo = unidirectional_ring(n)
+        kk = k if k else math.isqrt(n) + 3
+        return topo, phase_rushing_attack_protocol(topo, kk, target)
+    if args.name == "shamir-pool":
+        topo = complete_graph(n)
+        kk = k if k else default_threshold(n)
+        coalition = list(range(2, 2 + kk))
+        return topo, shamir_pooling_attack_protocol(topo, coalition, target)
+    raise SystemExit(f"unknown attack {args.name!r}")
+
+
+def _cmd_attack(args) -> int:
+    topo, protocol = _build_attack(args)
+    result = run_protocol(topo, protocol, seed=args.seed)
+    forced = result.outcome == args.target
+    print(f"attack   : {args.name} (n={args.n}, target={args.target})")
+    print(f"outcome  : {result.outcome} ({'FORCED' if forced else 'not forced'})")
+    if result.failed:
+        print(f"reason   : {result.fail_reason}")
+    return 0 if forced else 1
+
+
+def _cmd_bias(args) -> int:
+    maker, kind = PROTOCOLS[args.protocol]
+    topo = _topology(kind, args.n)
+    dist = estimate_distribution(topo, maker, trials=args.trials, base_seed=args.seed)
+    report = empirical_bias(topo, maker, args.trials, distribution=dist)
+    print(f"protocol : {args.protocol} (n={args.n}, {args.trials} trials)")
+    print(f"fail rate: {report.fail_rate:.4f}")
+    print(f"max Pr   : {report.max_probability:.4f} (1/n = {1/args.n:.4f})")
+    print(f"epsilon  : {report.epsilon:.4f}")
+    print(f"chi2 p   : {chi_square_uniformity(dist):.4f}")
+    return 0
+
+
+def _cmd_certificate(args) -> int:
+    n = args.n
+    if args.graph == "ring":
+        nodes = list(range(1, n + 1))
+        edges = [(i, i % n + 1) for i in nodes]
+    elif args.graph == "complete":
+        nodes = list(range(1, n + 1))
+        edges = [(u, v) for u in nodes for v in nodes if u < v]
+    else:
+        raise SystemExit(f"unknown graph {args.graph!r}")
+    cert = impossibility_certificate(nodes, edges)
+    print(cert["statement"])
+    print(f"parts    : {cert['parts']}")
+    return 0
+
+
+def _cmd_frontier(args) -> int:
+    from repro.analysis.frontier import forcing_frontier
+
+    for point in forcing_frontier(args.sizes, seeds=1):
+        print(
+            f"n={point.n:<5} smallest forcing k={point.k_min:<3} "
+            f"({point.family}); proven gap "
+            f"[n^(1/4)={point.lower_bound:.1f}, "
+            f"2n^(1/3)={point.upper_bound:.1f}], "
+            f"conjecture n^(1/3)={point.conjecture:.1f}"
+        )
+    return 0
+
+
+def _cmd_fuzz(args) -> int:
+    from repro.testing.fuzz import deviation_search
+
+    report = deviation_search(
+        args.n, args.k, samples=args.samples, master_seed=args.seed
+    )
+    print(f"sampled deviations : {report.samples} (n={args.n}, k={args.k})")
+    print(f"punished (FAIL)    : {report.punished} "
+          f"({report.punishment_rate:.0%})")
+    print(f"max outcome rate   : {report.max_outcome_rate:.3f} "
+          f"(attack-level forcing would be ~1.0)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Fair leader election for rational agents — reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("run", help="run a protocol honestly")
+    p.add_argument("--protocol", choices=sorted(PROTOCOLS), required=True)
+    p.add_argument("--n", type=int, default=16)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_run)
+
+    p = sub.add_parser("attack", help="run an adversarial deviation")
+    p.add_argument(
+        "--name",
+        choices=[
+            "basic-cheat", "rushing", "cubic", "partial-sum",
+            "phase-rushing", "shamir-pool",
+        ],
+        required=True,
+    )
+    p.add_argument("--n", type=int, default=64)
+    p.add_argument("--k", type=int, default=None)
+    p.add_argument("--target", type=int, default=1)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_attack)
+
+    p = sub.add_parser("bias", help="estimate a protocol's bias")
+    p.add_argument("--protocol", choices=sorted(PROTOCOLS), required=True)
+    p.add_argument("--n", type=int, default=8)
+    p.add_argument("--trials", type=int, default=400)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_bias)
+
+    p = sub.add_parser(
+        "certificate", help="Theorem 7.2 impossibility certificate"
+    )
+    p.add_argument("--graph", choices=["ring", "complete"], default="ring")
+    p.add_argument("--n", type=int, default=12)
+    p.set_defaults(func=_cmd_certificate)
+
+    p = sub.add_parser(
+        "frontier",
+        help="Conjecture 4.7: smallest forcing coalition per ring size",
+    )
+    p.add_argument("--sizes", type=int, nargs="+", default=[64, 144, 256])
+    p.set_defaults(func=_cmd_frontier)
+
+    p = sub.add_parser(
+        "fuzz", help="random-deviation search against A-LEADuni (Thm 5.1)"
+    )
+    p.add_argument("--n", type=int, default=25)
+    p.add_argument("--k", type=int, default=3)
+    p.add_argument("--samples", type=int, default=100)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_fuzz)
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,23 @@
+"""Section 8: Fair Leader Election ⇔ Fair Coin Toss reductions."""
+
+from repro.cointoss.reductions import (
+    coin_toss_from_leader_election,
+    leader_election_from_coin_toss,
+    coin_bias_bound_from_fle,
+    fle_bias_bound_from_coin,
+)
+from repro.cointoss.protocols import (
+    CoinTossRunner,
+    fle_coin_toss_runner,
+    independent_coin_fle,
+)
+
+__all__ = [
+    "coin_toss_from_leader_election",
+    "leader_election_from_coin_toss",
+    "coin_bias_bound_from_fle",
+    "fle_bias_bound_from_coin",
+    "CoinTossRunner",
+    "fle_coin_toss_runner",
+    "independent_coin_fle",
+]

@@ -1,0 +1,72 @@
+"""Executable coin-toss protocols built from the Section 8 reductions.
+
+A :class:`CoinTossRunner` wraps a ring-protocol factory so experiments can
+toss coins (single or repeated-independent) and measure bias propagation:
+
+- :func:`fle_coin_toss_runner` — coin toss implemented by one FLE run
+  (leader id mod 2);
+- :func:`independent_coin_fle` — FLE over ``n = 2^r`` implemented by ``r``
+  independent coin tosses, each itself backed by an FLE run (the paper's
+  independence assumption is realized by fresh randomness per round).
+"""
+
+from typing import Callable, Dict, Hashable, List
+
+from repro.cointoss.reductions import (
+    coin_toss_from_leader_election,
+    leader_election_from_coin_toss,
+)
+from repro.sim.execution import FAIL, run_protocol
+from repro.sim.topology import Topology
+from repro.util.rng import RngRegistry
+
+ProtocolFactory = Callable[[Topology], Dict[Hashable, object]]
+
+
+class CoinTossRunner:
+    """Runs a ring protocol and maps its outcome to a coin result.
+
+    Parameters
+    ----------
+    topology, factory:
+        The underlying FLE protocol (honest or adversarial — bias
+        propagation experiments pass attack factories here).
+    """
+
+    def __init__(self, topology: Topology, factory: ProtocolFactory):
+        self.topology = topology
+        self.factory = factory
+
+    def toss(self, rng: RngRegistry):
+        """One coin toss; returns 0, 1, or ``FAIL``."""
+        result = run_protocol(self.topology, self.factory(self.topology), rng=rng)
+        return coin_toss_from_leader_election(result.outcome, len(self.topology))
+
+
+def fle_coin_toss_runner(
+    topology: Topology, factory: ProtocolFactory
+) -> CoinTossRunner:
+    """Coin toss from a leader election (first direction of Thm 8.1)."""
+    return CoinTossRunner(topology, factory)
+
+
+def independent_coin_fle(
+    topology: Topology,
+    factory: ProtocolFactory,
+    n_leader: int,
+    rng: RngRegistry,
+):
+    """FLE over ``1..n_leader`` from ``log2(n_leader)`` independent tosses.
+
+    Each toss runs the ring protocol with an independently derived RNG
+    (the paper's independent-instances assumption). Returns the elected id
+    or ``FAIL``.
+    """
+    import math
+
+    rounds = int(math.log2(n_leader))
+    runner = CoinTossRunner(topology, factory)
+    bits: List[int] = []
+    for r in range(rounds):
+        bits.append(runner.toss(rng.spawn(f"coin-round:{r}")))
+    return leader_election_from_coin_toss(bits, n_leader)

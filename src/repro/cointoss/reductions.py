@@ -1,0 +1,72 @@
+"""The two reductions of Theorem 8.1 and their bias-propagation bounds.
+
+- **FLE → coin toss**: elect a leader, output its id mod 2. An
+  ``ε``-unbiased FLE yields a ``(n/2)·ε``-unbiased coin.
+- **coin toss → FLE**: run ``log2(n)`` *independent* coin tosses and
+  elect the processor whose (1-based) id minus one has that bit pattern.
+  ``ε``-unbiased coins yield a ``(1/2+ε)^log2(n) - 1/n``-unbiased FLE.
+
+The functions here are the outcome-space maps plus the paper's bias
+bounds; :mod:`repro.cointoss.protocols` wires them to actual protocol
+executions.
+"""
+
+import math
+from typing import List, Sequence
+
+from repro.sim.execution import FAIL
+from repro.util.errors import ConfigurationError
+
+
+def coin_toss_from_leader_election(outcome, n: int):
+    """Map an FLE outcome to a coin outcome (id mod 2), FAIL passes through."""
+    if outcome == FAIL:
+        return FAIL
+    if not isinstance(outcome, int) or not 1 <= outcome <= n:
+        raise ConfigurationError(f"invalid FLE outcome {outcome!r}")
+    return outcome % 2
+
+
+def leader_election_from_coin_toss(bits: Sequence[int], n: int):
+    """Map ``log2(n)`` coin outcomes to an elected id; FAIL if any failed.
+
+    Bits are most-significant first; the elected id is the encoded value
+    plus one, so a uniform bit vector elects uniformly over ``1..n``.
+    """
+    rounds = _log2_exact(n)
+    if len(bits) != rounds:
+        raise ConfigurationError(
+            f"need exactly {rounds} coin results for n={n}, got {len(bits)}"
+        )
+    value = 0
+    for b in bits:
+        if b == FAIL:
+            return FAIL
+        if b not in (0, 1):
+            raise ConfigurationError(f"invalid coin outcome {b!r}")
+        value = (value << 1) | b
+    return value + 1
+
+
+def coin_bias_bound_from_fle(n: int, epsilon: float) -> float:
+    """Theorem 8.1: coin bias from an ``ε``-unbiased FLE is ``(n/2)·ε``."""
+    return 0.5 * n * epsilon
+
+
+def fle_bias_bound_from_coin(n: int, epsilon: float) -> float:
+    """Theorem 8.1: FLE bias from ``ε``-unbiased coins.
+
+    ``Pr[leader = j] ≤ (1/2 + ε)^log2(n)``; we report the excess over
+    ``1/n``.
+    """
+    rounds = _log2_exact(n)
+    return (0.5 + epsilon) ** rounds - 1.0 / n
+
+
+def _log2_exact(n: int) -> int:
+    rounds = int(math.log2(n))
+    if 2**rounds != n:
+        raise ConfigurationError(
+            f"coin-toss → FLE reduction needs n a power of two, got {n}"
+        )
+    return rounds

@@ -1,0 +1,42 @@
+"""The full-information (perfect-information) coin-flipping model.
+
+Section 1.1 traces the paper's lineage to the Ben-Or–Linial model: players
+broadcast in turn, everyone sees everything, and a coalition may choose
+its broadcasts *after* seeing all earlier ones. The paper's random output
+function is explicitly "inspired by [Alon-Naor]" from this line. This
+package implements the model and its classic protocols as comparators:
+
+- :mod:`repro.fullinfo.boolean` — one-round games defined by boolean
+  functions (parity, majority, tribes) and exact/sampled coalition
+  influence;
+- :mod:`repro.fullinfo.games` — sequential broadcast games with
+  optimally-playing coalitions (backward induction over the remaining
+  randomness);
+- :mod:`repro.fullinfo.baton` — Saks' *pass the baton* leader election,
+  resilient to O(n / log n) coalitions.
+"""
+
+from repro.fullinfo.boolean import (
+    parity_function,
+    majority_function,
+    tribes_function,
+    coalition_influence,
+    best_coalition_influence,
+)
+from repro.fullinfo.games import SequentialCoinGame, optimal_coalition_bias
+from repro.fullinfo.baton import (
+    pass_the_baton,
+    baton_survival_probability,
+)
+
+__all__ = [
+    "parity_function",
+    "majority_function",
+    "tribes_function",
+    "coalition_influence",
+    "best_coalition_influence",
+    "SequentialCoinGame",
+    "optimal_coalition_bias",
+    "pass_the_baton",
+    "baton_survival_probability",
+]

@@ -1,0 +1,79 @@
+"""Saks' *pass the baton* leader election in the full-information model.
+
+The protocol the paper cites as the early fair-leader-election benchmark
+(resilient to coalitions of size ``O(n / log n)``): the baton starts at
+some player; whoever holds it passes it to a player chosen uniformly from
+those who have never held it; after ``n - 1`` passes the last receiver is
+the leader (equivalently: the holder "eliminates" itself each step —
+several equivalent formulations exist; we use the uniform-pass one).
+
+The leader is the *last* player to receive the baton, so a coalition
+holder deviates by passing to an honest un-held player whenever one
+exists — burning honest players while keeping coalition members
+available for the final passes. (Members are "spent" only when an honest
+holder happens to pick them.) Honest play elects uniformly; under the
+greedy deviation the coalition's win probability exceeds ``k/n``
+increasingly with ``k``, staying negligible only for
+``k = O(n / log n)`` — the resilience bound the paper quotes for Saks'
+protocol.
+"""
+
+import random
+from typing import Iterable, List, Optional, Sequence, Set
+
+from repro.util.errors import ConfigurationError
+
+
+def pass_the_baton(
+    n: int,
+    coalition: Iterable[int] = (),
+    rng: Optional[random.Random] = None,
+    start: Optional[int] = None,
+) -> int:
+    """Play one baton game; returns the elected player (0-based).
+
+    Honest holders pass uniformly among the never-held. Coalition holders
+    deviate greedily: they pass to an *honest* un-held player when one
+    exists (preserving coalition members for the endgame), else they are
+    forced to pass among the remaining members. The last player to
+    receive the baton is the leader.
+    """
+    if n < 1:
+        raise ConfigurationError("need at least one player")
+    rng = rng if rng is not None else random.Random(0)
+    coalition_set: Set[int] = set(coalition)
+    if any(not 0 <= c < n for c in coalition_set):
+        raise ConfigurationError("coalition indices out of range")
+    holder = start if start is not None else rng.randrange(n)
+    held = {holder}
+    while len(held) < n:
+        candidates = [p for p in range(n) if p not in held]
+        if holder in coalition_set:
+            outsiders = [p for p in candidates if p not in coalition_set]
+            nxt = rng.choice(outsiders) if outsiders else rng.choice(candidates)
+        else:
+            nxt = rng.choice(candidates)
+        held.add(nxt)
+        holder = nxt
+    return holder
+
+
+def baton_survival_probability(
+    n: int,
+    coalition: Sequence[int],
+    trials: int,
+    seed: int = 0,
+) -> float:
+    """Monte-Carlo ``Pr[leader ∈ coalition]`` under the deviation.
+
+    Honest play gives ``k/n``; the deviation's excess over that is the
+    coalition's bias, which grows past any ε once ``k`` exceeds
+    ``Θ(n / log n)`` — the shape experiment E11 traces.
+    """
+    coalition = list(coalition)
+    wins = 0
+    for t in range(trials):
+        rng = random.Random((seed << 20) + t)
+        leader = pass_the_baton(n, coalition, rng=rng)
+        wins += leader in set(coalition)
+    return wins / trials

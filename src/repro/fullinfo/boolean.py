@@ -1,0 +1,136 @@
+"""One-round full-information coin games as boolean functions.
+
+Ben-Or and Linial [10] study collective coin flipping where each of ``n``
+players contributes one bit and the outcome is ``f(x_1..x_n)``. A
+coalition ``S`` that sees the honest bits first (the asynchronous
+worst case) drives the outcome to its preferred value whenever the
+restriction of ``f`` to the honest assignment is non-constant over the
+coalition's coordinates. The *influence* ``I_S(f)`` — the probability,
+over uniform honest bits, that the coalition controls the outcome — is
+the model's resilience measure:
+
+- parity: a single player has influence 1 (the paper's Basic-LEAD analogue);
+- majority: ``I_S ≈ Θ(k/√n)`` for ``|S| = k``;
+- tribes: each log-sized tribe has constant influence (the
+  Ben-Or–Linial lower-bound witness).
+"""
+
+import itertools
+import math
+import random
+from typing import Callable, Iterable, List, Sequence, Tuple
+
+from repro.util.errors import ConfigurationError
+
+BoolFn = Callable[[Sequence[int]], int]
+
+
+def parity_function(n: int) -> BoolFn:
+    """XOR of all bits — maximally non-resilient (one player controls)."""
+
+    def f(bits: Sequence[int]) -> int:
+        return sum(bits) % 2
+
+    f.arity = n
+    f.name = f"parity({n})"
+    return f
+
+
+def majority_function(n: int) -> BoolFn:
+    """Majority of ``n`` (odd) bits — the classic Θ(√n)-resilient coin."""
+    if n % 2 == 0:
+        raise ConfigurationError("majority needs an odd number of players")
+
+    def f(bits: Sequence[int]) -> int:
+        return 1 if sum(bits) * 2 > len(bits) else 0
+
+    f.arity = n
+    f.name = f"majority({n})"
+    return f
+
+
+def tribes_function(tribe_size: int, tribes: int) -> BoolFn:
+    """OR of ANDs over disjoint tribes (Ben-Or–Linial).
+
+    With ``tribe_size ≈ log2(tribes)`` the function is near-balanced and
+    any single tribe (a coalition of ``tribe_size`` players) has constant
+    influence toward 1 — the witness that ``O(n/log n)`` resilience is
+    the best a one-round game can do.
+    """
+    n = tribe_size * tribes
+
+    def f(bits: Sequence[int]) -> int:
+        for t in range(tribes):
+            chunk = bits[t * tribe_size : (t + 1) * tribe_size]
+            if all(chunk):
+                return 1
+        return 0
+
+    f.arity = n
+    f.name = f"tribes({tribe_size}x{tribes})"
+    return f
+
+
+def coalition_influence(
+    f: BoolFn,
+    coalition: Iterable[int],
+    samples: int = 0,
+    rng: random.Random = None,
+) -> float:
+    """``I_S(f)``: Pr over honest bits that ``S`` controls the outcome.
+
+    The coalition controls the outcome on an honest assignment when it
+    can complete the bit vector to evaluate to 0 *and* to 1. Exact
+    enumeration for small honest sets; pass ``samples > 0`` for Monte
+    Carlo at larger arities.
+    """
+    n = f.arity
+    coalition = sorted(set(coalition))
+    if any(not 0 <= i < n for i in coalition):
+        raise ConfigurationError("coalition indices out of range")
+    honest = [i for i in range(n) if i not in set(coalition)]
+    k = len(coalition)
+
+    def controls(honest_bits: Tuple[int, ...]) -> bool:
+        seen = set()
+        for combo in itertools.product((0, 1), repeat=k):
+            bits = [0] * n
+            for idx, b in zip(honest, honest_bits):
+                bits[idx] = b
+            for idx, b in zip(coalition, combo):
+                bits[idx] = b
+            seen.add(f(bits))
+            if len(seen) == 2:
+                return True
+        return False
+
+    if samples <= 0:
+        total = controlled = 0
+        for honest_bits in itertools.product((0, 1), repeat=len(honest)):
+            total += 1
+            controlled += controls(honest_bits)
+        return controlled / total if total else 1.0
+    rng = rng if rng is not None else random.Random(0)
+    controlled = 0
+    for _ in range(samples):
+        honest_bits = tuple(rng.randrange(2) for _ in honest)
+        controlled += controls(honest_bits)
+    return controlled / samples
+
+
+def best_coalition_influence(
+    f: BoolFn, k: int, samples: int = 0, rng: random.Random = None
+) -> Tuple[float, Tuple[int, ...]]:
+    """Max influence over all coalitions of size ``k`` (exhaustive).
+
+    Only sensible for small arities; returns (influence, coalition).
+    """
+    n = f.arity
+    best = (0.0, tuple(range(k)))
+    for coalition in itertools.combinations(range(n), k):
+        inf = coalition_influence(f, coalition, samples=samples, rng=rng)
+        if inf > best[0]:
+            best = (inf, coalition)
+        if best[0] >= 1.0:
+            break
+    return best

@@ -1,0 +1,150 @@
+"""The asynchronous complete-network baseline: FLE via Shamir sharing.
+
+Section 1.1 (citing Abraham et al. [4]): on an asynchronous *fully
+connected* network, applying Shamir's secret sharing directly yields an
+optimally resilient FLE — resilient to every coalition of size
+``k ≤ ⌈n/2⌉ - 1``.
+
+Protocol (threshold ``T = ⌈n/2⌉``):
+
+1. **Share**: each processor draws ``d_i``, splits it into ``n`` shares
+   of a degree-``T-1`` polynomial and sends share ``j`` to processor
+   ``j``. Once ``T`` shares are out, ``d_i`` is information-theoretically
+   committed.
+2. **Reveal**: upon holding a share of *every* secret, a processor
+   broadcasts its share vector.
+3. **Reconstruct**: upon receiving all reveal vectors, reconstruct every
+   ``d_i`` from its ``n`` shares, *validate* that all ``n`` lie on one
+   degree-``T-1`` polynomial (tampered reveals are caught here), check
+   one's own secret reconstructs intact, and elect ``Σ d_i mod n``.
+
+A coalition of ``k < T`` holds ``k`` shares of each honest secret when it
+must commit its own — information-theoretically nothing — which is the
+resilience; ``k ≥ T`` breaks it by pooling (see
+:mod:`repro.attacks.shamir_pool`).
+"""
+
+import math
+from typing import Any, Dict, Hashable, List, Tuple
+
+from repro.protocols.outcome import residue_to_id
+from repro.secretshare.shamir import ShamirScheme, Share
+from repro.sim.strategy import Context, Strategy
+from repro.sim.topology import Topology
+from repro.util.errors import ConfigurationError
+from repro.util.modmath import mod_sum
+
+#: Message tags.
+SHARE = "share"  # ("share", owner_id, Share)
+REVEAL = "reveal"  # ("reveal", ((owner_id, Share), ...))
+
+
+def default_threshold(n: int) -> int:
+    """The optimal-resilience reconstruction threshold ``⌈n/2⌉``."""
+    return math.ceil(n / 2)
+
+
+class AsyncCompleteLeadStrategy(Strategy):
+    """Honest processor of the Shamir complete-network baseline."""
+
+    def __init__(self, pid: int, n: int, scheme: ShamirScheme):
+        self.pid = pid
+        self.n = n
+        self.scheme = scheme
+        self.secret: int = None
+        # Share of each owner's secret held by *this* processor.
+        self.my_shares: Dict[int, Share] = {}
+        # owner -> {evaluation point x -> Share} gathered from reveals.
+        self.collected: Dict[int, Dict[int, Share]] = {}
+        self.reveals_seen = 0
+        self.revealed = False
+
+    def on_wakeup(self, ctx: Context) -> None:
+        self.secret = ctx.rng.randrange(self.n)
+        shares = self.scheme.share(self.secret, ctx.rng)
+        for j, share in zip(range(1, self.n + 1), shares):
+            if j == self.pid:
+                self.my_shares[self.pid] = share
+            else:
+                ctx.send(j, (SHARE, self.pid, share))
+
+    def on_receive(self, ctx: Context, value: Any, sender: Hashable) -> None:
+        if not (isinstance(value, tuple) and len(value) >= 2):
+            ctx.abort("malformed message")
+            return
+        tag = value[0]
+        if tag == SHARE:
+            self._on_share(ctx, value, sender)
+        elif tag == REVEAL:
+            self._on_reveal(ctx, value, sender)
+        else:
+            ctx.abort(f"unknown message tag {tag!r}")
+
+    def _on_share(self, ctx: Context, value: Tuple, sender: Hashable) -> None:
+        _, owner, share = value
+        if owner != sender or owner in self.my_shares:
+            ctx.abort("share message from wrong owner or duplicate")
+            return
+        if not isinstance(share, Share) or share.x != self.pid:
+            ctx.abort("share not addressed to this processor")
+            return
+        self.my_shares[owner] = share
+        if len(self.my_shares) == self.n and not self.revealed:
+            self.revealed = True
+            vector = tuple(sorted(self.my_shares.items()))
+            for j in range(1, self.n + 1):
+                if j != self.pid:
+                    ctx.send(j, (REVEAL, vector))
+            self._absorb_vector(vector)
+            self._maybe_finish(ctx)
+
+    def _on_reveal(self, ctx: Context, value: Tuple, sender: Hashable) -> None:
+        _, vector = value
+        if len(vector) != self.n:
+            ctx.abort("reveal vector has wrong arity")
+            return
+        self.reveals_seen += 1
+        self._absorb_vector(vector)
+        self._maybe_finish(ctx)
+
+    def _absorb_vector(self, vector) -> None:
+        for owner, share in vector:
+            self.collected.setdefault(owner, {})[share.x] = share
+
+    def _maybe_finish(self, ctx: Context) -> None:
+        # Own vector + n-1 reveals = shares from all n evaluation points.
+        if not self.revealed or self.reveals_seen < self.n - 1:
+            return
+        values: List[int] = []
+        for owner in range(1, self.n + 1):
+            shares = list(self.collected.get(owner, {}).values())
+            if len(shares) != self.n:
+                ctx.abort(f"missing shares for secret of {owner}")
+                return
+            if not self.scheme.consistent(shares):
+                ctx.abort(f"inconsistent sharing for {owner}: tampering")
+                return
+            values.append(self.scheme.reconstruct(shares))
+        if values[self.pid - 1] != self.secret:
+            ctx.abort("own secret reconstructed incorrectly")
+            return
+        ctx.terminate(residue_to_id(mod_sum(values, self.n), self.n))
+
+
+def async_complete_protocol(
+    topology: Topology, threshold: int = None
+) -> Dict[Hashable, Strategy]:
+    """Honest strategy vector for the Shamir complete-network baseline."""
+    n = len(topology)
+    if set(topology.nodes) != set(range(1, n + 1)):
+        raise ConfigurationError("baseline requires node ids 1..n")
+    for pid in topology.nodes:
+        if len(set(topology.successors(pid))) != n - 1:
+            raise ConfigurationError("baseline requires a complete topology")
+    if threshold is None:
+        threshold = default_threshold(n)
+    scheme = ShamirScheme(n, threshold, modulus=n)
+    return {
+        pid: AsyncCompleteLeadStrategy(pid, n, scheme)
+        for pid in topology.nodes
+    }

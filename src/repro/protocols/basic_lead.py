@@ -1,0 +1,50 @@
+"""Basic-LEAD: the non-resilient baseline protocol (Appendix B).
+
+Every processor draws a secret residue ``d_i``, broadcasts it around the
+ring by forwarding, sums everything it receives, and elects
+``residue_to_id(sum mod n)``. Each processor validates that its own value
+returns as its n-th incoming message. Honest executions elect uniformly;
+a *single* adversary that waits for ``n-1`` values before choosing its own
+controls the outcome completely (Claim B.1 — see
+:mod:`repro.attacks.basic_cheat`).
+"""
+
+from typing import Any, Dict, Hashable
+
+from repro.protocols.outcome import residue_to_id
+from repro.sim.strategy import Context, Strategy
+from repro.sim.topology import Topology
+from repro.util.modmath import canonical_mod
+
+
+class BasicLeadStrategy(Strategy):
+    """Honest Basic-LEAD processor (symmetric; all wake spontaneously)."""
+
+    def __init__(self, n: int):
+        self.n = n
+        self.secret: int = None
+        self.rounds = 0
+        self.total = 0
+
+    def on_wakeup(self, ctx: Context) -> None:
+        self.secret = ctx.rng.randrange(self.n)
+        ctx.send_next(self.secret)
+
+    def on_receive(self, ctx: Context, value: Any, sender: Hashable) -> None:
+        value = canonical_mod(int(value), self.n)
+        self.rounds += 1
+        self.total = canonical_mod(self.total + value, self.n)
+        if self.rounds < self.n:
+            ctx.send_next(value)
+        else:
+            # n-th incoming must be our own secret coming full circle.
+            if value == self.secret:
+                ctx.terminate(residue_to_id(self.total, self.n))
+            else:
+                ctx.abort("basic-lead: own secret did not return")
+
+
+def basic_lead_protocol(topology: Topology) -> Dict[Hashable, Strategy]:
+    """Honest Basic-LEAD strategy vector for a unidirectional ring."""
+    n = len(topology)
+    return {pid: BasicLeadStrategy(n) for pid in topology.nodes}

@@ -1,0 +1,102 @@
+"""Appendix G: PhaseAsyncLead for non-consecutively-indexed rings.
+
+The core protocol (Section 6) assumes processors ``1..n`` in ring order,
+because processor ``r`` is round ``r``'s validator. Appendix G removes
+the assumption with an *indexing phase*: the designated origin sends a
+counter ``1``; each processor takes ``counter + 1`` as its index and
+forwards the incremented counter; when the counter returns (value ``n``)
+the origin starts the main protocol. Validator duty then follows the
+learned index, not the id.
+
+Implementation: a wrapper strategy that runs the indexing phase and then
+delegates verbatim to the Section 6 strategies with ``pid := index``.
+Messages are framed ``("IDX", c)`` during indexing and the usual
+``("D"/"V", v)`` afterwards; framing violations are punished by abort.
+"""
+
+from typing import Any, Dict, Hashable, Optional
+
+from repro.protocols.phase_async import (
+    PhaseAsyncParams,
+    PhaseNormalStrategy,
+    PhaseOriginStrategy,
+)
+from repro.sim.strategy import Context, Strategy
+from repro.sim.topology import Topology
+from repro.util.errors import ConfigurationError
+
+#: Indexing-phase message tag.
+INDEX = "IDX"
+
+
+class IndexedPhaseStrategy(Strategy):
+    """Indexing-phase wrapper around the Section 6 strategies."""
+
+    def __init__(self, is_origin: bool, params: PhaseAsyncParams):
+        self.is_origin = is_origin
+        self.params = params
+        self.index: Optional[int] = None
+        self.inner: Optional[Strategy] = None
+
+    def on_wakeup(self, ctx: Context) -> None:
+        if self.is_origin:
+            self.index = 1
+            ctx.send_next((INDEX, 1))
+
+    def on_receive(self, ctx: Context, value: Any, sender: Hashable) -> None:
+        if self.inner is not None:
+            self.inner.on_receive(ctx, value, sender)
+            return
+        if not (isinstance(value, tuple) and len(value) == 2 and value[0] == INDEX):
+            ctx.abort("expected indexing message before the main protocol")
+            return
+        counter = value[1]
+        if self.is_origin:
+            # The counter came full circle carrying n; start the protocol.
+            if counter != self.params.n:
+                ctx.abort(
+                    f"indexing counter returned {counter}, expected "
+                    f"{self.params.n}"
+                )
+                return
+            self.inner = PhaseOriginStrategy(1, self.params)
+            self.inner.on_wakeup(ctx)
+            return
+        if self.index is not None:
+            ctx.abort("duplicate indexing message")
+            return
+        self.index = counter + 1
+        ctx.send_next((INDEX, self.index))
+        self.inner = PhaseNormalStrategy(self.index, self.params)
+        # The normal strategy's wakeup only draws its secret and primes
+        # the buffer — safe to run now that the index is known.
+        self.inner.on_wakeup(ctx)
+
+
+def indexed_phase_async_protocol(
+    topology: Topology,
+    origin: Hashable,
+    params: Optional[PhaseAsyncParams] = None,
+) -> Dict[Hashable, Strategy]:
+    """PhaseAsyncLead on a unidirectional ring with arbitrary node ids.
+
+    ``origin`` names the spontaneously waking processor (index 1). Ring
+    order — hence validator order — is discovered by the counter, so the
+    topology's ids can be any hashables.
+    """
+    n = len(topology)
+    if origin not in set(topology.nodes):
+        raise ConfigurationError(f"origin {origin!r} not on the ring")
+    for pid in topology.nodes:
+        if len(topology.successors(pid)) != 1:
+            raise ConfigurationError("indexing needs a unidirectional ring")
+    if params is None:
+        params = PhaseAsyncParams(n=n)
+    if params.n != n:
+        raise ConfigurationError(
+            f"params.n={params.n} does not match topology size {n}"
+        )
+    return {
+        pid: IndexedPhaseStrategy(pid == origin, params)
+        for pid in topology.nodes
+    }

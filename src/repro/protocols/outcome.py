@@ -1,0 +1,22 @@
+"""Conventions mapping modular sums to elected processor ids.
+
+The paper elects ``sum(d_i) mod n`` with ids ``V = [n] = {1..n}``. We keep
+secret values as residues ``{0..n-1}`` and map residue ``0`` to id ``n`` so
+every residue names a processor. Both protocols and attacks must go through
+these two helpers so the convention stays consistent everywhere.
+"""
+
+from repro.util.modmath import canonical_mod
+
+
+def residue_to_id(residue: int, n: int) -> int:
+    """Map a residue in ``{0..n-1}`` to a processor id in ``{1..n}``."""
+    r = canonical_mod(residue, n)
+    return n if r == 0 else r
+
+
+def id_to_residue(pid: int, n: int) -> int:
+    """Inverse of :func:`residue_to_id` for ids in ``{1..n}``."""
+    if not 1 <= pid <= n:
+        raise ValueError(f"processor id {pid} out of range [1, {n}]")
+    return canonical_mod(pid, n)

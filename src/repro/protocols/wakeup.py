@@ -1,0 +1,81 @@
+"""Appendix H / Afek et al.'s wake-up building block, composed with
+A-LEADuni.
+
+In the original model of Abraham et al. the id set is *not* known ahead;
+a wake-up phase lets processors exchange ids and agree on the origin.
+On a unidirectional ring the classic realization: every processor wakes
+spontaneously and sends its id; ids circulate, each processor forwarding
+every foreign id and absorbing its own when it returns. After ``n``
+incoming ids a processor knows the full id set; the minimum id becomes
+the origin and the main protocol (A-LEADuni here) starts seamlessly —
+FIFO links guarantee all wake-up traffic on a link precedes the
+protocol traffic.
+
+The paper (Appendix H) notes the attacks survive this composition —
+adversaries simply behave honestly during wake-up — while the resilience
+proofs do not obviously extend. Tests exercise exactly that asymmetry.
+"""
+
+from typing import Any, Dict, Hashable, List, Optional
+
+from repro.protocols.alead_uni import ALeadNormalStrategy, ALeadOriginStrategy
+from repro.sim.strategy import Context, Strategy
+from repro.sim.topology import Topology
+from repro.util.errors import ConfigurationError
+
+#: Wake-up phase message tag.
+WAKE = "ID"
+
+
+class WakeupALeadStrategy(Strategy):
+    """Wake-up phase wrapper around the A-LEADuni strategies.
+
+    After the id collection completes, the processor with the minimum id
+    instantiates the origin strategy (and fires its spontaneous send);
+    everyone else instantiates the normal strategy. Subsequent untagged
+    messages are delegated verbatim.
+    """
+
+    def __init__(self, pid: Hashable):
+        self.pid = pid
+        self.seen_ids: List[Hashable] = [pid]
+        self.inner: Optional[Strategy] = None
+
+    def on_wakeup(self, ctx: Context) -> None:
+        ctx.send_next((WAKE, self.pid))
+
+    def on_receive(self, ctx: Context, value: Any, sender: Hashable) -> None:
+        if self.inner is not None:
+            self.inner.on_receive(ctx, value, sender)
+            return
+        if not (isinstance(value, tuple) and len(value) == 2 and value[0] == WAKE):
+            ctx.abort("expected wake-up id message")
+            return
+        other = value[1]
+        if other == self.pid:
+            # Our id came full circle: the id set is complete.
+            self._finish_wakeup(ctx)
+            return
+        if other in self.seen_ids:
+            ctx.abort(f"duplicate id {other!r} during wake-up")
+            return
+        self.seen_ids.append(other)
+        ctx.send_next((WAKE, other))
+
+    def _finish_wakeup(self, ctx: Context) -> None:
+        n = len(self.seen_ids)
+        origin = min(self.seen_ids, key=repr)
+        if self.pid == origin:
+            self.inner = ALeadOriginStrategy(n)
+            self.inner.on_wakeup(ctx)  # fires the origin's first secret
+        else:
+            self.inner = ALeadNormalStrategy(n)
+            self.inner.on_wakeup(ctx)  # primes the buffer only
+
+
+def wakeup_alead_protocol(topology: Topology) -> Dict[Hashable, Strategy]:
+    """A-LEADuni preceded by the wake-up phase; ids may be arbitrary."""
+    for pid in topology.nodes:
+        if len(topology.successors(pid)) != 1:
+            raise ConfigurationError("wake-up phase needs a unidirectional ring")
+    return {pid: WakeupALeadStrategy(pid) for pid in topology.nodes}

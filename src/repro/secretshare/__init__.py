@@ -1,0 +1,13 @@
+"""Shamir secret sharing over a prime field.
+
+The substrate behind the paper's asynchronous *complete-network* baseline
+(Section 1.1, citing Abraham et al. [4]): each processor shares its secret
+with threshold ⌈n/2⌉ so that coalitions below half the ring learn nothing
+before committing. Implemented from scratch — polynomial sharing and
+Lagrange reconstruction over GF(p).
+"""
+
+from repro.secretshare.field import PrimeField, next_prime
+from repro.secretshare.shamir import ShamirScheme, Share
+
+__all__ = ["PrimeField", "next_prime", "ShamirScheme", "Share"]

@@ -1,0 +1,94 @@
+"""Prime-field arithmetic for Shamir sharing.
+
+A tiny GF(p) implementation: we only need add/mul/inverse and a way to
+find a prime comfortably larger than both the ring size and the secret
+domain. Deterministic Miller-Rabin is exact for 64-bit inputs with the
+standard witness set, which is far beyond any simulation here.
+"""
+
+from typing import List
+
+_MR_WITNESSES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+
+
+def _is_prime(n: int) -> bool:
+    """Deterministic Miller-Rabin (exact below 3.3·10^24)."""
+    if n < 2:
+        return False
+    for p in _MR_WITNESSES:
+        if n % p == 0:
+            return n == p
+    d, r = n - 1, 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for a in _MR_WITNESSES:
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = x * x % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def next_prime(n: int) -> int:
+    """Smallest prime strictly greater than ``n``."""
+    candidate = max(2, n + 1)
+    while not _is_prime(candidate):
+        candidate += 1
+    return candidate
+
+
+class PrimeField:
+    """GF(p) with the handful of operations Shamir needs."""
+
+    def __init__(self, p: int):
+        if not _is_prime(p):
+            raise ValueError(f"{p} is not prime")
+        self.p = p
+
+    def add(self, a: int, b: int) -> int:
+        return (a + b) % self.p
+
+    def sub(self, a: int, b: int) -> int:
+        return (a - b) % self.p
+
+    def mul(self, a: int, b: int) -> int:
+        return (a * b) % self.p
+
+    def inv(self, a: int) -> int:
+        """Multiplicative inverse; raises on 0."""
+        a %= self.p
+        if a == 0:
+            raise ZeroDivisionError("0 has no inverse in GF(p)")
+        return pow(a, self.p - 2, self.p)
+
+    def eval_poly(self, coeffs: List[int], x: int) -> int:
+        """Evaluate ``Σ coeffs[i]·x^i`` by Horner's rule."""
+        acc = 0
+        for c in reversed(coeffs):
+            acc = (acc * x + c) % self.p
+        return acc
+
+    def lagrange_at_zero(self, points: List[tuple]) -> int:
+        """Interpolate the unique degree-(len-1) polynomial at x = 0.
+
+        ``points`` are distinct ``(x, y)`` pairs with x ≠ 0.
+        """
+        xs = [x for x, _ in points]
+        if len(set(xs)) != len(xs):
+            raise ValueError("interpolation points must have distinct x")
+        total = 0
+        for i, (xi, yi) in enumerate(points):
+            num = den = 1
+            for j, (xj, _) in enumerate(points):
+                if i == j:
+                    continue
+                num = self.mul(num, xj)
+                den = self.mul(den, self.sub(xj, xi))
+            total = self.add(total, self.mul(yi, self.mul(num, self.inv(den))))
+        return total

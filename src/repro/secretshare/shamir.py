@@ -1,0 +1,111 @@
+"""Shamir's (t+1)-out-of-n threshold secret sharing.
+
+A secret ``s`` is embedded as the constant term of a uniformly random
+degree-``t`` polynomial over GF(p); share ``i`` is the evaluation at
+``x = i``. Any ``t+1`` shares reconstruct ``s`` by Lagrange interpolation
+at zero; any ``t`` shares are information-theoretically independent of
+``s`` — the property the asynchronous complete-network protocol leans on
+(coalitions of size ≤ t learn nothing before committing).
+"""
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+from repro.secretshare.field import PrimeField, next_prime
+from repro.util.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Share:
+    """One share: the evaluation point ``x`` and value ``y``."""
+
+    x: int
+    y: int
+
+
+class ShamirScheme:
+    """Threshold sharing for ``n`` parties with reconstruction threshold
+    ``threshold`` (= t+1 shares needed; degree t = threshold - 1).
+
+    Parameters
+    ----------
+    n:
+        Number of parties; shares are issued at ``x = 1..n``.
+    threshold:
+        Minimum number of shares that determines the secret.
+    modulus:
+        Secret domain; secrets live in ``{0..modulus-1}``. The field
+        prime is chosen > max(n, modulus) so points and secrets embed.
+    """
+
+    def __init__(self, n: int, threshold: int, modulus: int):
+        if not 1 <= threshold <= n:
+            raise ConfigurationError(
+                f"threshold {threshold} out of range 1..{n}"
+            )
+        if modulus < 2:
+            raise ConfigurationError("modulus must be at least 2")
+        self.n = n
+        self.threshold = threshold
+        self.modulus = modulus
+        self.field = PrimeField(next_prime(max(n, modulus)))
+
+    def share(self, secret: int, rng: random.Random) -> List[Share]:
+        """Split ``secret`` into ``n`` shares (share ``i`` at x = i)."""
+        if not 0 <= secret < self.modulus:
+            raise ConfigurationError(
+                f"secret {secret} outside domain [0, {self.modulus})"
+            )
+        coeffs = [secret] + [
+            rng.randrange(self.field.p) for _ in range(self.threshold - 1)
+        ]
+        return [
+            Share(x, self.field.eval_poly(coeffs, x))
+            for x in range(1, self.n + 1)
+        ]
+
+    def reconstruct(self, shares: Iterable[Share]) -> int:
+        """Recover the secret from ≥ threshold distinct shares.
+
+        The interpolated constant term is reduced modulo the secret
+        domain; with honestly generated shares it already lies inside it,
+        so the reduction only normalizes corrupted inputs.
+        """
+        pool = list(shares)
+        if len({s.x for s in pool}) < self.threshold:
+            raise ConfigurationError(
+                f"need {self.threshold} distinct shares, got "
+                f"{len({s.x for s in pool})}"
+            )
+        chosen = sorted(pool, key=lambda s: s.x)[: self.threshold]
+        value = self.field.lagrange_at_zero([(s.x, s.y) for s in chosen])
+        return value % self.modulus
+
+    def consistent(self, shares: Iterable[Share]) -> bool:
+        """True iff *all* given shares lie on one degree-(threshold-1)
+        polynomial — the validation honest processors run on revealed
+        shares before trusting a reconstruction."""
+        pool = sorted(shares, key=lambda s: s.x)
+        if len(pool) <= self.threshold:
+            return True
+        base = pool[: self.threshold]
+        for probe in pool[self.threshold :]:
+            predicted = self._eval_from(base, probe.x)
+            if predicted != probe.y:
+                return False
+        return True
+
+    def _eval_from(self, base: List[Share], x: int) -> int:
+        """Evaluate the polynomial through ``base`` at ``x`` (Lagrange)."""
+        f = self.field
+        total = 0
+        for i, si in enumerate(base):
+            num = den = 1
+            for j, sj in enumerate(base):
+                if i == j:
+                    continue
+                num = f.mul(num, f.sub(x, sj.x))
+                den = f.mul(den, f.sub(si.x, sj.x))
+            total = f.add(total, f.mul(si.y, f.mul(num, f.inv(den))))
+        return total

@@ -1,0 +1,70 @@
+"""Asynchronous message-passing simulator (the paper's LOCAL-model substrate).
+
+The simulator executes a *protocol* — a mapping from processor id to
+:class:`~repro.sim.strategy.Strategy` — on a directed communication
+:class:`~repro.sim.topology.Topology`. Messages travel over unbounded FIFO
+links and are delivered by an *oblivious* scheduler that never inspects
+message contents (paper, Section 2). The result is an
+:class:`~repro.sim.execution.ExecutionResult` carrying per-processor outputs,
+the global outcome (a valid id or ``FAIL``), and a full event trace.
+"""
+
+from repro.sim.events import (
+    WakeupEvent,
+    SendEvent,
+    ReceiveEvent,
+    TerminateEvent,
+    AbortEvent,
+)
+from repro.sim.trace import Trace
+from repro.sim.topology import (
+    Topology,
+    unidirectional_ring,
+    bidirectional_ring,
+    line_graph,
+    complete_graph,
+    star_graph,
+)
+from repro.sim.strategy import Strategy, Context, SilentStrategy
+from repro.sim.scheduler import (
+    Scheduler,
+    FifoScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+    LinkPriorityScheduler,
+)
+from repro.sim.execution import (
+    FAIL,
+    ABORT,
+    Executor,
+    ExecutionResult,
+    run_protocol,
+)
+
+__all__ = [
+    "WakeupEvent",
+    "SendEvent",
+    "ReceiveEvent",
+    "TerminateEvent",
+    "AbortEvent",
+    "Trace",
+    "Topology",
+    "unidirectional_ring",
+    "bidirectional_ring",
+    "line_graph",
+    "complete_graph",
+    "star_graph",
+    "Strategy",
+    "Context",
+    "SilentStrategy",
+    "Scheduler",
+    "FifoScheduler",
+    "RandomScheduler",
+    "RoundRobinScheduler",
+    "LinkPriorityScheduler",
+    "FAIL",
+    "ABORT",
+    "Executor",
+    "ExecutionResult",
+    "run_protocol",
+]

@@ -1,0 +1,67 @@
+"""Trace event records.
+
+Every observable action in an execution is recorded as one of these frozen
+dataclasses. ``time`` is the logical step at which the simulator processed
+the action (a global, monotonically increasing counter). ``seq`` fields are
+1-based per-processor counters matching the paper's ``send(p, i)`` /
+``recv(p, i)`` event notation (Appendix E.1).
+"""
+
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+
+@dataclass(frozen=True)
+class WakeupEvent:
+    """Processor ``pid`` woke up spontaneously at logical ``time``."""
+
+    time: int
+    pid: Hashable
+
+
+@dataclass(frozen=True)
+class SendEvent:
+    """``sender`` enqueued ``value`` on the link to ``receiver``.
+
+    ``seq`` is the number of messages ``sender`` has sent so far (1-based),
+    i.e. this event is the paper's ``send(sender, seq)``.
+    """
+
+    time: int
+    sender: Hashable
+    receiver: Hashable
+    value: Any
+    seq: int
+
+
+@dataclass(frozen=True)
+class ReceiveEvent:
+    """``receiver`` processed ``value`` arriving from ``sender``.
+
+    ``seq`` counts messages received by ``receiver`` so far (1-based),
+    matching the paper's ``recv(receiver, seq)``.
+    """
+
+    time: int
+    sender: Hashable
+    receiver: Hashable
+    value: Any
+    seq: int
+
+
+@dataclass(frozen=True)
+class TerminateEvent:
+    """``pid`` terminated with ``output`` (any value; ``ABORT`` for ⊥)."""
+
+    time: int
+    pid: Hashable
+    output: Any
+
+
+@dataclass(frozen=True)
+class AbortEvent:
+    """``pid`` aborted (terminated with ⊥). ``reason`` is free-form text."""
+
+    time: int
+    pid: Hashable
+    reason: str

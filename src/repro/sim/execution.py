@@ -1,0 +1,248 @@
+"""The execution engine: runs a protocol on a topology to completion.
+
+Semantics follow Section 2 of the paper:
+
+- Every processor is woken once at the start (honest ring strategies other
+  than the origin do nothing observable on wakeup, so this is equivalent to
+  the paper's "only the origin wakes spontaneously").
+- Messages travel on unbounded per-edge FIFO links; an oblivious
+  :class:`~repro.sim.scheduler.Scheduler` picks which non-empty link
+  delivers next.
+- A processor may send messages and/or terminate inside each callback.
+  After terminating it receives nothing further.
+- The **outcome** of an execution is ``o`` if *all* processors terminated
+  with the same output ``o`` (and ``o`` is not ⊥); otherwise it is
+  :data:`FAIL` — covering aborts, disagreement, and non-termination (an
+  execution that quiesces with live processors, or exceeds ``max_steps``).
+"""
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, Hashable, List, Mapping, Optional, Tuple
+
+from repro.sim.events import (
+    AbortEvent,
+    ReceiveEvent,
+    SendEvent,
+    TerminateEvent,
+    WakeupEvent,
+)
+from repro.sim.scheduler import FifoScheduler, Scheduler
+from repro.sim.strategy import _ABORT_SENTINEL, Context, Strategy
+from repro.sim.topology import Topology
+from repro.sim.trace import Trace
+from repro.util.errors import ConfigurationError, SimulationError
+from repro.util.rng import RngRegistry
+
+#: Global-failure outcome (paper: some processor aborted, outputs disagree,
+#: or the execution never terminates).
+FAIL = "FAIL"
+
+#: The abort output ⊥ a single processor can terminate with.
+ABORT = _ABORT_SENTINEL
+
+Link = Tuple[Hashable, Hashable]
+
+
+@dataclass
+class ExecutionResult:
+    """Everything observable about one finished execution."""
+
+    outcome: Any
+    outputs: Dict[Hashable, Any]
+    trace: Trace
+    steps: int
+    quiesced: bool
+    fail_reason: Optional[str] = None
+    undelivered: Dict[Link, List[Any]] = field(default_factory=dict)
+
+    @property
+    def failed(self) -> bool:
+        """True if the global outcome is ``FAIL``."""
+        return self.outcome == FAIL
+
+
+class Executor:
+    """Drives one execution of ``protocol`` on ``topology``.
+
+    Parameters
+    ----------
+    topology:
+        The communication graph.
+    protocol:
+        Map pid → :class:`Strategy` instance; must cover every node.
+    scheduler:
+        Oblivious delivery scheduler; defaults to :class:`FifoScheduler`.
+    rng:
+        Registry providing each processor's private random stream
+        (stream label ``proc:<pid>``).
+    max_steps:
+        Delivery budget after which the execution is declared
+        non-terminating. Protocol runs on a ring need about ``2 n²``
+        deliveries, so the default scales generously with topology size.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        protocol: Mapping[Hashable, Strategy],
+        scheduler: Optional[Scheduler] = None,
+        rng: Optional[RngRegistry] = None,
+        max_steps: Optional[int] = None,
+    ):
+        missing = [v for v in topology.nodes if v not in protocol]
+        if missing:
+            raise ConfigurationError(f"no strategy for nodes: {missing}")
+        extra = [v for v in protocol if v not in set(topology.nodes)]
+        if extra:
+            raise ConfigurationError(f"strategies for unknown nodes: {extra}")
+        strategies = list(protocol.values())
+        if len(set(map(id, strategies))) != len(strategies):
+            raise ConfigurationError(
+                "strategy instances must not be shared between processors"
+            )
+        self.topology = topology
+        self.protocol = dict(protocol)
+        self.scheduler = scheduler if scheduler is not None else FifoScheduler()
+        self.rng = rng if rng is not None else RngRegistry(0)
+        n = len(topology)
+        self.max_steps = max_steps if max_steps is not None else 40 * n * n + 1000
+
+        self._queues: Dict[Link, Deque[Any]] = {e: deque() for e in topology.edges}
+        self._ready: List[Link] = []  # non-empty links, in first-ready order
+        self._terminated: Dict[Hashable, bool] = {v: False for v in topology.nodes}
+        self._outputs: Dict[Hashable, Any] = {}
+        self._sent: Dict[Hashable, int] = {v: 0 for v in topology.nodes}
+        self._received: Dict[Hashable, int] = {v: 0 for v in topology.nodes}
+        self._trace = Trace()
+        self._time = 0
+
+    # -- internal helpers ----------------------------------------------
+
+    def _enqueue(self, sender: Hashable, receiver: Hashable, value: Any) -> None:
+        link = (sender, receiver)
+        queue = self._queues.get(link)
+        if queue is None:
+            raise SimulationError(f"send on non-existent link {link}")
+        if not queue:
+            self._ready.append(link)
+        queue.append(value)
+        self._sent[sender] += 1
+        self._trace.append(
+            SendEvent(self._time, sender, receiver, value, self._sent[sender])
+        )
+
+    def _drain_context(self, pid: Hashable, ctx: Context) -> None:
+        for to, value in ctx.sends:
+            self._enqueue(pid, to, value)
+        if ctx.terminated:
+            self._terminated[pid] = True
+            self._outputs[pid] = ctx.output
+            self._trace.append(TerminateEvent(self._time, pid, ctx.output))
+            if ctx.output == ABORT:
+                self._trace.append(
+                    AbortEvent(self._time, pid, ctx.abort_reason or "abort")
+                )
+
+    def _make_context(self, pid: Hashable) -> Context:
+        return Context(
+            pid=pid,
+            out_neighbors=self.topology.successors(pid),
+            n=len(self.topology),
+            rng=self.rng.stream(f"proc:{pid}"),
+        )
+
+    # -- main loop -------------------------------------------------------
+
+    def run(self) -> ExecutionResult:
+        """Execute to quiescence (or the step budget) and score the outcome."""
+        for pid in self.topology.nodes:
+            self._time += 1
+            self._trace.append(WakeupEvent(self._time, pid))
+            ctx = self._make_context(pid)
+            self.protocol[pid].on_wakeup(ctx)
+            self._drain_context(pid, ctx)
+
+        steps = 0
+        while self._ready and steps < self.max_steps:
+            link = self.scheduler.choose(self._ready)
+            if link not in self._ready:
+                raise SimulationError(f"scheduler chose non-ready link {link}")
+            queue = self._queues[link]
+            value = queue.popleft()
+            if not queue:
+                self._ready.remove(link)
+            sender, receiver = link
+            steps += 1
+            self._time += 1
+            self._received[receiver] += 1
+            self._trace.append(
+                ReceiveEvent(
+                    self._time, sender, receiver, value, self._received[receiver]
+                )
+            )
+            if self._terminated[receiver]:
+                continue  # terminated processors ignore late messages
+            ctx = self._make_context(receiver)
+            self.protocol[receiver].on_receive(ctx, value, sender)
+            self._drain_context(receiver, ctx)
+
+        quiesced = not self._ready
+        return self._score(steps, quiesced)
+
+    def _score(self, steps: int, quiesced: bool) -> ExecutionResult:
+        undelivered = {
+            link: list(queue) for link, queue in self._queues.items() if queue
+        }
+        outputs = dict(self._outputs)
+        fail_reason = None
+        if not quiesced:
+            outcome: Any = FAIL
+            fail_reason = f"step budget exhausted after {steps} deliveries"
+        elif not all(self._terminated.values()):
+            outcome = FAIL
+            live = [v for v, t in self._terminated.items() if not t]
+            fail_reason = f"processors never terminated: {live}"
+        elif any(o == ABORT for o in outputs.values()):
+            outcome = FAIL
+            aborted = [v for v, o in outputs.items() if o == ABORT]
+            fail_reason = f"processors aborted: {aborted}"
+        else:
+            distinct = set(outputs.values())
+            if len(distinct) == 1:
+                outcome = next(iter(distinct))
+            else:
+                outcome = FAIL
+                fail_reason = f"outputs disagree: {sorted(distinct, key=repr)}"
+        return ExecutionResult(
+            outcome=outcome,
+            outputs=outputs,
+            trace=self._trace,
+            steps=steps,
+            quiesced=quiesced,
+            fail_reason=fail_reason,
+            undelivered=undelivered,
+        )
+
+
+def run_protocol(
+    topology: Topology,
+    protocol: Mapping[Hashable, Strategy],
+    scheduler: Optional[Scheduler] = None,
+    rng: Optional[RngRegistry] = None,
+    seed: Optional[int] = None,
+    max_steps: Optional[int] = None,
+) -> ExecutionResult:
+    """One-shot convenience wrapper around :class:`Executor`.
+
+    Exactly one of ``rng`` / ``seed`` may be given; ``seed`` builds a fresh
+    :class:`RngRegistry`.
+    """
+    if rng is not None and seed is not None:
+        raise ConfigurationError("pass either rng or seed, not both")
+    if rng is None:
+        rng = RngRegistry(seed if seed is not None else 0)
+    executor = Executor(
+        topology, protocol, scheduler=scheduler, rng=rng, max_steps=max_steps
+    )
+    return executor.run()

@@ -1,0 +1,168 @@
+"""Communication topologies.
+
+A :class:`Topology` is a simple directed multigraph-free digraph over
+hashable processor ids with FIFO links on each directed edge. Constructors
+for the topologies used in the paper are provided: the unidirectional ring
+(the paper's main object), bidirectional rings, lines, stars, and complete
+graphs (for the general-network results of Section 7).
+"""
+
+from typing import Dict, Hashable, Iterable, List, Sequence, Set, Tuple
+
+from repro.util.errors import ConfigurationError
+
+
+class Topology:
+    """A directed communication graph with stable iteration order.
+
+    Parameters
+    ----------
+    nodes:
+        Processor ids. Order is preserved and used for deterministic
+        iteration everywhere in the simulator.
+    edges:
+        Directed links ``(sender, receiver)``. A strategy may send on a
+        link only if it exists here.
+    """
+
+    def __init__(
+        self,
+        nodes: Sequence[Hashable],
+        edges: Iterable[Tuple[Hashable, Hashable]],
+    ):
+        self._nodes: List[Hashable] = list(nodes)
+        node_set: Set[Hashable] = set(self._nodes)
+        if len(node_set) != len(self._nodes):
+            raise ConfigurationError("duplicate node ids in topology")
+        if not self._nodes:
+            raise ConfigurationError("topology must have at least one node")
+        self._edges: List[Tuple[Hashable, Hashable]] = []
+        seen: Set[Tuple[Hashable, Hashable]] = set()
+        self._out: Dict[Hashable, List[Hashable]] = {v: [] for v in self._nodes}
+        self._in: Dict[Hashable, List[Hashable]] = {v: [] for v in self._nodes}
+        for u, v in edges:
+            if u not in node_set or v not in node_set:
+                raise ConfigurationError(f"edge ({u}, {v}) references unknown node")
+            if u == v:
+                raise ConfigurationError(f"self-loop on node {u} is not allowed")
+            if (u, v) in seen:
+                continue
+            seen.add((u, v))
+            self._edges.append((u, v))
+            self._out[u].append(v)
+            self._in[v].append(u)
+
+    @property
+    def nodes(self) -> List[Hashable]:
+        """Processor ids in declaration order."""
+        return list(self._nodes)
+
+    @property
+    def edges(self) -> List[Tuple[Hashable, Hashable]]:
+        """Directed links in declaration order."""
+        return list(self._edges)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def has_edge(self, u: Hashable, v: Hashable) -> bool:
+        """True if there is a directed link from ``u`` to ``v``."""
+        return v in self._out.get(u, ())
+
+    def successors(self, u: Hashable) -> List[Hashable]:
+        """Nodes reachable from ``u`` over one outgoing link."""
+        return list(self._out[u])
+
+    def predecessors(self, v: Hashable) -> List[Hashable]:
+        """Nodes with a link into ``v``."""
+        return list(self._in[v])
+
+    def undirected_edges(self) -> Set[Tuple[Hashable, Hashable]]:
+        """Edge set with direction erased (each pair sorted by repr)."""
+        out: Set[Tuple[Hashable, Hashable]] = set()
+        for u, v in self._edges:
+            key = (u, v) if repr(u) <= repr(v) else (v, u)
+            out.add(key)
+        return out
+
+    def is_strongly_connected(self) -> bool:
+        """True if every node reaches every other along directed links."""
+        for start in self._nodes[:1]:
+            if len(self._reach(start, self._out)) != len(self._nodes):
+                return False
+            if len(self._reach(start, self._in)) != len(self._nodes):
+                return False
+        return True
+
+    def _reach(
+        self, start: Hashable, adj: Dict[Hashable, List[Hashable]]
+    ) -> Set[Hashable]:
+        seen = {start}
+        stack = [start]
+        while stack:
+            u = stack.pop()
+            for v in adj[u]:
+                if v not in seen:
+                    seen.add(v)
+                    stack.append(v)
+        return seen
+
+
+def unidirectional_ring(n: int) -> Topology:
+    """Directed ring ``1 → 2 → ... → n → 1`` with 1-based ids.
+
+    This is the paper's main topology: each processor has exactly one
+    incoming and one outgoing FIFO link, so all oblivious message schedules
+    are equivalent (Section 2).
+    """
+    if n < 2:
+        raise ConfigurationError(f"ring needs at least 2 processors, got {n}")
+    nodes = list(range(1, n + 1))
+    edges = [(i, i % n + 1) for i in nodes]
+    return Topology(nodes, edges)
+
+
+def bidirectional_ring(n: int) -> Topology:
+    """Ring with links in both directions, 1-based ids."""
+    if n < 2:
+        raise ConfigurationError(f"ring needs at least 2 processors, got {n}")
+    nodes = list(range(1, n + 1))
+    edges = []
+    for i in nodes:
+        j = i % n + 1
+        edges.append((i, j))
+        edges.append((j, i))
+    return Topology(nodes, edges)
+
+
+def line_graph(n: int) -> Topology:
+    """Bidirectional path ``1 – 2 – ... – n`` (a tree; 1-simulated tree)."""
+    if n < 1:
+        raise ConfigurationError("line needs at least 1 processor")
+    nodes = list(range(1, n + 1))
+    edges = []
+    for i in range(1, n):
+        edges.append((i, i + 1))
+        edges.append((i + 1, i))
+    return Topology(nodes, edges)
+
+
+def complete_graph(n: int) -> Topology:
+    """Fully connected bidirectional topology on ``n`` nodes."""
+    if n < 2:
+        raise ConfigurationError("complete graph needs at least 2 processors")
+    nodes = list(range(1, n + 1))
+    edges = [(u, v) for u in nodes for v in nodes if u != v]
+    return Topology(nodes, edges)
+
+
+def star_graph(n: int) -> Topology:
+    """Star: node 1 is the hub connected bidirectionally to ``2..n``."""
+    if n < 2:
+        raise ConfigurationError("star needs at least 2 processors")
+    nodes = list(range(1, n + 1))
+    edges = []
+    for i in range(2, n + 1):
+        edges.append((1, i))
+        edges.append((i, 1))
+    return Topology(nodes, edges)

@@ -1,0 +1,116 @@
+"""Execution traces and trace analytics.
+
+A :class:`Trace` is the append-only list of events recorded by the executor.
+It also provides the derived views the paper's proofs reason about: per-
+processor sent/received message lists, ``Sent_i^t`` counters over time, and
+the synchronization gap ``max_{i,j} |Sent_i^t - Sent_j^t|`` central to the
+resilience analysis (Section 5, Lemma D.5).
+"""
+
+from collections import defaultdict
+from typing import Any, Dict, Hashable, Iterable, List, Optional, Union
+
+from repro.sim.events import (
+    AbortEvent,
+    ReceiveEvent,
+    SendEvent,
+    TerminateEvent,
+    WakeupEvent,
+)
+
+Event = Union[WakeupEvent, SendEvent, ReceiveEvent, TerminateEvent, AbortEvent]
+
+
+class Trace:
+    """Ordered record of everything that happened in one execution."""
+
+    def __init__(self) -> None:
+        self.events: List[Event] = []
+
+    def append(self, event: Event) -> None:
+        """Record ``event`` (executor use only)."""
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    # -- derived views -------------------------------------------------
+
+    def sends_by(self, pid: Hashable) -> List[SendEvent]:
+        """All messages sent by ``pid``, in order."""
+        return [e for e in self.events if isinstance(e, SendEvent) and e.sender == pid]
+
+    def receives_by(self, pid: Hashable) -> List[ReceiveEvent]:
+        """All messages received by ``pid``, in order."""
+        return [
+            e for e in self.events if isinstance(e, ReceiveEvent) and e.receiver == pid
+        ]
+
+    def sent_values(self, pid: Hashable) -> List[Any]:
+        """Values sent by ``pid``, in order."""
+        return [e.value for e in self.sends_by(pid)]
+
+    def received_values(self, pid: Hashable) -> List[Any]:
+        """Values received by ``pid``, in order."""
+        return [e.value for e in self.receives_by(pid)]
+
+    def sent_count(self, pid: Hashable) -> int:
+        """Total number of messages sent by ``pid``."""
+        return len(self.sends_by(pid))
+
+    def termination_outputs(self) -> Dict[Hashable, Any]:
+        """Map pid → output for every processor that terminated."""
+        return {
+            e.pid: e.output for e in self.events if isinstance(e, TerminateEvent)
+        }
+
+    def sent_counter_series(
+        self, pids: Optional[Iterable[Hashable]] = None
+    ) -> Dict[Hashable, List[int]]:
+        """Return ``Sent_i^t`` sampled at every event time.
+
+        For each requested pid, entry ``t`` of the returned list is the
+        number of messages that pid had sent after the first ``t`` events
+        of the trace. All series share the common event-time axis, so they
+        can be compared pointwise (as Lemma D.5 does).
+        """
+        counters: Dict[Hashable, int] = defaultdict(int)
+        watched = set(pids) if pids is not None else None
+        series: Dict[Hashable, List[int]] = defaultdict(list)
+        tracked = (
+            list(watched)
+            if watched is not None
+            else sorted(
+                {e.sender for e in self.events if isinstance(e, SendEvent)},
+                key=repr,
+            )
+        )
+        for pid in tracked:
+            series[pid] = []
+        for event in self.events:
+            if isinstance(event, SendEvent):
+                counters[event.sender] += 1
+            for pid in tracked:
+                series[pid].append(counters[pid])
+        return dict(series)
+
+    def max_sync_gap(self, pids: Optional[Iterable[Hashable]] = None) -> int:
+        """Max over time of ``max_i Sent_i^t - min_j Sent_j^t``.
+
+        This is the synchronization measure from the resilience proofs: an
+        honest A-LEADuni execution keeps it ≤ 1 + the pipeline slack, the
+        cubic attack drives it to Ω(k²), and PhaseAsyncLead's validation
+        phases pin it back to O(k).
+        """
+        series = self.sent_counter_series(pids)
+        if not series:
+            return 0
+        lists = list(series.values())
+        gap = 0
+        for t in range(len(lists[0])):
+            values = [s[t] for s in lists]
+            gap = max(gap, max(values) - min(values))
+        return gap

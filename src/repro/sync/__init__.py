@@ -1,0 +1,47 @@
+"""Synchronous-round execution model and the baseline FLE protocols.
+
+The paper's Related Work (Section 1.1) summarizes the Abraham et al. [4]
+scenarios its asynchronous-ring results are contrasted against:
+
+- a synchronous fully connected network has an (n-1)-resilient FLE
+  (simultaneous broadcast makes rushing impossible; echo rounds catch
+  equivocation);
+- a synchronous ring likewise;
+- an asynchronous fully connected network reaches the optimal
+  (n/2 - 1) resilience via Shamir secret sharing.
+
+This package supplies the synchronous substrate and the first two
+baselines; the Shamir-based asynchronous baseline lives in
+:mod:`repro.protocols.async_complete` on the regular asynchronous
+executor.
+"""
+
+from repro.sync.engine import (
+    SyncContext,
+    SyncExecutor,
+    SyncStrategy,
+    run_sync_protocol,
+)
+from repro.sync.protocols import (
+    SyncBroadcastLeadStrategy,
+    SyncRingLeadStrategy,
+    sync_broadcast_protocol,
+    sync_ring_protocol,
+)
+from repro.sync.attacks import (
+    SyncLastRoundCheater,
+    sync_rushing_attempt_protocol,
+)
+
+__all__ = [
+    "SyncContext",
+    "SyncExecutor",
+    "SyncStrategy",
+    "run_sync_protocol",
+    "SyncBroadcastLeadStrategy",
+    "SyncRingLeadStrategy",
+    "sync_broadcast_protocol",
+    "sync_ring_protocol",
+    "SyncLastRoundCheater",
+    "sync_rushing_attempt_protocol",
+]

@@ -1,0 +1,130 @@
+"""The synchronous baseline FLE protocols (Abraham et al. scenarios).
+
+**Fully connected network** (:func:`sync_broadcast_protocol`): round 1,
+every processor broadcasts its secret simultaneously; round 2, every
+processor echoes the full vector it received; round 3, everyone checks
+all echoes agree and elects ``sum mod n``. Simultaneity means even an
+(n-1)-coalition must commit its secrets before seeing any honest secret,
+and the echo round catches equivocation (sending different values to
+different processors), so any manipulation is either ineffective or
+punished by FAIL.
+
+**Synchronous ring** (:func:`sync_ring_protocol`): the same sum scheme,
+but values propagate hop by hop: in round ``r`` each processor forwards
+the value it received in round ``r-1``, so after ``n-1`` rounds everyone
+holds all ``n`` secrets. Each processor's own secret is committed in
+round 1 before any information reaches it, which is where the resilience
+comes from; a cheater's only lever is inconsistency, which the final
+validation (own secret returns intact) converts to FAIL.
+"""
+
+from typing import Any, Dict, Hashable, List, Tuple
+
+from repro.protocols.outcome import residue_to_id
+from repro.sync.engine import SyncContext, SyncStrategy
+from repro.sim.topology import Topology
+from repro.util.errors import ConfigurationError
+from repro.util.modmath import canonical_mod, mod_sum
+
+
+class SyncBroadcastLeadStrategy(SyncStrategy):
+    """Honest processor of the fully-connected synchronous baseline."""
+
+    def __init__(self, pid: int, n: int):
+        self.pid = pid
+        self.n = n
+        self.secret: int = None
+        self.values: Dict[int, int] = {}
+
+    def on_round(
+        self,
+        ctx: SyncContext,
+        round_number: int,
+        inbox: List[Tuple[Hashable, Any]],
+    ) -> None:
+        if round_number == 1:
+            self.secret = ctx.rng.randrange(self.n)
+            self.values[self.pid] = self.secret
+            ctx.broadcast(("value", self.secret))
+            return
+        if round_number == 2:
+            for sender, message in inbox:
+                tag, payload = message
+                if tag != "value":
+                    ctx.abort("unexpected message in round 1")
+                    return
+                self.values[sender] = canonical_mod(int(payload), self.n)
+            if len(self.values) != self.n:
+                ctx.abort("missing secrets after broadcast round")
+                return
+            vector = tuple(sorted(self.values.items()))
+            ctx.broadcast(("echo", vector))
+            return
+        # Round 3: all echoes must match our own view exactly.
+        my_vector = tuple(sorted(self.values.items()))
+        echoes = {message[1] for _, message in inbox if message[0] == "echo"}
+        if len(inbox) != self.n - 1 or echoes != {my_vector}:
+            ctx.abort("echo mismatch: some processor equivocated")
+            return
+        total = mod_sum(self.values.values(), self.n)
+        ctx.terminate(residue_to_id(total, self.n))
+
+
+class SyncRingLeadStrategy(SyncStrategy):
+    """Honest processor of the synchronous-ring baseline.
+
+    Round 1 commits the secret; rounds 2..n forward the previous round's
+    value one hop, so each value makes a full circle in ``n`` rounds and
+    every processor receives all ``n`` secrets (its own last, in round
+    ``n+1``, where it is validated).
+    """
+
+    def __init__(self, pid: int, n: int):
+        self.pid = pid
+        self.n = n
+        self.secret: int = None
+        self.received: List[int] = []
+
+    def on_round(
+        self,
+        ctx: SyncContext,
+        round_number: int,
+        inbox: List[Tuple[Hashable, Any]],
+    ) -> None:
+        if round_number == 1:
+            self.secret = ctx.rng.randrange(self.n)
+            ctx.broadcast(self.secret)  # single out-neighbour on the ring
+            return
+        if len(inbox) != 1:
+            ctx.abort(f"expected one ring message, got {len(inbox)}")
+            return
+        value = canonical_mod(int(inbox[0][1]), self.n)
+        self.received.append(value)
+        if round_number <= self.n:
+            ctx.broadcast(value)
+            return
+        # Round n+1: our own secret has come full circle.
+        if value != self.secret:
+            ctx.abort("own secret did not return intact")
+            return
+        ctx.terminate(residue_to_id(mod_sum(self.received, self.n), self.n))
+
+
+def sync_broadcast_protocol(topology: Topology) -> Dict[Hashable, SyncStrategy]:
+    """Honest strategy vector for the fully-connected baseline."""
+    n = len(topology)
+    for pid in topology.nodes:
+        if len(set(topology.successors(pid))) != n - 1:
+            raise ConfigurationError(
+                "sync broadcast baseline needs a complete topology"
+            )
+    return {pid: SyncBroadcastLeadStrategy(pid, n) for pid in topology.nodes}
+
+
+def sync_ring_protocol(topology: Topology) -> Dict[Hashable, SyncStrategy]:
+    """Honest strategy vector for the synchronous-ring baseline."""
+    n = len(topology)
+    for pid in topology.nodes:
+        if len(topology.successors(pid)) != 1:
+            raise ConfigurationError("sync ring baseline needs a directed ring")
+    return {pid: SyncRingLeadStrategy(pid, n) for pid in topology.nodes}

@@ -1,0 +1,26 @@
+"""Reusable adversary scaffolding for tests and fuzz experiments.
+
+- :mod:`repro.testing.scripted` — strategies that replay a fixed action
+  script, for deterministic protocol-level tests;
+- :mod:`repro.testing.fuzz` — randomized deviations: per-event behaviour
+  sampled from (forward / buffer / drop / inject / replay-own-history),
+  used to search for biasing deviations the structured attacks miss
+  (empirical support for Theorem 5.1's resilience claim).
+"""
+
+from repro.testing.scripted import ScriptedStrategy, Step
+from repro.testing.fuzz import (
+    FuzzBehavior,
+    RandomDeviationStrategy,
+    random_deviation_protocol,
+    deviation_search,
+)
+
+__all__ = [
+    "ScriptedStrategy",
+    "Step",
+    "FuzzBehavior",
+    "RandomDeviationStrategy",
+    "random_deviation_protocol",
+    "deviation_search",
+]

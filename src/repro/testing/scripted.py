@@ -1,0 +1,56 @@
+"""Scripted strategies: replay a fixed action sequence.
+
+A :class:`ScriptedStrategy` executes a list of :class:`Step` objects —
+one per callback invocation (wakeup first, then each receive). Useful
+for pinning executor semantics and for constructing minimal
+counterexample deviations in tests without writing a strategy class
+each time.
+"""
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+from repro.sim.strategy import Context, Strategy
+
+
+@dataclass
+class Step:
+    """Actions for one callback: sends (to unique successor) and/or end.
+
+    ``sends`` values are emitted via ``ctx.send_next`` in order. If
+    ``terminate`` is not the sentinel ``_UNSET``, the strategy
+    terminates with that output after sending. ``abort`` terminates
+    with ⊥ instead.
+    """
+
+    sends: Tuple[Any, ...] = ()
+    terminate: Any = "__UNSET__"
+    abort: bool = False
+
+
+class ScriptedStrategy(Strategy):
+    """Replays ``steps``; silent once the script is exhausted."""
+
+    def __init__(self, steps: List[Step]):
+        self.steps = list(steps)
+        self.cursor = 0
+        self.history: List[Tuple[Any, Any]] = []  # (value, sender) pairs
+
+    def _play(self, ctx: Context) -> None:
+        if self.cursor >= len(self.steps):
+            return
+        step = self.steps[self.cursor]
+        self.cursor += 1
+        for value in step.sends:
+            ctx.send_next(value)
+        if step.abort:
+            ctx.abort("scripted abort")
+        elif step.terminate != "__UNSET__":
+            ctx.terminate(step.terminate)
+
+    def on_wakeup(self, ctx: Context) -> None:
+        self._play(ctx)
+
+    def on_receive(self, ctx: Context, value: Any, sender: Any) -> None:
+        self.history.append((value, sender))
+        self._play(ctx)

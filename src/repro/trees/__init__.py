@@ -1,0 +1,64 @@
+"""Section 7 / Appendix F: impossibility on k-simulated trees.
+
+- :mod:`repro.trees.gametree` — finite two-party protocols as extensive
+  games (the objects Lemma F.2 quantifies over);
+- :mod:`repro.trees.dictator` — the constructive content of Lemma F.2:
+  backward-induction search for the player who *assures* an outcome, with
+  a playable witness strategy;
+- :mod:`repro.trees.simulated` — Definition 7.1 (k-simulated tree)
+  verification;
+- :mod:`repro.trees.partition` — Claim F.5: every connected graph is a
+  ⌈n/2⌉-simulated tree, constructively;
+- :mod:`repro.trees.impossibility` — Corollary F.4 / Theorem 7.2 glue:
+  extract the biasing coalition for a k-simulated tree.
+"""
+
+from repro.trees.gametree import (
+    TwoPartyProtocol,
+    Action,
+    send,
+    wait,
+    output,
+    xor_coin_protocol,
+    first_to_speak_protocol,
+)
+from repro.trees.dictator import (
+    Assurance,
+    find_assurance,
+    verify_assurance,
+    classify_protocol,
+)
+from repro.trees.simulated import is_tree, check_k_simulated_tree
+from repro.trees.partition import half_partition, quotient_is_tree
+from repro.trees.impossibility import (
+    biasing_coalition,
+    impossibility_certificate,
+)
+from repro.trees.treegame import (
+    TreeProtocol,
+    collapse_to_two_party,
+    xor_tree_protocol,
+)
+
+__all__ = [
+    "TwoPartyProtocol",
+    "Action",
+    "send",
+    "wait",
+    "output",
+    "xor_coin_protocol",
+    "first_to_speak_protocol",
+    "Assurance",
+    "find_assurance",
+    "verify_assurance",
+    "classify_protocol",
+    "is_tree",
+    "check_k_simulated_tree",
+    "half_partition",
+    "quotient_is_tree",
+    "biasing_coalition",
+    "impossibility_certificate",
+    "TreeProtocol",
+    "collapse_to_two_party",
+    "xor_tree_protocol",
+]

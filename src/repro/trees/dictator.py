@@ -1,0 +1,278 @@
+"""Lemma F.2, constructively: someone always assures an outcome.
+
+For every finite two-party coin-toss protocol (cartesian input space,
+bounded messages) and each bit ``b``:
+
+1. either **A assures b** — A has a deviation forcing outcome ``b``
+   against every input of honest B — or **B assures 1-b**;
+2. symmetrically with the roles of the bits swapped.
+
+Hence either some bit is *favorable* (both players assure it) or one
+player is a **dictator** (assures both bits). The search below is the
+lemma's induction on remaining message depth, implemented over the game
+tree; it returns an :class:`Assurance` carrying a playable witness
+strategy, and :func:`verify_assurance` replays the witness against every
+honest input to certify it.
+"""
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.trees.gametree import Action, History, TwoPartyProtocol
+from repro.util.errors import ConfigurationError
+
+
+@dataclass
+class Assurance:
+    """Witness that ``player`` can force ``bit`` from ``history`` on.
+
+    ``plan`` maps histories (as tuples) to the deviating player's action:
+    ``("send", msg)`` or ``("output",)`` — outputs always emit ``bit``.
+    A missing history means "wait".
+    """
+
+    player: str
+    bit: Any
+    plan: Dict[History, Tuple]
+
+    def action_at(self, history: History) -> Action:
+        """The deviation's move at ``history`` (wait when unspecified)."""
+        entry = self.plan.get(history)
+        if entry is None:
+            return Action("wait")
+        if entry[0] == "send":
+            return Action("send", entry[1])
+        return Action("output", self.bit)
+
+
+def _other(player: str) -> str:
+    return "B" if player == "A" else "A"
+
+
+def find_assurance(
+    protocol: TwoPartyProtocol, bit_for_a: Any, bit_for_b: Any
+) -> Assurance:
+    """Decide Lemma F.2's disjunction: A assures ``bit_for_a`` or B
+    assures ``bit_for_b``; return whichever branch holds (A checked
+    first), with its witness plan.
+    """
+    result = _search(
+        protocol,
+        list(protocol.inputs_a),
+        list(protocol.inputs_b),
+        (),
+        bit_for_a,
+        bit_for_b,
+        depth=2 * protocol.max_depth + 2,
+    )
+    if result is None:
+        raise ConfigurationError(
+            "protocol exhausted its depth bound during the search; "
+            "increase max_depth"
+        )
+    return result
+
+
+def _search(
+    protocol: TwoPartyProtocol,
+    inputs_a: List[Any],
+    inputs_b: List[Any],
+    history: History,
+    bit_for_a: Any,
+    bit_for_b: Any,
+    depth: int,
+) -> Optional[Assurance]:
+    """The induction of Lemma F.2 over remaining depth.
+
+    ``inputs_a``/``inputs_b`` are the inputs still consistent with
+    ``history`` for each player. Returns an assurance for one of the two
+    players, or ``None`` if the depth bound was hit.
+    """
+    if depth < 0:
+        return None
+
+    acts_a = {ia: protocol.action("A", ia, history) for ia in inputs_a}
+    acts_b = {ib: protocol.action("B", ib, history) for ib in inputs_b}
+
+    # Base case of the lemma: some input pair where neither player sends.
+    # A correct protocol must then terminate with a fixed outcome o0, and
+    # both players can assure o0 by simply terminating here. In particular
+    # the player whose target bit equals o0 assures its bit; if neither
+    # matches, the "silent outcome" still lets A force o0, so A assures o0
+    # — the caller's disjunction is decided by matching bits below.
+    silent_pairs = [
+        (ia, ib)
+        for ia in inputs_a
+        if acts_a[ia].kind != "send"
+        for ib in inputs_b
+        if acts_b[ib].kind != "send"
+    ]
+    if silent_pairs:
+        ia0, ib0 = silent_pairs[0]
+        o0 = _silent_outcome(protocol, ia0, ib0, history, acts_a, acts_b)
+        if o0 == bit_for_a:
+            return Assurance("A", bit_for_a, {history: ("output",)})
+        if o0 == bit_for_b:
+            return Assurance("B", bit_for_b, {history: ("output",)})
+        # Outcome matches neither requested bit (non-binary output);
+        # treat A as assuring o0 — callers with binary outcomes never hit
+        # this branch.
+        return Assurance("A", o0, {history: ("output",)})
+
+    # No silent pair: one player sends on all of its remaining inputs
+    # (cartesian-product argument from the lemma).
+    a_always_sends = all(acts_a[ia].kind == "send" for ia in inputs_a)
+    b_always_sends = all(acts_b[ib].kind == "send" for ib in inputs_b)
+    if a_always_sends:
+        return _recurse_on_sender(
+            protocol, "A", inputs_a, inputs_b, history, acts_a,
+            bit_for_a, bit_for_b, depth,
+        )
+    if b_always_sends:
+        return _recurse_on_sender(
+            protocol, "B", inputs_b, inputs_a, history, acts_b,
+            bit_for_b, bit_for_a, depth,
+        )
+    raise ConfigurationError(
+        "inconsistent protocol: no silent pair yet neither player sends "
+        "on all inputs (input space not treated as a cartesian product?)"
+    )
+
+
+def _recurse_on_sender(
+    protocol: TwoPartyProtocol,
+    sender: str,
+    sender_inputs: List[Any],
+    other_inputs: List[Any],
+    history: History,
+    sender_acts: Dict[Any, Action],
+    bit_for_sender: Any,
+    bit_for_other: Any,
+    depth: int,
+) -> Optional[Assurance]:
+    """Inductive step: group the sender's inputs by first message.
+
+    If in some branch ``P_M`` the sender assures its bit, it assures it
+    globally by *choosing* to send ``M`` (this is where the deviation
+    departs from honesty). Otherwise the other player assures its bit in
+    every branch, hence globally by waiting and responding per branch.
+    """
+    by_message: Dict[Any, List[Any]] = {}
+    for inp in sender_inputs:
+        by_message.setdefault(sender_acts[inp].value, []).append(inp)
+
+    other_plans: Dict[History, Tuple] = {}
+    for message, branch_inputs in sorted(by_message.items(), key=repr):
+        child_history = history + ((sender, message),)
+        if sender == "A":
+            child = _search(
+                protocol, branch_inputs, other_inputs, child_history,
+                bit_for_sender, bit_for_other, depth - 1,
+            )
+        else:
+            child = _search(
+                protocol, other_inputs, branch_inputs, child_history,
+                bit_for_other, bit_for_sender, depth - 1,
+            )
+        if child is None:
+            return None
+        if child.player == sender and child.bit == bit_for_sender:
+            # Sender assures its bit in this branch: adopt the branch plan
+            # and prepend the choice of M.
+            plan = dict(child.plan)
+            plan[history] = ("send", message)
+            return Assurance(sender, bit_for_sender, plan)
+        # Otherwise the other player assures its bit in this branch.
+        other_plans.update(child.plan)
+    return Assurance(_other(sender), bit_for_other, other_plans)
+
+
+def _silent_outcome(
+    protocol: TwoPartyProtocol,
+    ia: Any,
+    ib: Any,
+    history: History,
+    acts_a: Dict[Any, Action],
+    acts_b: Dict[Any, Action],
+) -> Any:
+    """Outcome when both players stop sending at ``history``."""
+    act_a, act_b = acts_a[ia], acts_b[ib]
+    if act_a.kind == "output":
+        return act_a.value
+    if act_b.kind == "output":
+        return act_b.value
+    raise ConfigurationError(
+        f"protocol deadlocks on inputs ({ia!r}, {ib!r}) at {history!r}: "
+        "both players wait forever"
+    )
+
+
+def verify_assurance(
+    protocol: TwoPartyProtocol, assurance: Assurance, max_steps: int = 64
+) -> bool:
+    """Replay the witness deviation against every honest input.
+
+    The deviating player follows ``assurance.plan``; the honest player
+    follows the protocol. Returns True iff every playout ends with the
+    honest player's output (or the deviator's forced output) equal to
+    ``assurance.bit`` — i.e. the deviator can claim the outcome without
+    the honest player ever producing a contradicting output.
+    """
+    deviator = assurance.player
+    honest = _other(deviator)
+    honest_inputs = (
+        protocol.inputs_b if honest == "B" else protocol.inputs_a
+    )
+    for h_input in honest_inputs:
+        history: History = ()
+        honest_output = None
+        deviator_done = False
+        for _ in range(max_steps):
+            progressed = False
+            if not deviator_done:
+                act = assurance.action_at(history)
+                if act.kind == "send":
+                    history = history + ((deviator, act.value),)
+                    progressed = True
+                elif act.kind == "output":
+                    deviator_done = True
+                    progressed = True
+            if honest_output is None:
+                act = protocol.action(honest, h_input, history)
+                if act.kind == "send":
+                    history = history + ((honest, act.value),)
+                    progressed = True
+                elif act.kind == "output":
+                    honest_output = act.value
+                    progressed = True
+            if honest_output is not None and (
+                deviator_done or assurance.action_at(history).kind == "wait"
+            ):
+                break
+            if not progressed:
+                break
+        if honest_output is not None and honest_output != assurance.bit:
+            return False
+    return True
+
+
+def classify_protocol(protocol: TwoPartyProtocol) -> Dict[str, Any]:
+    """Full Lemma F.2 classification of a binary-output protocol.
+
+    Returns which player assures 0 and which assures 1, plus the derived
+    verdict: a ``favorable`` bit both can force, or a ``dictator`` player
+    who forces both.
+    """
+    first = find_assurance(protocol, bit_for_a=0, bit_for_b=1)
+    second = find_assurance(protocol, bit_for_a=1, bit_for_b=0)
+    verdict: Dict[str, Any] = {
+        "assures": {first.player: first.bit, second.player: second.bit},
+        "witnesses": (first, second),
+    }
+    if first.player == second.player:
+        verdict["dictator"] = first.player
+    else:
+        # One player assures b, the other also assures b (their bits
+        # coincide) — the favorable-value case.
+        verdict["favorable"] = first.bit if first.bit == second.bit else None
+    return verdict

@@ -1,0 +1,161 @@
+"""Finite two-party protocols as extensive games (Appendix F objects).
+
+Lemma F.2 quantifies over every two-party coin-toss protocol with a
+bounded number of messages and a cartesian-product input set. We model one
+as a pair of *action functions*: given the player's private input and the
+shared message history, the player either sends a message, waits, or
+terminates with an output. The dictator search
+(:mod:`repro.trees.dictator`) walks this object exactly along the lines of
+the lemma's induction.
+
+Two canonical example protocols are provided:
+
+- :func:`xor_coin_protocol` — A announces its input bit, then B announces
+  its, output is the XOR. Classic non-resilient coin toss: in the
+  asynchronous model B can wait for A's bit and then pick its own, so B is
+  a *dictator* (assures both 0 and 1).
+- :func:`first_to_speak_protocol` — both players output a constant
+  ``bit`` immediately; a degenerate protocol where both players assure
+  ``bit`` (the lemma's "favorable value" case).
+"""
+
+from dataclasses import dataclass
+from typing import Any, Callable, List, Sequence, Tuple
+
+from repro.util.errors import ConfigurationError
+
+#: History entries are ``(player, message)`` with player in {"A", "B"}.
+History = Tuple[Tuple[str, Any], ...]
+
+
+@dataclass(frozen=True)
+class Action:
+    """One protocol step: ``kind`` in {"send", "wait", "output"}."""
+
+    kind: str
+    value: Any = None
+
+
+def send(message: Any) -> Action:
+    """The player transmits ``message``."""
+    return Action("send", message)
+
+
+def wait() -> Action:
+    """The player blocks until the other party sends."""
+    return Action("wait")
+
+
+def output(value: Any) -> Action:
+    """The player terminates with ``value``."""
+    return Action("output", value)
+
+
+class TwoPartyProtocol:
+    """A finite, deterministic two-party protocol.
+
+    Parameters
+    ----------
+    inputs_a, inputs_b:
+        The players' private input sets (randomness is modelled as input,
+        exactly as the paper does by handing each processor a random
+        string). The protocol's input space is their cartesian product.
+    action_a, action_b:
+        ``(input, history) → Action`` for each player.
+    max_depth:
+        Upper bound on messages, enforcing the lemma's "guarantees a
+        bounded amount of messages" hypothesis.
+    """
+
+    def __init__(
+        self,
+        inputs_a: Sequence[Any],
+        inputs_b: Sequence[Any],
+        action_a: Callable[[Any, History], Action],
+        action_b: Callable[[Any, History], Action],
+        max_depth: int = 16,
+    ):
+        if not inputs_a or not inputs_b:
+            raise ConfigurationError("input sets must be non-empty")
+        self.inputs_a = list(inputs_a)
+        self.inputs_b = list(inputs_b)
+        self.action_a = action_a
+        self.action_b = action_b
+        self.max_depth = max_depth
+
+    def action(self, player: str, own_input: Any, history: History) -> Action:
+        """Dispatch to the right action function."""
+        if player == "A":
+            return self.action_a(own_input, history)
+        if player == "B":
+            return self.action_b(own_input, history)
+        raise ConfigurationError(f"unknown player {player!r}")
+
+    def honest_outcome(self, input_a: Any, input_b: Any) -> Any:
+        """Play both honest strategies to completion; return the outcome.
+
+        The scheduler lets A act first whenever both are ready to send —
+        on this class of alternating protocols the outcome is
+        schedule-independent (both players' outputs must agree for the
+        protocol to be correct; we assert they do).
+        """
+        history: History = ()
+        out_a = out_b = None
+        for _ in range(2 * self.max_depth + 2):
+            acted = False
+            if out_a is None:
+                act = self.action("A", input_a, history)
+                if act.kind == "send":
+                    history = history + (("A", act.value),)
+                    acted = True
+                elif act.kind == "output":
+                    out_a = act.value
+                    acted = True
+            if out_b is None:
+                act = self.action("B", input_b, history)
+                if act.kind == "send":
+                    history = history + (("B", act.value),)
+                    acted = True
+                elif act.kind == "output":
+                    out_b = act.value
+                    acted = True
+            if out_a is not None and out_b is not None:
+                if out_a != out_b:
+                    raise ConfigurationError(
+                        f"protocol outputs disagree: {out_a!r} vs {out_b!r}"
+                    )
+                return out_a
+            if not acted:
+                raise ConfigurationError(
+                    "protocol deadlocked: both players waiting"
+                )
+        raise ConfigurationError("protocol exceeded max_depth")
+
+
+def xor_coin_protocol() -> TwoPartyProtocol:
+    """A sends its bit, then B sends its bit; both output the XOR."""
+
+    def act_a(bit: int, history: History) -> Action:
+        if len(history) == 0:
+            return send(bit)
+        if len(history) == 2:
+            return output(history[0][1] ^ history[1][1])
+        return wait()
+
+    def act_b(bit: int, history: History) -> Action:
+        if len(history) == 1:
+            return send(bit)
+        if len(history) == 2:
+            return output(history[0][1] ^ history[1][1])
+        return wait()
+
+    return TwoPartyProtocol([0, 1], [0, 1], act_a, act_b, max_depth=4)
+
+
+def first_to_speak_protocol(bit: int) -> TwoPartyProtocol:
+    """Degenerate protocol: both players immediately output ``bit``."""
+
+    def act(_input: Any, _history: History) -> Action:
+        return output(bit)
+
+    return TwoPartyProtocol([0], [0], act, act, max_depth=1)

@@ -1,0 +1,80 @@
+"""Corollary F.4 / Theorem 7.2 glue: extract the biasing coalition.
+
+For a graph witnessed as a k-simulated tree, *some* fiber of the
+simulation mapping is a coalition of size ≤ k that can assure an outcome
+of any FLE protocol (Corollary F.4): the tree simulates the protocol, the
+tree dictator lemma (F.2/F.3) names a tree node that assures a value, and
+that node's fiber is the coalition.
+
+Which fiber wins depends on the protocol; the certificate here returns
+the *candidate set* (all fibers, each ≤ k and connected) together with
+the quantities Theorem 7.2 bounds. The concrete dictator extraction for a
+given two-party protocol lives in :mod:`repro.trees.dictator`; composing
+both is demonstrated in ``examples/tree_impossibility.py`` and the E9
+bench.
+"""
+
+from typing import Dict, Hashable, Iterable, List, Tuple
+
+from repro.trees.partition import half_partition
+from repro.trees.simulated import check_k_simulated_tree
+from repro.util.errors import ConfigurationError
+
+Edge = Tuple[Hashable, Hashable]
+
+
+def biasing_coalition(
+    nodes: Iterable[Hashable],
+    edges: Iterable[Edge],
+    mapping: Dict[Hashable, Hashable],
+    k: int,
+) -> List[List[Hashable]]:
+    """Candidate coalitions for a verified k-simulated tree witness.
+
+    Returns every fiber (each one a connected coalition of size ≤ k);
+    Corollary F.4 guarantees at least one of them assures an outcome for
+    any fixed FLE protocol on the graph.
+    """
+    node_list = list(nodes)
+    report = check_k_simulated_tree(node_list, edges, mapping, k)
+    if not report["ok"]:
+        raise ConfigurationError(
+            f"mapping is not a valid k-simulated tree witness: {report}"
+        )
+    fibers: Dict[Hashable, List[Hashable]] = {}
+    for v in node_list:
+        fibers.setdefault(mapping[v], []).append(v)
+    return [sorted(f, key=repr) for f in fibers.values()]
+
+
+def impossibility_certificate(
+    nodes: Iterable[Hashable], edges: Iterable[Edge]
+) -> Dict[str, object]:
+    """Theorem 7.2 certificate for an arbitrary connected graph.
+
+    Builds the Claim F.5 ⌈n/2⌉ partition, verifies it, and reports the
+    resulting bound: no FLE protocol on this graph is ε-k-resilient for
+    ``k = max fiber size`` and ``ε ≤ 1/n``.
+    """
+    node_list = list(nodes)
+    n = len(node_list)
+    mapping = half_partition(node_list, edges)
+    sizes: Dict[int, int] = {}
+    for v in node_list:
+        sizes[mapping[v]] = sizes.get(mapping[v], 0) + 1
+    k = max(sizes.values())
+    report = check_k_simulated_tree(node_list, edges, mapping, k)
+    if not report["ok"]:
+        raise ConfigurationError(f"internal: F.5 construction invalid: {report}")
+    return {
+        "n": n,
+        "k": k,
+        "mapping": mapping,
+        "epsilon_bound": 1.0 / n if n else 0.0,
+        "parts": sizes,
+        "quotient_edges": report["quotient_edges"],
+        "statement": (
+            f"no FLE protocol on this graph is eps-{k}-resilient for "
+            f"eps <= 1/{n} (Theorem 7.2 via Claim F.5)"
+        ),
+    }

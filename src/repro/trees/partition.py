@@ -1,0 +1,93 @@
+"""Claim F.5, constructively: every connected graph is a ⌈n/2⌉-simulated tree.
+
+The construction: pick a connected set ``B₁`` of size ⌈n/2⌉ (a BFS prefix),
+then let the remaining parts be the connected components of the rest. Every
+remaining component attaches (in the quotient) only to ``B₁`` — two distinct
+components can't be adjacent, or they'd be one component — so the quotient
+is a star, hence a tree, and every part has size ≤ ⌈n/2⌉.
+"""
+
+import math
+from typing import Dict, Hashable, Iterable, List, Set, Tuple
+
+from repro.trees.simulated import _adjacency, _normalize
+from repro.util.errors import ConfigurationError
+
+Edge = Tuple[Hashable, Hashable]
+
+
+def half_partition(
+    nodes: Iterable[Hashable], edges: Iterable[Edge]
+) -> Dict[Hashable, int]:
+    """Map each node to a part index witnessing the ⌈n/2⌉-simulated tree.
+
+    Part ``0`` is the BFS-prefix block of size ⌈n/2⌉; parts ``1..`` are
+    the connected components of the remainder. Raises if the graph is
+    disconnected (Claim F.5 assumes connectivity).
+    """
+    node_list, edge_set = _normalize(nodes, edges)
+    adj = _adjacency(node_list, edge_set)
+    n = len(node_list)
+    if n == 0:
+        raise ConfigurationError("graph must be non-empty")
+    from repro.trees.simulated import _is_connected_subset
+
+    if not _is_connected_subset(set(node_list), adj):
+        raise ConfigurationError("graph is disconnected")
+
+    # BFS prefix of size ceil(n/2) from the first node: always connected.
+    target = math.ceil(n / 2)
+    start = node_list[0]
+    order: List[Hashable] = [start]
+    seen: Set[Hashable] = {start}
+    queue = [start]
+    while queue and len(order) < target:
+        u = queue.pop(0)
+        for w in sorted(adj[u], key=repr):
+            if w not in seen:
+                seen.add(w)
+                order.append(w)
+                queue.append(w)
+                if len(order) == target:
+                    break
+    if len(order) < target:
+        raise ConfigurationError("graph is disconnected")
+    block = set(order)
+
+    mapping: Dict[Hashable, int] = {v: 0 for v in block}
+    part = 0
+    remaining = [v for v in node_list if v not in block]
+    unassigned = set(remaining)
+    for v in remaining:
+        if v not in unassigned:
+            continue
+        part += 1
+        stack = [v]
+        unassigned.discard(v)
+        mapping[v] = part
+        while stack:
+            u = stack.pop()
+            for w in adj[u]:
+                if w in unassigned:
+                    unassigned.discard(w)
+                    mapping[w] = part
+                    stack.append(w)
+    return mapping
+
+
+def quotient_is_tree(
+    nodes: Iterable[Hashable],
+    edges: Iterable[Edge],
+    mapping: Dict[Hashable, int],
+) -> bool:
+    """Convenience re-check that ``mapping``'s quotient graph is a tree."""
+    from repro.trees.simulated import check_k_simulated_tree
+
+    node_list = list(nodes)
+    k = max(
+        len([v for v in node_list if mapping[v] == p])
+        for p in set(mapping.values())
+    )
+    return check_k_simulated_tree(node_list, edges, mapping, k)[
+        "quotient_is_tree"
+    ]

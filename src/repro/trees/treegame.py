@@ -1,0 +1,271 @@
+"""Lemma F.3, executable: dictator extraction on tree networks.
+
+Lemma F.3 lifts the two-party dictator lemma (F.2) to trees by
+induction: pick a leaf ``a`` with neighbour ``b``; view the protocol as
+a two-party game between ``a`` and "``b`` simulating the rest of the
+tree"; either ``a`` assures a value (done) or ``b`` is a two-party
+dictator, in which case recurse on the tree minus ``a`` with ``b``
+simulating ``a`` internally.
+
+This module makes the *collapse* step executable:
+:class:`TreeProtocol` describes a deterministic multi-party protocol on
+a tree, and :func:`collapse_to_two_party` folds everything except a
+chosen leaf into a single composite player, producing an ordinary
+:class:`~repro.trees.gametree.TwoPartyProtocol` that the Lemma F.2
+search (:func:`~repro.trees.dictator.find_assurance`) can decide.
+
+Scope note: the collapse runs the composite component to quiescence
+between external events (internal-first scheduling). For the
+deterministic, tree-structured toy protocols used here the component's
+behaviour is schedule-independent, so the extracted assurance is valid
+for every oblivious schedule — the property Lemma F.3 needs.
+"""
+
+import itertools
+from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
+
+from repro.trees.gametree import Action, TwoPartyProtocol
+from repro.util.errors import ConfigurationError
+
+#: Node action: (own_input, inbox_history) -> Action; ``send`` actions
+#: carry ``(neighbour, message)`` as their value.
+NodeAction = Callable[[Any, Tuple], Action]
+
+
+class TreeProtocol:
+    """A deterministic protocol on an undirected tree.
+
+    Parameters
+    ----------
+    edges:
+        Undirected tree edges over hashable node names.
+    inputs:
+        Map node → list of possible private inputs.
+    actions:
+        Map node → action function ``(input, history) → Action`` where
+        ``history`` is the tuple of ``(neighbour, direction, message)``
+        triples seen so far (direction is "in" or "out") and ``send``
+        actions carry ``(neighbour, message)``.
+    max_steps:
+        Bound on total protocol messages.
+    """
+
+    def __init__(
+        self,
+        edges: List[Tuple[Hashable, Hashable]],
+        inputs: Dict[Hashable, List[Any]],
+        actions: Dict[Hashable, NodeAction],
+        max_steps: int = 32,
+    ):
+        from repro.trees.simulated import is_tree
+
+        nodes = sorted(inputs.keys(), key=repr)
+        if not is_tree(nodes, edges):
+            raise ConfigurationError("edges must form a tree over the nodes")
+        if set(actions) != set(nodes):
+            raise ConfigurationError("every node needs an action function")
+        self.nodes = nodes
+        self.edges = [tuple(e) for e in edges]
+        self.inputs = {v: list(vals) for v, vals in inputs.items()}
+        self.actions = dict(actions)
+        self.max_steps = max_steps
+        self._adj: Dict[Hashable, List[Hashable]] = {v: [] for v in nodes}
+        for u, v in edges:
+            self._adj[u].append(v)
+            self._adj[v].append(u)
+
+    def neighbors(self, v: Hashable) -> List[Hashable]:
+        return list(self._adj[v])
+
+    def leaves(self) -> List[Hashable]:
+        return [v for v in self.nodes if len(self._adj[v]) == 1]
+
+
+class _ComponentState:
+    """Deterministic execution state of the non-leaf component."""
+
+    def __init__(
+        self,
+        protocol: TreeProtocol,
+        members: List[Hashable],
+        member_inputs: Dict[Hashable, Any],
+        leaf: Hashable,
+        port: Hashable,
+    ):
+        self.protocol = protocol
+        self.members = list(members)
+        self.member_inputs = dict(member_inputs)
+        self.leaf = leaf
+        self.port = port  # the member adjacent to the leaf
+        self.histories: Dict[Hashable, Tuple] = {v: () for v in members}
+        self.outputs: Dict[Hashable, Any] = {}
+        self.outbox: List[Any] = []  # messages destined for the leaf
+        self.steps = 0
+
+    def run_to_quiescence(self) -> None:
+        """Process internal traffic until nothing moves."""
+        member_set = set(self.members)
+        progressed = True
+        while progressed:
+            progressed = False
+            for v in self.members:
+                if v in self.outputs:
+                    continue
+                action = self.protocol.actions[v](
+                    self.member_inputs[v], self.histories[v]
+                )
+                if action.kind == "output":
+                    self.outputs[v] = action.value
+                    progressed = True
+                elif action.kind == "send":
+                    to, message = action.value
+                    self.steps += 1
+                    if self.steps > self.protocol.max_steps:
+                        raise ConfigurationError(
+                            "component exceeded the message bound"
+                        )
+                    self.histories[v] = self.histories[v] + (
+                        (to, "out", message),
+                    )
+                    if to == self.leaf:
+                        if v != self.port:
+                            raise ConfigurationError(
+                                "only the port node touches the leaf"
+                            )
+                        self.outbox.append(message)
+                    elif to in member_set:
+                        self.histories[to] = self.histories[to] + (
+                            (v, "in", message),
+                        )
+                    else:
+                        raise ConfigurationError(
+                            f"{v} sent to non-neighbour {to}"
+                        )
+                    progressed = True
+
+    def deliver_from_leaf(self, message: Any) -> None:
+        self.histories[self.port] = self.histories[self.port] + (
+            (self.leaf, "in", message),
+        )
+
+    def common_output(self) -> Optional[Any]:
+        """The unanimous member output once all members terminated."""
+        if len(self.outputs) != len(self.members):
+            return None
+        distinct = set(self.outputs.values())
+        if len(distinct) != 1:
+            raise ConfigurationError("component outputs disagree")
+        return next(iter(distinct))
+
+
+def collapse_to_two_party(
+    protocol: TreeProtocol, leaf: Hashable
+) -> TwoPartyProtocol:
+    """Fold everything except ``leaf`` into composite player B.
+
+    Player A is the leaf (inputs unchanged); player B's inputs are the
+    cartesian product of the other nodes' inputs; B's action function
+    replays the external message history into a fresh component
+    simulation, runs it to quiescence, and exposes the next queued
+    leaf-bound message (or the common output, or wait).
+    """
+    if leaf not in set(protocol.nodes) or len(protocol.neighbors(leaf)) != 1:
+        raise ConfigurationError(f"{leaf!r} is not a leaf of the tree")
+    port = protocol.neighbors(leaf)[0]
+    members = [v for v in protocol.nodes if v != leaf]
+    composite_inputs = [
+        dict(zip(members, combo))
+        for combo in itertools.product(
+            *(protocol.inputs[v] for v in members)
+        )
+    ]
+
+    def leaf_action(own_input: Any, history: Tuple) -> Action:
+        translated = tuple(
+            (port, "in" if player == "B" else "out", message)
+            for player, message in history
+        )
+        act = protocol.actions[leaf](own_input, translated)
+        if act.kind == "send":
+            to, message = act.value
+            if to != port:
+                raise ConfigurationError("leaf sent to non-neighbour")
+            return Action("send", message)
+        return act
+
+    def component_action(member_inputs: Dict, history: Tuple) -> Action:
+        state = _ComponentState(protocol, members, member_inputs, leaf, port)
+        state.run_to_quiescence()
+        emitted = 0
+        for player, message in history:
+            if player == "A":
+                state.deliver_from_leaf(message)
+                state.run_to_quiescence()
+            else:
+                emitted += 1
+        if emitted < len(state.outbox):
+            return Action("send", state.outbox[emitted])
+        output = state.common_output()
+        if output is not None:
+            return Action("output", output)
+        return Action("wait")
+
+    # Hashability: composite inputs are dicts; freeze them as tuples.
+    frozen_inputs = [tuple(sorted(d.items(), key=repr)) for d in composite_inputs]
+
+    def component_action_frozen(frozen: Tuple, history: Tuple) -> Action:
+        return component_action(dict(frozen), history)
+
+    return TwoPartyProtocol(
+        inputs_a=list(protocol.inputs[leaf]),
+        inputs_b=frozen_inputs,
+        action_a=leaf_action,
+        action_b=component_action_frozen,
+        max_depth=protocol.max_steps,
+    )
+
+
+def xor_tree_protocol(chain: int = 3) -> TreeProtocol:
+    """A path of ``chain`` nodes computing XOR of all input bits.
+
+    Node 0 announces its bit toward node 1; each internal node forwards
+    the accumulated XOR onward; the last node XORs its own bit and
+    floods the result back. Everyone outputs the result. The *last*
+    node sees everything before committing — the tree dictator the
+    search should find.
+    """
+    if chain < 2:
+        raise ConfigurationError("chain needs at least 2 nodes")
+    edges = [(i, i + 1) for i in range(chain - 1)]
+    inputs = {i: [0, 1] for i in range(chain)}
+
+    def make_action(i: int) -> NodeAction:
+        def act(bit: int, history: Tuple) -> Action:
+            received_in = [m for (_, d, m) in history if d == "in"]
+            sent = [m for (_, d, m) in history if d == "out"]
+            if i == 0:
+                if not sent:
+                    return Action("send", (1, bit))
+                if received_in:
+                    return Action("output", received_in[-1])
+                return Action("wait")
+            upstream, downstream = i - 1, i + 1
+            if i < chain - 1:
+                if received_in and len(sent) == 0:
+                    return Action("send", (downstream, received_in[0] ^ bit))
+                if len(received_in) >= 2 and len(sent) == 1:
+                    return Action("send", (upstream, received_in[1]))
+                if len(received_in) >= 2:
+                    return Action("output", received_in[1])
+                return Action("wait")
+            # Last node: fold own bit, report back, output.
+            if received_in and not sent:
+                return Action("send", (upstream, received_in[0] ^ bit))
+            if sent:
+                return Action("output", sent[0])
+            return Action("wait")
+
+        return act
+
+    actions = {i: make_action(i) for i in range(chain)}
+    return TreeProtocol(edges, inputs, actions, max_steps=4 * chain)

@@ -1,0 +1,22 @@
+"""Shared utilities: errors, modular arithmetic, and RNG management."""
+
+from repro.util.errors import (
+    ReproError,
+    SimulationError,
+    ProtocolViolation,
+    ConfigurationError,
+)
+from repro.util.modmath import mod_sum, mod_sub, canonical_mod
+from repro.util.rng import RngRegistry, derive_seed
+
+__all__ = [
+    "ReproError",
+    "SimulationError",
+    "ProtocolViolation",
+    "ConfigurationError",
+    "mod_sum",
+    "mod_sub",
+    "canonical_mod",
+    "RngRegistry",
+    "derive_seed",
+]

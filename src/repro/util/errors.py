@@ -1,0 +1,36 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with one ``except`` clause.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A simulation, protocol, or attack was configured inconsistently.
+
+    Examples: a ring of size 0, a coalition referencing unknown processor
+    ids, an attack placed on a topology it does not support.
+    """
+
+
+class SimulationError(ReproError):
+    """The simulator reached an internal inconsistency.
+
+    This indicates a bug in the simulator or a strategy that violated the
+    execution model (e.g. sending on a non-existent link), not a legitimate
+    protocol failure — protocol failures are modelled as ``FAIL`` outcomes,
+    never as exceptions.
+    """
+
+
+class ProtocolViolation(ReproError):
+    """A strategy performed an action the model forbids.
+
+    Raised when a strategy tries to act after terminating, sends to a
+    non-neighbour, or otherwise steps outside the LOCAL model. Adversarial
+    *message content* is always legal; only model violations raise.
+    """

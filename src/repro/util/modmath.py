@@ -1,0 +1,34 @@
+"""Modular arithmetic helpers used by the ring protocols.
+
+The paper works with secret values in ``[n] = {1..n}`` summed modulo ``n``;
+we represent values as residues in ``{0, .., n-1}`` internally and treat the
+elected id as ``sum mod n`` with 0 mapping onto processor id ``n`` where ids
+are 1-based. All helpers here are pure functions on ints.
+"""
+
+from typing import Iterable
+
+
+def canonical_mod(value: int, modulus: int) -> int:
+    """Reduce ``value`` into ``{0, .., modulus-1}``.
+
+    Python's ``%`` already yields non-negative residues for positive moduli;
+    this wrapper exists to validate the modulus and to make intent explicit
+    at call sites.
+    """
+    if modulus <= 0:
+        raise ValueError(f"modulus must be positive, got {modulus}")
+    return value % modulus
+
+
+def mod_sum(values: Iterable[int], modulus: int) -> int:
+    """Sum ``values`` modulo ``modulus``."""
+    total = 0
+    for v in values:
+        total += v
+    return canonical_mod(total, modulus)
+
+
+def mod_sub(a: int, b: int, modulus: int) -> int:
+    """Return ``a - b (mod modulus)`` as a canonical residue."""
+    return canonical_mod(a - b, modulus)

@@ -1,0 +1,21 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.sim.topology import unidirectional_ring
+from repro.util.rng import RngRegistry
+
+
+@pytest.fixture
+def ring8():
+    return unidirectional_ring(8)
+
+
+@pytest.fixture
+def ring16():
+    return unidirectional_ring(16)
+
+
+@pytest.fixture
+def rng():
+    return RngRegistry(12345)

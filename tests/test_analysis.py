@@ -1,0 +1,100 @@
+"""Unit tests for the analysis toolkit."""
+
+import pytest
+
+from repro.analysis.bias import BiasReport, attack_success_rate, empirical_bias
+from repro.analysis.distribution import (
+    OutcomeDistribution,
+    chi_square_uniformity,
+    estimate_distribution,
+)
+from repro.analysis.sync import honest_sync_profile, sync_gap_for
+from repro.attacks.basic_cheat import basic_cheat_protocol
+from repro.protocols.alead_uni import alead_uni_protocol
+from repro.sim.execution import FAIL, run_protocol
+from repro.sim.topology import unidirectional_ring
+
+
+class TestDistribution:
+    def test_histogram_counts(self):
+        topo = unidirectional_ring(4)
+        dist = estimate_distribution(topo, alead_uni_protocol, trials=50)
+        assert dist.trials == 50
+        assert sum(dist.counts.values()) == 50
+        assert dist.fail_count == 0
+
+    def test_probability(self):
+        dist = OutcomeDistribution(n=4, trials=10)
+        dist.counts[2] = 5
+        dist.counts[FAIL] = 5
+        assert dist.probability(2) == 0.5
+        assert dist.fail_rate == 0.5
+        assert dist.max_probability() == 0.5
+
+    def test_zero_trials_safe(self):
+        dist = OutcomeDistribution(n=4, trials=0)
+        assert dist.fail_rate == 0.0
+        assert dist.max_probability() == 0.0
+
+    def test_chi_square_uniform_accepts(self):
+        dist = OutcomeDistribution(n=4, trials=400)
+        for j in range(1, 5):
+            dist.counts[j] = 100
+        assert chi_square_uniformity(dist) > 0.9
+
+    def test_chi_square_skew_rejects(self):
+        dist = OutcomeDistribution(n=4, trials=400)
+        dist.counts[1] = 400
+        assert chi_square_uniformity(dist) < 1e-6
+
+    def test_chi_square_empty(self):
+        assert chi_square_uniformity(OutcomeDistribution(n=4, trials=0)) == 1.0
+
+    def test_fallback_matches_scipy(self):
+        from repro.analysis.distribution import _chi2_sf
+        from scipy.stats import chi2
+
+        for stat, dof in [(3.0, 3), (10.0, 7), (25.0, 15)]:
+            assert _chi2_sf(stat, dof) == pytest.approx(
+                float(chi2.sf(stat, dof)), abs=0.01
+            )
+
+
+class TestBias:
+    def test_honest_bias_near_zero(self):
+        topo = unidirectional_ring(4)
+        report = empirical_bias(topo, alead_uni_protocol, trials=200)
+        assert report.fail_rate == 0.0
+        assert report.epsilon < 0.15  # sampling noise at 200 trials
+
+    def test_attack_bias_near_one(self):
+        topo = unidirectional_ring(6)
+        report = empirical_bias(
+            topo, lambda t: basic_cheat_protocol(t, 2, 3), trials=40
+        )
+        assert report.max_probability == 1.0
+        assert report.epsilon == pytest.approx(1 - 1 / 6)
+
+    def test_attack_success_rate(self):
+        topo = unidirectional_ring(6)
+        rate = attack_success_rate(
+            topo,
+            lambda t, w: basic_cheat_protocol(t, 2, w),
+            target=5,
+            trials=20,
+        )
+        assert rate == 1.0
+
+    def test_report_epsilon_clamped(self):
+        report = BiasReport(n=10, trials=5, max_probability=0.05, fail_rate=0)
+        assert report.epsilon == 0.0
+
+
+class TestSync:
+    def test_gap_helpers(self):
+        topo = unidirectional_ring(8)
+        res = run_protocol(topo, alead_uni_protocol(topo), seed=4)
+        assert sync_gap_for(res) <= 1
+        profile = honest_sync_profile(res, coalition=[2, 6])
+        assert set(profile) == {"overall", "coalition", "honest"}
+        assert profile["coalition"] <= profile["overall"] + 1

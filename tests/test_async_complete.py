@@ -1,0 +1,139 @@
+"""Tests for the Shamir-based asynchronous complete-network baseline."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.attacks.shamir_pool import shamir_pooling_attack_protocol
+from repro.protocols.async_complete import (
+    async_complete_protocol,
+    default_threshold,
+)
+from repro.sim.execution import FAIL, run_protocol
+from repro.sim.topology import complete_graph, unidirectional_ring
+from repro.util.errors import ConfigurationError
+
+
+class TestHonestBaseline:
+    @pytest.mark.parametrize("n", [2, 3, 5, 8, 12])
+    def test_honest_run_succeeds(self, n):
+        g = complete_graph(n)
+        res = run_protocol(g, async_complete_protocol(g), seed=n)
+        assert not res.failed, res.fail_reason
+        assert 1 <= res.outcome <= n
+        assert set(res.outputs.values()) == {res.outcome}
+
+    @given(n=st.integers(2, 9), seed=st.integers(0, 10**6))
+    @settings(max_examples=20, deadline=None)
+    def test_honest_property(self, n, seed):
+        g = complete_graph(n)
+        res = run_protocol(g, async_complete_protocol(g), seed=seed)
+        assert not res.failed
+
+    def test_rejects_ring(self):
+        ring = unidirectional_ring(5)
+        with pytest.raises(ConfigurationError):
+            async_complete_protocol(ring)
+
+    def test_default_threshold(self):
+        assert default_threshold(8) == 4
+        assert default_threshold(9) == 5
+
+    def test_outcomes_vary_over_seeds(self):
+        g = complete_graph(6)
+        outcomes = {
+            run_protocol(g, async_complete_protocol(g), seed=s).outcome
+            for s in range(15)
+        }
+        assert len(outcomes) > 1
+
+
+class TestPoolingAttack:
+    @pytest.mark.parametrize("n", [6, 8, 11])
+    def test_threshold_coalition_controls(self, n):
+        g = complete_graph(n)
+        k = default_threshold(n)
+        coalition = list(range(2, 2 + k))
+        for target in (1, n):
+            res = run_protocol(
+                g,
+                shamir_pooling_attack_protocol(g, coalition, target),
+                seed=target,
+            )
+            assert res.outcome == target, res.fail_reason
+
+    @given(seed=st.integers(0, 10**6))
+    @settings(max_examples=15, deadline=None)
+    def test_pooling_success_property(self, seed):
+        n = 8
+        g = complete_graph(n)
+        coalition = [2, 4, 6, 8]
+        res = run_protocol(
+            g, shamir_pooling_attack_protocol(g, coalition, 3), seed=seed
+        )
+        assert res.outcome == 3
+
+    def test_undetectable(self):
+        """Every honest processor terminates with the target: no aborts."""
+        n = 9
+        g = complete_graph(n)
+        coalition = [1, 3, 5, 7, 9]
+        res = run_protocol(
+            g, shamir_pooling_attack_protocol(g, coalition, 4), seed=2
+        )
+        assert all(out == 4 for out in res.outputs.values())
+
+    def test_below_threshold_rejected(self):
+        """k < ceil(n/2) cannot reconstruct: the resilience boundary."""
+        g = complete_graph(10)
+        with pytest.raises(ConfigurationError):
+            shamir_pooling_attack_protocol(g, [2, 3, 4, 5], 1)
+
+    def test_rejects_bad_target(self):
+        g = complete_graph(6)
+        with pytest.raises(ConfigurationError):
+            shamir_pooling_attack_protocol(g, [1, 2, 3], 7)
+
+
+class TestTamperDetection:
+    def test_reveal_tampering_caught(self):
+        """An adversary lying in the reveal phase is punished with FAIL."""
+        from repro.protocols.async_complete import (
+            REVEAL,
+            AsyncCompleteLeadStrategy,
+        )
+        from repro.secretshare.shamir import Share, ShamirScheme
+
+        n = 6
+        g = complete_graph(n)
+
+        class RevealLiar(AsyncCompleteLeadStrategy):
+            """Honest except it corrupts one share in its reveal vector."""
+
+            def _on_share(self, ctx, value, sender):
+                # Reuse honest logic but intercept the reveal broadcast by
+                # corrupting our stored share of processor 3's secret just
+                # before the reveal fires.
+                _, owner, share = value
+                self.my_shares[owner] = share
+                if len(self.my_shares) == self.n and not self.revealed:
+                    self.revealed = True
+                    corrupted = dict(self.my_shares)
+                    s3 = corrupted[3]
+                    corrupted[3] = Share(s3.x, (s3.y + 1) % self.scheme.field.p)
+                    vector = tuple(sorted(corrupted.items()))
+                    for j in range(1, self.n + 1):
+                        if j != self.pid:
+                            ctx.send(j, (REVEAL, vector))
+                    self._absorb_vector(tuple(sorted(self.my_shares.items())))
+                    self._maybe_finish(ctx)
+
+        scheme = ShamirScheme(n, default_threshold(n), modulus=n)
+        protocol = {
+            pid: AsyncCompleteLeadStrategy(pid, n, scheme) for pid in g.nodes
+        }
+        protocol[5] = RevealLiar(5, n, scheme)
+        res = run_protocol(g, protocol, seed=3)
+        assert res.outcome == FAIL
+        assert "abort" in res.fail_reason or "tampering" in str(res.fail_reason)

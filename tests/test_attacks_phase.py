@@ -1,0 +1,142 @@
+"""Integration tests: attacks on the PhaseAsync protocols (E.4, Thm 6.1)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.attacks.partial_sum import partial_sum_attack_protocol
+from repro.attacks.phase_rushing import phase_rushing_attack_protocol
+from repro.protocols.phase_async import PhaseAsyncParams
+from repro.sim.execution import FAIL, run_protocol
+from repro.sim.topology import unidirectional_ring
+from repro.util.errors import ConfigurationError
+
+
+class TestPartialSumAttack:
+    @pytest.mark.parametrize("L", [4, 6, 10])
+    def test_k4_controls_sum_variant(self, L):
+        n = 4 * L + 4
+        topo = unidirectional_ring(n)
+        for target in (1, n // 2, n):
+            res = run_protocol(
+                topo, partial_sum_attack_protocol(topo, 4, target),
+                seed=target,
+            )
+            assert res.outcome == target, res.fail_reason
+
+    @given(seed=st.integers(0, 10**6), target=st.integers(1, 28))
+    @settings(max_examples=20, deadline=None)
+    def test_success_independent_of_secrets(self, seed, target):
+        n = 28  # L = 6
+        topo = unidirectional_ring(n)
+        res = run_protocol(
+            topo, partial_sum_attack_protocol(topo, 4, target), seed=seed
+        )
+        assert res.outcome == target
+
+    def test_k5_also_works(self):
+        """The covert chain generalizes beyond the paper's k=4."""
+        k, L = 5, 5
+        n = k * (L + 1)  # 30
+        topo = unidirectional_ring(n)
+        res = run_protocol(
+            topo, partial_sum_attack_protocol(topo, k, 11), seed=8
+        )
+        assert res.outcome == 11
+
+    def test_fails_against_random_f(self):
+        """The same deviation cannot steer the real PhaseAsyncLead."""
+        n = 44
+        topo = unidirectional_ring(n)
+        params = PhaseAsyncParams(n=n)
+        res = run_protocol(
+            topo,
+            partial_sum_attack_protocol(topo, 4, 7, params=params),
+            seed=11,
+        )
+        assert res.outcome != 7
+        assert res.outcome == FAIL  # segments reconstruct different inputs
+
+    def test_rejects_small_k(self):
+        topo = unidirectional_ring(20)
+        with pytest.raises(ConfigurationError):
+            partial_sum_attack_protocol(topo, 3, 1)
+
+    def test_rejects_uneven_segments(self):
+        topo = unidirectional_ring(21)
+        with pytest.raises(ConfigurationError):
+            partial_sum_attack_protocol(topo, 4, 1)
+
+    def test_rejects_short_segments(self):
+        topo = unidirectional_ring(12)  # L = 2 < 4
+        with pytest.raises(ConfigurationError):
+            partial_sum_attack_protocol(topo, 4, 1)
+
+
+class TestPhaseRushingAttack:
+    @pytest.mark.parametrize("n", [36, 64, 100])
+    def test_sqrt_plus_three_controls_outcome(self, n):
+        k = math.isqrt(n) + 3
+        topo = unidirectional_ring(n)
+        params = PhaseAsyncParams(n=n)
+        for target in (1, n // 2):
+            res = run_protocol(
+                topo,
+                phase_rushing_attack_protocol(topo, k, target, params=params),
+                seed=target,
+            )
+            assert res.outcome == target, res.fail_reason
+
+    def test_works_across_keys(self):
+        """Theorem 6.1's tightness holds 'w.h.p. over f': try many keys."""
+        n, k = 49, 10
+        topo = unidirectional_ring(n)
+        wins = 0
+        for key in range(5):
+            params = PhaseAsyncParams(n=n, key=key)
+            res = run_protocol(
+                topo,
+                phase_rushing_attack_protocol(topo, k, 30, params=params),
+                seed=key,
+            )
+            wins += res.outcome == 30
+        assert wins == 5
+
+    @given(seed=st.integers(0, 10**6))
+    @settings(max_examples=10, deadline=None)
+    def test_success_property(self, seed):
+        n, k = 36, 9
+        topo = unidirectional_ring(n)
+        res = run_protocol(
+            topo, phase_rushing_attack_protocol(topo, k, 18), seed=seed
+        )
+        assert res.outcome == 18
+
+    def test_rejects_segments_too_long(self):
+        """k below √n leaves segments > k-3: precondition fails."""
+        n = 100
+        topo = unidirectional_ring(n)
+        with pytest.raises(ConfigurationError):
+            phase_rushing_attack_protocol(topo, 6, 1)
+
+    def test_rejects_small_ell(self):
+        n, k = 36, 9
+        topo = unidirectional_ring(n)
+        params = PhaseAsyncParams(n=n, ell=4)  # ell < k
+        with pytest.raises(ConfigurationError):
+            phase_rushing_attack_protocol(topo, k, 1, params=params)
+
+    def test_adversaries_solve_for_different_segments(self):
+        """Each adversary's reconstruction differs, yet all force w."""
+        n, k = 36, 9
+        topo = unidirectional_ring(n)
+        proto = phase_rushing_attack_protocol(topo, k, 5)
+        res = run_protocol(topo, proto, seed=77)
+        assert res.outcome == 5
+        from repro.attacks.phase_rushing import PhaseRushingAdversary
+
+        advs = [s for s in proto.values() if isinstance(s, PhaseRushingAdversary)]
+        assert all(a.solved for a in advs)
+        choices = {tuple(a.choices) for a in advs}
+        assert len(choices) > 1  # independent per-segment brute forces

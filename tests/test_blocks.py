@@ -1,0 +1,269 @@
+"""Tests for the Afek et al. building blocks (knowledge/consensus/renaming)."""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.distribution import (
+    OutcomeDistribution,
+    chi_square_uniformity,
+)
+from repro.blocks import (
+    fair_consensus_protocol,
+    fair_renaming_protocol,
+    knowledge_sharing_protocol,
+)
+from repro.blocks.renaming import my_name
+from repro.sim.execution import FAIL, run_protocol
+from repro.sim.topology import Topology, unidirectional_ring
+from repro.util.errors import ConfigurationError
+
+
+class TestKnowledgeSharing:
+    @pytest.mark.parametrize("n", [2, 3, 5, 9, 16])
+    def test_everyone_learns_everything(self, n):
+        ring = unidirectional_ring(n)
+        proto = knowledge_sharing_protocol(
+            ring, payload_fn=lambda ctx: ctx.rng.randrange(1000)
+        )
+        res = run_protocol(ring, proto, seed=n)
+        assert not res.failed, res.fail_reason
+        # Unanimous vector: everyone holds the same attribution.
+        assert len(set(res.outputs.values())) == 1
+        vector = res.outcome
+        assert len(vector) == n
+        # Attribution correct: entry i-1 is processor i's payload.
+        for pid in ring.nodes:
+            assert vector[pid - 1] == proto[pid].payload
+
+    @given(n=st.integers(2, 14), seed=st.integers(0, 10**5))
+    @settings(max_examples=25, deadline=None)
+    def test_property_attribution(self, n, seed):
+        ring = unidirectional_ring(n)
+        proto = knowledge_sharing_protocol(
+            ring, payload_fn=lambda ctx: ctx.rng.randrange(10**6)
+        )
+        res = run_protocol(ring, proto, seed=seed)
+        assert not res.failed
+        for pid in ring.nodes:
+            assert res.outcome[pid - 1] == proto[pid].payload
+
+    def test_arbitrary_payloads(self):
+        ring = unidirectional_ring(4)
+        proto = knowledge_sharing_protocol(
+            ring, payload_fn=lambda ctx: ("blob", ctx.rng.random())
+        )
+        res = run_protocol(ring, proto, seed=1)
+        assert not res.failed
+        assert all(v[0] == "blob" for v in res.outcome)
+
+    def test_requires_canonical_ids(self):
+        topo = Topology(["a", "b"], [("a", "b"), ("b", "a")])
+        with pytest.raises(ConfigurationError):
+            knowledge_sharing_protocol(topo, payload_fn=lambda ctx: 0)
+
+    def test_message_counts_match_alead(self):
+        """The block inherits A-LEADuni's n-messages-per-processor shape."""
+        n = 8
+        ring = unidirectional_ring(n)
+        proto = knowledge_sharing_protocol(ring, payload_fn=lambda ctx: 1)
+        res = run_protocol(ring, proto, seed=0)
+        for pid in ring.nodes:
+            assert res.trace.sent_count(pid) == n
+
+
+class TestFairConsensus:
+    @pytest.mark.parametrize("n", [3, 5, 8])
+    def test_decides_some_input(self, n):
+        ring = unidirectional_ring(n)
+        inputs = {pid: f"input-{pid}" for pid in ring.nodes}
+        res = run_protocol(
+            ring, fair_consensus_protocol(ring, lambda p: inputs[p]), seed=n
+        )
+        assert not res.failed, res.fail_reason
+        assert res.outcome in inputs.values()
+
+    def test_decision_uniform_over_inputs(self):
+        n = 5
+        ring = unidirectional_ring(n)
+        counts = Counter()
+        for s in range(300):
+            res = run_protocol(
+                ring, fair_consensus_protocol(ring, lambda p: p), seed=s
+            )
+            assert not res.failed
+            counts[res.outcome] += 1
+        dist = OutcomeDistribution(n=n, trials=300, counts=counts)
+        assert chi_square_uniformity(dist) > 1e-4
+
+    def test_agreement(self):
+        """All processors decide the same value (consensus validity)."""
+        ring = unidirectional_ring(6)
+        res = run_protocol(
+            ring, fair_consensus_protocol(ring, lambda p: p * 11), seed=2
+        )
+        assert len(set(res.outputs.values())) == 1
+
+    @given(seed=st.integers(0, 10**5))
+    @settings(max_examples=20, deadline=None)
+    def test_property_validity(self, seed):
+        n = 7
+        ring = unidirectional_ring(n)
+        res = run_protocol(
+            ring, fair_consensus_protocol(ring, lambda p: ("v", p)), seed=seed
+        )
+        assert not res.failed
+        assert res.outcome in {("v", p) for p in range(1, n + 1)}
+
+
+class TestFairRenaming:
+    @pytest.mark.parametrize("n", [2, 4, 7, 12])
+    def test_names_are_a_rotation(self, n):
+        ring = unidirectional_ring(n)
+        res = run_protocol(ring, fair_renaming_protocol(ring), seed=n)
+        assert not res.failed, res.fail_reason
+        names = [my_name(res.outcome, pid) for pid in ring.nodes]
+        assert sorted(names) == list(range(1, n + 1))
+        # Order preserved: successor's name is mine + 1 (mod n).
+        for pid in ring.nodes:
+            succ = pid % n + 1
+            assert my_name(res.outcome, succ) == names[pid - 1] % n + 1
+
+    def test_each_name_uniform(self):
+        n = 5
+        ring = unidirectional_ring(n)
+        counts = Counter()
+        for s in range(300):
+            res = run_protocol(ring, fair_renaming_protocol(ring), seed=s)
+            counts[my_name(res.outcome, 1)] += 1
+        dist = OutcomeDistribution(n=n, trials=300, counts=counts)
+        assert chi_square_uniformity(dist) > 1e-4
+
+    def test_my_name_rejects_unknown(self):
+        ring = unidirectional_ring(3)
+        res = run_protocol(ring, fair_renaming_protocol(ring), seed=1)
+        with pytest.raises(ConfigurationError):
+            my_name(res.outcome, 9)
+
+
+class TestBlocksUnderAttack:
+    def test_rushing_coalition_steers_position_but_is_punished(self):
+        """The blocks inherit the ring's attack surface *and* punishment.
+
+        A rushing coalition can steer every segment's residue sum to a
+        target position (the A-LEADuni attack applied to the residue
+        component of the payload). But rushing scrambles the *payload
+        attribution* — different segments reconstruct different values at
+        the elected position — so consensus outputs disagree and the
+        outcome is FAIL: the deviation steers the election yet cannot
+        silently hijack the decided value.
+        """
+        from repro.attacks.equal_spacing import RushingAdversary
+        from repro.attacks.placement import RingPlacement
+        from repro.protocols.outcome import id_to_residue, residue_to_id
+        from repro.util.modmath import canonical_mod
+
+        n, k = 25, 5
+        ring = unidirectional_ring(n)
+        pl = RingPlacement.equal_spacing(n, k)
+        target = 13
+
+        class ConsensusRusher(RushingAdversary):
+            """Rushes (input, residue) payloads, steering residue sums."""
+
+            def on_receive(self, ctx, value, sender):
+                self.received.append(value)
+                count = len(self.received)
+                if count < self.n - self.k:
+                    ctx.send_next(value)
+                    return
+                if count > self.n - self.k:
+                    return
+                ctx.send_next(value)
+                residues = sum(v[1] for v in self.received) % self.n
+                replay = self.received[-self.segment_length:]
+                m_res = canonical_mod(
+                    id_to_residue(target, self.n)
+                    - residues
+                    - sum(v[1] for v in replay),
+                    self.n,
+                )
+                ctx.send_next(("fake", m_res))
+                for _ in range(self.k - self.segment_length - 1):
+                    ctx.send_next(("fake", 0))
+                for v in replay:
+                    ctx.send_next(v)
+                ctx.terminate(None)
+
+        inputs = {pid: f"input-{pid}" for pid in ring.nodes}
+        protocol = fair_consensus_protocol(ring, lambda p: inputs[p])
+        for j, pid in enumerate(pl.positions):
+            protocol[pid] = ConsensusRusher(n, k, pl.distances()[j], target)
+        res = run_protocol(ring, protocol, seed=3)
+
+        # The steering itself worked: every adversary's outgoing residue
+        # sum names the target position.
+        for pid in pl.positions:
+            sent = res.trace.sent_values(pid)[:n]
+            total = sum(v[1] for v in sent) % n
+            assert residue_to_id(total, n) == target
+
+        # ...but attribution scrambling makes honest outputs disagree, so
+        # the run is punished rather than silently hijacked.
+        honest_outputs = {
+            out for pid, out in res.outputs.items()
+            if pid not in set(pl.positions)
+        }
+        assert len(honest_outputs) > 1
+        assert res.outcome == FAIL
+
+    def test_rushing_coalition_fully_hijacks_renaming(self):
+        """Contrast: renaming's output is a function of the residue sum
+        *alone* (a rotation), so steering the sum hijacks the whole name
+        assignment undetectably — no attribution scrambling can save it.
+
+        The paper's lesson in miniature: an output rule that depends
+        only on a steerable statistic is controlled outright; one that
+        depends on the full attributed transcript (consensus) at least
+        converts the attack into a punished failure; PhaseAsyncLead's
+        random f makes even steering infeasible below √n.
+        """
+        from repro.attacks.equal_spacing import RushingAdversary
+        from repro.attacks.placement import RingPlacement
+        from repro.protocols.outcome import id_to_residue
+        from repro.util.modmath import canonical_mod
+
+        n, k = 25, 5
+        ring = unidirectional_ring(n)
+        pl = RingPlacement.equal_spacing(n, k)
+        target_leader = 7  # the position that will receive name 1
+
+        class RenamingRusher(RushingAdversary):
+            def _burst(self, ctx):
+                l = self.segment_length
+                total = sum(self.received) % self.n
+                replay = self.received[len(self.received) - l:]
+                m_value = canonical_mod(
+                    id_to_residue(target_leader, self.n)
+                    - total
+                    - sum(replay),
+                    self.n,
+                )
+                ctx.send_next(m_value)
+                for _ in range(self.k - l - 1):
+                    ctx.send_next(0)
+                for v in replay:
+                    ctx.send_next(v)
+                expected = tuple(
+                    (pos, (pos - target_leader) % self.n + 1)
+                    for pos in range(1, self.n + 1)
+                )
+                ctx.terminate(expected)
+
+        protocol = fair_renaming_protocol(ring)
+        for j, pid in enumerate(pl.positions):
+            protocol[pid] = RenamingRusher(n, k, pl.distances()[j], 0)
+        res = run_protocol(ring, protocol, seed=6)
+        assert not res.failed, res.fail_reason
+        assert my_name(res.outcome, target_leader) == 1  # coalition's pick

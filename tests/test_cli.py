@@ -1,0 +1,86 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "--protocol", "alead-uni"])
+        assert args.n == 16 and args.seed == 0
+
+
+class TestCommands:
+    def test_run_success(self, capsys):
+        rc = main(["run", "--protocol", "alead-uni", "--n", "8", "--seed", "1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "outcome" in out
+
+    def test_run_all_protocols(self):
+        for name in ("basic-lead", "alead-uni", "phase-async", "async-complete"):
+            assert main(["run", "--protocol", name, "--n", "6"]) == 0
+
+    def test_attack_basic_cheat(self, capsys):
+        rc = main(
+            ["attack", "--name", "basic-cheat", "--n", "8", "--target", "3"]
+        )
+        assert rc == 0
+        assert "FORCED" in capsys.readouterr().out
+
+    def test_attack_rushing(self):
+        assert main(
+            ["attack", "--name", "rushing", "--n", "25", "--target", "5"]
+        ) == 0
+
+    def test_attack_cubic(self):
+        assert main(
+            ["attack", "--name", "cubic", "--n", "34", "--k", "4",
+             "--target", "9"]
+        ) == 0
+
+    def test_attack_partial_sum(self):
+        assert main(
+            ["attack", "--name", "partial-sum", "--n", "28", "--target", "2"]
+        ) == 0
+
+    def test_attack_phase_rushing(self):
+        assert main(
+            ["attack", "--name", "phase-rushing", "--n", "36", "--target", "4"]
+        ) == 0
+
+    def test_attack_shamir_pool(self):
+        assert main(
+            ["attack", "--name", "shamir-pool", "--n", "8", "--target", "6"]
+        ) == 0
+
+    def test_bias(self, capsys):
+        rc = main(
+            ["bias", "--protocol", "basic-lead", "--n", "6", "--trials", "60"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "epsilon" in out
+
+    def test_certificate(self, capsys):
+        rc = main(["certificate", "--graph", "complete", "--n", "8"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Theorem 7.2" in out
+
+    def test_frontier(self, capsys):
+        rc = main(["frontier", "--sizes", "36"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "smallest forcing" in out
+
+    def test_fuzz(self, capsys):
+        rc = main(["fuzz", "--n", "12", "--k", "2", "--samples", "10"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "punished" in out

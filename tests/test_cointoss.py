@@ -1,0 +1,108 @@
+"""Tests for the Section 8 reductions (Theorem 8.1)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cointoss.protocols import (
+    CoinTossRunner,
+    independent_coin_fle,
+)
+from repro.cointoss.reductions import (
+    coin_bias_bound_from_fle,
+    coin_toss_from_leader_election,
+    fle_bias_bound_from_coin,
+    leader_election_from_coin_toss,
+)
+from repro.protocols.alead_uni import alead_uni_protocol
+from repro.sim.execution import FAIL
+from repro.sim.topology import unidirectional_ring
+from repro.util.errors import ConfigurationError
+from repro.util.rng import RngRegistry
+
+
+class TestOutcomeMaps:
+    def test_fle_to_coin(self):
+        assert coin_toss_from_leader_election(4, 8) == 0
+        assert coin_toss_from_leader_election(5, 8) == 1
+        assert coin_toss_from_leader_election(FAIL, 8) == FAIL
+
+    def test_fle_to_coin_rejects_bad(self):
+        with pytest.raises(ConfigurationError):
+            coin_toss_from_leader_election(9, 8)
+
+    def test_coin_to_fle_encoding(self):
+        assert leader_election_from_coin_toss([0, 0, 0], 8) == 1
+        assert leader_election_from_coin_toss([1, 1, 1], 8) == 8
+        assert leader_election_from_coin_toss([0, 1, 0], 8) == 3
+
+    def test_coin_to_fle_fail_propagates(self):
+        assert leader_election_from_coin_toss([0, FAIL, 1], 8) == FAIL
+
+    def test_coin_to_fle_needs_power_of_two(self):
+        with pytest.raises(ConfigurationError):
+            leader_election_from_coin_toss([0, 1], 6)
+
+    def test_coin_to_fle_needs_right_count(self):
+        with pytest.raises(ConfigurationError):
+            leader_election_from_coin_toss([0, 1], 8)
+
+    @given(st.integers(1, 6), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_encoding_bijective(self, rounds, data):
+        n = 2**rounds
+        bits = data.draw(
+            st.lists(st.integers(0, 1), min_size=rounds, max_size=rounds)
+        )
+        leader = leader_election_from_coin_toss(bits, n)
+        assert 1 <= leader <= n
+        # invert
+        back = [(leader - 1 >> (rounds - 1 - i)) & 1 for i in range(rounds)]
+        assert back == bits
+
+
+class TestBiasBounds:
+    def test_coin_bound(self):
+        assert coin_bias_bound_from_fle(8, 0.01) == pytest.approx(0.04)
+
+    def test_fle_bound_zero_eps(self):
+        # Perfect coins give a perfect FLE: bound collapses to 0.
+        assert fle_bias_bound_from_coin(8, 0.0) == pytest.approx(0.0)
+
+    def test_fle_bound_monotone(self):
+        assert fle_bias_bound_from_coin(8, 0.1) > fle_bias_bound_from_coin(
+            8, 0.01
+        )
+
+
+class TestRunners:
+    def test_coin_runner_balanced(self):
+        topo = unidirectional_ring(8)
+        runner = CoinTossRunner(topo, alead_uni_protocol)
+        results = [runner.toss(RngRegistry(s)) for s in range(120)]
+        assert FAIL not in results
+        ones = sum(results)
+        assert 30 <= ones <= 90  # crude balance check
+
+    def test_independent_coin_fle_uniform(self):
+        topo = unidirectional_ring(8)  # ring size just hosts the coin
+        from collections import Counter
+
+        counts = Counter()
+        for s in range(80):
+            leader = independent_coin_fle(
+                topo, alead_uni_protocol, n_leader=4, rng=RngRegistry(s)
+            )
+            counts[leader] += 1
+        assert set(counts) <= {1, 2, 3, 4}
+        assert len(counts) == 4
+
+    def test_biased_fle_propagates_to_coin(self):
+        """An FLE forced to an even id makes the coin constant 0."""
+        from repro.attacks.basic_cheat import basic_cheat_protocol
+
+        topo = unidirectional_ring(8)
+        runner = CoinTossRunner(
+            topo, lambda t: basic_cheat_protocol(t, 2, target=4)
+        )
+        results = {runner.toss(RngRegistry(s)) for s in range(10)}
+        assert results == {0}

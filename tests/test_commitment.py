@@ -1,0 +1,144 @@
+"""Commitment-structure tests: information timing is the whole game.
+
+The buffering delay means a processor's secret is committed before any
+information about the others reaches it (the second observation in
+Section 5). These tests make the point operationally: an adversary that
+*keeps the protocol's message discipline* but chooses its secret
+adaptively — as any function of what it has seen so far — gains exactly
+nothing, because at secret-choice time it has seen nothing that
+correlates with the honest secrets it would need.
+"""
+
+from collections import Counter
+
+from repro.analysis.distribution import (
+    OutcomeDistribution,
+    chi_square_uniformity,
+)
+from repro.protocols.alead_uni import (
+    ALeadNormalStrategy,
+    ALeadOriginStrategy,
+)
+from repro.protocols.outcome import residue_to_id
+from repro.sim.execution import run_protocol
+from repro.sim.strategy import Context, Strategy
+from repro.sim.topology import unidirectional_ring
+from repro.util.modmath import canonical_mod
+
+
+class AdaptiveSecretAdversary(Strategy):
+    """Honest-discipline A-LEADuni processor with an adaptive secret.
+
+    Identical to the honest normal strategy except the value it commits
+    as its "secret" is an arbitrary function of its (empty!) pre-commit
+    view — modelled as a fixed preferred residue. Because commitment
+    precedes information, this cannot shift the outcome distribution.
+    """
+
+    def __init__(self, n: int, preferred_residue: int):
+        self.n = n
+        self.secret = preferred_residue % n
+        self.buffer = self.secret
+        self.rounds = 0
+        self.total = 0
+
+    def on_wakeup(self, ctx: Context) -> None:
+        pass
+
+    def on_receive(self, ctx: Context, value, sender) -> None:
+        value = canonical_mod(int(value), self.n)
+        ctx.send_next(self.buffer)
+        self.buffer = value
+        self.rounds += 1
+        self.total = canonical_mod(self.total + value, self.n)
+        if self.rounds == self.n:
+            if value == self.secret:
+                ctx.terminate(residue_to_id(self.total, self.n))
+            else:
+                ctx.abort("own value did not return")
+
+
+def test_adaptive_secret_gains_nothing():
+    """Pinning one's own secret leaves the outcome uniform.
+
+    The adversary always contributes residue 0 hoping to elect itself;
+    the other n-1 uniform secrets re-randomize the sum completely, so
+    its election probability stays at 1/n.
+    """
+    n = 8
+    adversary_pid = 3
+    ring = unidirectional_ring(n)
+    counts = Counter()
+    trials = 400
+    for s in range(trials):
+        protocol = {
+            pid: (
+                ALeadOriginStrategy(n)
+                if pid == 1
+                else ALeadNormalStrategy(n)
+            )
+            for pid in ring.nodes
+        }
+        protocol[adversary_pid] = AdaptiveSecretAdversary(
+            n, preferred_residue=adversary_pid
+        )
+        res = run_protocol(ring, protocol, seed=s)
+        counts[res.outcome] += 1
+    dist = OutcomeDistribution(n=n, trials=trials, counts=counts)
+    assert dist.fail_count == 0
+    assert chi_square_uniformity(dist) > 1e-4
+    # In particular the adversary itself is not elected above 1/n + noise.
+    assert dist.probability(adversary_pid) < 1.0 / n + 0.07
+
+
+def test_consecutive_coalition_with_chosen_secrets_uniform():
+    """Claim D.1 empirically: a *consecutive* coalition that keeps the
+    message discipline but pins all its secrets cannot bias the election
+    — the honest segment's secrets re-randomize the sum completely."""
+    n = 8
+    coalition = [3, 4, 5]  # consecutive along the ring
+    ring = unidirectional_ring(n)
+    counts = Counter()
+    trials = 400
+    for s in range(trials):
+        protocol = {
+            pid: (
+                ALeadOriginStrategy(n)
+                if pid == 1
+                else ALeadNormalStrategy(n)
+            )
+            for pid in ring.nodes
+        }
+        for pid in coalition:
+            protocol[pid] = AdaptiveSecretAdversary(n, preferred_residue=0)
+        res = run_protocol(ring, protocol, seed=s)
+        counts[res.outcome] += 1
+    dist = OutcomeDistribution(n=n, trials=trials, counts=counts)
+    assert dist.fail_count == 0
+    assert chi_square_uniformity(dist) > 1e-4
+    for pid in coalition:
+        assert dist.probability(pid) < 1.0 / n + 0.07
+
+
+def test_adaptive_secret_on_basic_lead_also_uniform():
+    """Even on Basic-LEAD, a *non-waiting* fixed secret gains nothing —
+    the Claim B.1 power comes from waiting, not from choosing."""
+    from repro.protocols.basic_lead import BasicLeadStrategy
+
+    class FixedSecretBasic(BasicLeadStrategy):
+        def on_wakeup(self, ctx: Context) -> None:
+            self.secret = 0  # chosen, not random — but sent immediately
+            ctx.send_next(self.secret)
+
+    n = 6
+    ring = unidirectional_ring(n)
+    counts = Counter()
+    trials = 300
+    for s in range(trials):
+        protocol = {pid: BasicLeadStrategy(n) for pid in ring.nodes}
+        protocol[2] = FixedSecretBasic(n)
+        res = run_protocol(ring, protocol, seed=s)
+        counts[res.outcome] += 1
+    dist = OutcomeDistribution(n=n, trials=trials, counts=counts)
+    assert dist.fail_count == 0
+    assert chi_square_uniformity(dist) > 1e-4

@@ -1,0 +1,144 @@
+"""Tests for the Appendix G/H compositions: indexing and wake-up phases."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.distribution import (
+    OutcomeDistribution,
+    chi_square_uniformity,
+)
+from repro.attacks.placement import RingPlacement
+from repro.protocols.indexing import indexed_phase_async_protocol
+from repro.protocols.phase_async import PhaseAsyncParams
+from repro.protocols.wakeup import WakeupALeadStrategy, wakeup_alead_protocol
+from repro.sim.execution import run_protocol
+from repro.sim.topology import Topology, complete_graph, unidirectional_ring
+from repro.util.errors import ConfigurationError
+
+
+def _named_ring(names):
+    edges = [(names[i], names[(i + 1) % len(names)]) for i in range(len(names))]
+    return Topology(names, edges)
+
+
+class TestIndexingPhase:
+    def test_runs_on_arbitrary_ids(self):
+        ring = _named_ring(["a", "b", "c", "d", "e"])
+        res = run_protocol(
+            ring, indexed_phase_async_protocol(ring, origin="a"), seed=1
+        )
+        assert not res.failed, res.fail_reason
+        assert 1 <= res.outcome <= 5
+
+    def test_matches_plain_protocol_on_integer_ring(self):
+        """With ids already 1..n and origin 1, indexing changes nothing
+        about the outcome distribution."""
+        n = 6
+        ring = unidirectional_ring(n)
+        for seed in range(5):
+            res = run_protocol(
+                ring, indexed_phase_async_protocol(ring, origin=1), seed=seed
+            )
+            assert not res.failed
+            assert 1 <= res.outcome <= n
+
+    def test_origin_choice_free(self):
+        ring = _named_ring(["w", "x", "y", "z"])
+        for origin in ("w", "y"):
+            res = run_protocol(
+                ring, indexed_phase_async_protocol(ring, origin=origin), seed=3
+            )
+            assert not res.failed, res.fail_reason
+
+    @given(n=st.integers(2, 12), seed=st.integers(0, 10**5))
+    @settings(max_examples=20, deadline=None)
+    def test_property_success(self, n, seed):
+        ring = unidirectional_ring(n)
+        res = run_protocol(
+            ring, indexed_phase_async_protocol(ring, origin=1), seed=seed
+        )
+        assert not res.failed
+
+    def test_rejects_unknown_origin(self):
+        ring = unidirectional_ring(4)
+        with pytest.raises(ConfigurationError):
+            indexed_phase_async_protocol(ring, origin=9)
+
+    def test_rejects_non_ring(self):
+        g = complete_graph(4)
+        with pytest.raises(ConfigurationError):
+            indexed_phase_async_protocol(g, origin=1)
+
+    def test_rejects_mismatched_params(self):
+        ring = unidirectional_ring(4)
+        with pytest.raises(ConfigurationError):
+            indexed_phase_async_protocol(
+                ring, origin=1, params=PhaseAsyncParams(n=5)
+            )
+
+
+class TestWakeupPhase:
+    def test_runs_on_scrambled_ids(self):
+        ring = _named_ring([42, 7, 99, 13, 55])
+        res = run_protocol(ring, wakeup_alead_protocol(ring), seed=1)
+        assert not res.failed, res.fail_reason
+        assert 1 <= res.outcome <= 5
+
+    @given(n=st.integers(2, 12), seed=st.integers(0, 10**5))
+    @settings(max_examples=20, deadline=None)
+    def test_property_success(self, n, seed):
+        ring = unidirectional_ring(n)
+        res = run_protocol(ring, wakeup_alead_protocol(ring), seed=seed)
+        assert not res.failed
+
+    def test_uniform_outcomes(self):
+        from collections import Counter
+
+        n = 5
+        ring = unidirectional_ring(n)
+        counts = Counter(
+            run_protocol(ring, wakeup_alead_protocol(ring), seed=s).outcome
+            for s in range(300)
+        )
+        dist = OutcomeDistribution(n=n, trials=300, counts=counts)
+        assert dist.fail_count == 0
+        assert chi_square_uniformity(dist) > 1e-4
+
+    def test_rejects_non_ring(self):
+        g = complete_graph(4)
+        with pytest.raises(ConfigurationError):
+            wakeup_alead_protocol(g)
+
+    def test_attack_survives_wakeup(self):
+        """Appendix H: adversaries honest during wake-up still break the
+        main phase — the rushing attack composed behind wake-up."""
+        import math
+
+        n = 25
+        k = math.isqrt(n)
+        ring = unidirectional_ring(n)
+        placement = RingPlacement.equal_spacing(n, k)
+        target = 13
+
+        from repro.attacks.equal_spacing import RushingAdversary
+
+        class WakeupRushingAdversary(WakeupALeadStrategy):
+            """Honest wake-up, then the Lemma 4.1 deviation."""
+
+            def __init__(self, pid, segment_length):
+                super().__init__(pid)
+                self.segment_length = segment_length
+
+            def _finish_wakeup(self, ctx):
+                self.inner = RushingAdversary(
+                    len(self.seen_ids), k, self.segment_length, target
+                )
+                self.inner.on_wakeup(ctx)
+
+        protocol = {pid: WakeupALeadStrategy(pid) for pid in ring.nodes}
+        for j, pid in enumerate(placement.positions):
+            protocol[pid] = WakeupRushingAdversary(
+                pid, placement.distances()[j]
+            )
+        res = run_protocol(ring, protocol, seed=4)
+        assert res.outcome == target, res.fail_reason

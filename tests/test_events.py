@@ -1,0 +1,78 @@
+"""Unit tests for trace event records and undelivered accounting."""
+
+import pytest
+
+from repro.sim.events import (
+    AbortEvent,
+    ReceiveEvent,
+    SendEvent,
+    TerminateEvent,
+    WakeupEvent,
+)
+from repro.sim.execution import run_protocol
+from repro.sim.strategy import Context, Strategy
+from repro.sim.topology import unidirectional_ring
+
+
+class TestEventRecords:
+    def test_events_are_frozen(self):
+        e = SendEvent(1, "a", "b", 0, 1)
+        with pytest.raises(Exception):
+            e.value = 9
+
+    def test_equality_by_value(self):
+        assert SendEvent(1, "a", "b", 0, 1) == SendEvent(1, "a", "b", 0, 1)
+        assert WakeupEvent(1, "a") != WakeupEvent(2, "a")
+
+    def test_receive_event_fields(self):
+        e = ReceiveEvent(3, "x", "y", "payload", 7)
+        assert (e.sender, e.receiver, e.seq) == ("x", "y", 7)
+
+    def test_terminate_and_abort(self):
+        t = TerminateEvent(1, "p", 42)
+        a = AbortEvent(2, "p", "bad")
+        assert t.output == 42 and a.reason == "bad"
+
+
+class TestUndeliveredAccounting:
+    def test_undelivered_messages_reported(self):
+        class Spammer(Strategy):
+            def on_wakeup(self, ctx: Context) -> None:
+                for i in range(5):
+                    ctx.send_next(i)
+                ctx.terminate(0)
+
+            def on_receive(self, ctx, value, sender):
+                pass
+
+        class EarlyStopper(Strategy):
+            def on_wakeup(self, ctx: Context) -> None:
+                ctx.terminate(0)
+
+            def on_receive(self, ctx, value, sender):
+                pass
+
+        ring = unidirectional_ring(2)
+        res = run_protocol(ring, {1: Spammer(), 2: EarlyStopper()})
+        # All 5 messages get *delivered* (and dropped by the terminated
+        # receiver), so nothing remains queued.
+        assert res.outcome == 0
+        assert not res.undelivered
+
+    def test_queued_messages_surface_on_stall(self):
+        class BurstThenWait(Strategy):
+            def on_wakeup(self, ctx: Context) -> None:
+                ctx.send_next("x")
+                ctx.send_next("y")
+
+            def on_receive(self, ctx, value, sender):
+                pass  # never terminates, never responds
+
+        ring = unidirectional_ring(2)
+        res = run_protocol(
+            ring, {1: BurstThenWait(), 2: BurstThenWait()}
+        )
+        assert res.failed
+        # Deliveries happened (receivers just ignored them); the ring
+        # quiesced with no backlog.
+        assert res.quiesced

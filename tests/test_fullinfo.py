@@ -1,0 +1,149 @@
+"""Tests for the full-information coin-flipping comparators."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fullinfo.baton import baton_survival_probability, pass_the_baton
+from repro.fullinfo.boolean import (
+    best_coalition_influence,
+    coalition_influence,
+    majority_function,
+    parity_function,
+    tribes_function,
+)
+from repro.fullinfo.games import SequentialCoinGame, optimal_coalition_bias
+from repro.util.errors import ConfigurationError
+
+
+class TestBooleanFunctions:
+    def test_parity_values(self):
+        f = parity_function(4)
+        assert f([0, 0, 0, 0]) == 0
+        assert f([1, 0, 1, 1]) == 1
+
+    def test_majority_values(self):
+        f = majority_function(5)
+        assert f([1, 1, 1, 0, 0]) == 1
+        assert f([1, 0, 0, 0, 1]) == 0
+
+    def test_majority_rejects_even(self):
+        with pytest.raises(ConfigurationError):
+            majority_function(4)
+
+    def test_tribes_values(self):
+        f = tribes_function(2, 3)  # 3 tribes of size 2
+        assert f([1, 1, 0, 0, 0, 0]) == 1  # first tribe unanimous
+        assert f([1, 0, 0, 1, 0, 1]) == 0
+
+
+class TestInfluence:
+    def test_parity_single_player_controls(self):
+        f = parity_function(5)
+        assert coalition_influence(f, [2]) == 1.0
+
+    def test_majority_single_player_partial(self):
+        f = majority_function(9)
+        inf = coalition_influence(f, [0])
+        # Exactly Pr[other 8 bits split 4-4] = C(8,4)/2^8.
+        assert inf == pytest.approx(70 / 256)
+
+    def test_majority_influence_monotone_in_k(self):
+        f = majority_function(9)
+        infs = [coalition_influence(f, list(range(k))) for k in (1, 2, 3, 4)]
+        assert infs == sorted(infs)
+
+    def test_tribes_own_tribe_constant_influence(self):
+        f = tribes_function(2, 4)
+        inf = coalition_influence(f, [0, 1])  # owns a whole tribe
+        assert inf > 0.3  # can always force 1; forcing 0 blocked sometimes
+
+    def test_out_of_range_coalition_rejected(self):
+        with pytest.raises(ConfigurationError):
+            coalition_influence(parity_function(4), [9])
+
+    def test_sampled_close_to_exact(self):
+        f = majority_function(9)
+        exact = coalition_influence(f, [0, 1])
+        sampled = coalition_influence(
+            f, [0, 1], samples=1500, rng=random.Random(4)
+        )
+        assert abs(exact - sampled) < 0.06
+
+    def test_best_coalition_parity(self):
+        inf, coalition = best_coalition_influence(parity_function(4), 1)
+        assert inf == 1.0 and len(coalition) == 1
+
+
+class TestSequentialGames:
+    def test_parity_last_mover_dictates(self):
+        f = parity_function(4)
+        game = SequentialCoinGame(f, [3])
+        assert game.forced_probability(0) == 1.0
+        assert game.forced_probability(1) == 1.0
+
+    def test_parity_first_mover_powerless(self):
+        """An early parity mover gains nothing: later bits re-randomize."""
+        f = parity_function(4)
+        game = SequentialCoinGame(f, [0])
+        assert game.forced_probability(1) == pytest.approx(0.5)
+
+    def test_honest_game_balanced(self):
+        f = majority_function(5)
+        game = SequentialCoinGame(f, [])
+        assert game.forced_probability(1) == pytest.approx(0.5)
+
+    def test_majority_late_movers_gain(self):
+        f = majority_function(7)
+        late = SequentialCoinGame(f, [5, 6]).forced_probability(1)
+        assert 0.5 < late < 1.0
+
+    def test_optimal_bias_parity(self):
+        assert optimal_coalition_bias(parity_function(3), [2]) == pytest.approx(0.5)
+
+    @given(k=st.integers(0, 3))
+    @settings(max_examples=8, deadline=None)
+    def test_bias_monotone_in_coalition(self, k):
+        f = majority_function(7)
+        smaller = optimal_coalition_bias(f, list(range(6, 6 - k, -1)))
+        larger = optimal_coalition_bias(f, list(range(6, 5 - k, -1)))
+        assert larger >= smaller - 1e-12
+
+    def test_rejects_bad_coalition(self):
+        with pytest.raises(ConfigurationError):
+            SequentialCoinGame(parity_function(3), [5])
+
+
+class TestBaton:
+    def test_honest_uniform(self):
+        from collections import Counter
+
+        n = 6
+        counts = Counter(
+            pass_the_baton(n, rng=random.Random(s)) for s in range(1200)
+        )
+        assert set(counts) == set(range(n))
+        assert max(counts.values()) < 2 * 1200 / n
+
+    def test_singleton_coalition_near_honest(self):
+        p = baton_survival_probability(48, [0], trials=600)
+        assert p < 0.08  # ~1/48 honest; greedy deviation adds little
+
+    def test_half_coalition_total_control(self):
+        p = baton_survival_probability(32, range(16), trials=200)
+        assert p == 1.0
+
+    def test_bias_grows_with_k(self):
+        n = 48
+        ps = [
+            baton_survival_probability(n, range(k), trials=300) - k / n
+            for k in (4, 12, 20)
+        ]
+        assert ps[0] < ps[1] < ps[2]
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ConfigurationError):
+            pass_the_baton(0)
+        with pytest.raises(ConfigurationError):
+            pass_the_baton(4, coalition=[9])

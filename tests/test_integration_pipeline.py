@@ -1,0 +1,159 @@
+"""End-to-end pipelines: the toolchain composed the way a user would.
+
+Each test chains several subsystems — protocol, attack, verifier,
+renderer, exporter, reductions — asserting the glue holds, not just the
+parts.
+"""
+
+import json
+import math
+from collections import Counter
+
+from repro import run_protocol, unidirectional_ring
+from repro.analysis import (
+    chi_square_uniformity,
+    lemma33_verdict,
+    max_send_lead,
+    render_sync_timeline,
+    trace_to_dicts,
+)
+from repro.analysis.distribution import OutcomeDistribution
+from repro.attacks import RingPlacement, equal_spacing_attack_protocol
+from repro.cointoss import CoinTossRunner
+from repro.protocols import phase_async_protocol
+from repro.protocols.indexing import indexed_phase_async_protocol
+from repro.sim.scheduler import RandomScheduler
+from repro.sim.topology import Topology, complete_graph
+from repro.util.rng import RngRegistry
+
+
+def test_attack_forensics_pipeline():
+    """Run an attack, then put its trace through every instrument."""
+    n, k = 36, 6
+    ring = unidirectional_ring(n)
+    pl = RingPlacement.equal_spacing(n, k)
+    result = run_protocol(
+        ring, equal_spacing_attack_protocol(ring, pl, 20), seed=8
+    )
+    assert result.outcome == 20
+
+    verdict = lemma33_verdict(result, pl)
+    assert verdict.conditions_hold and verdict.consistent_with_lemma
+
+    art = render_sync_timeline(result, pids=list(pl.positions))
+    assert "max sync gap" in art
+
+    rows = trace_to_dicts(result)
+    json.dumps(rows)  # serializable end to end
+    assert any(r["type"] == "terminate" for r in rows)
+
+    leads = [max_send_lead(result, pid) for pid in pl.positions]
+    assert max(leads) <= 2 * k  # Lemma D.3 envelope
+
+
+def test_indexed_phase_async_fairness_on_named_ring():
+    """Appendix G composition is not just live but *fair*."""
+    names = ["n0", "n1", "n2", "n3", "n4"]
+    edges = [(names[i], names[(i + 1) % 5]) for i in range(5)]
+    ring = Topology(names, edges)
+    counts = Counter()
+    trials = 250
+    for s in range(trials):
+        res = run_protocol(
+            ring, indexed_phase_async_protocol(ring, origin="n0"), seed=s
+        )
+        assert not res.failed
+        counts[res.outcome] += 1
+    dist = OutcomeDistribution(n=5, trials=trials, counts=counts)
+    assert chi_square_uniformity(dist) > 1e-4
+
+
+def test_coin_toss_on_phase_async():
+    """Section 8's reduction works over the paper's own protocol too."""
+    ring = unidirectional_ring(8)
+    runner = CoinTossRunner(ring, phase_async_protocol)
+    tosses = [runner.toss(RngRegistry(s)) for s in range(120)]
+    assert all(t in (0, 1) for t in tosses)
+    assert 30 <= sum(tosses) <= 90
+
+
+def test_shamir_under_random_scheduler_many_seeds():
+    """Schedule-independence of the complete-network baseline, stressed."""
+    from repro.protocols import async_complete_protocol
+
+    g = complete_graph(6)
+    for seed in range(6):
+        base = run_protocol(g, async_complete_protocol(g), seed=seed)
+        shuffled = run_protocol(
+            g,
+            async_complete_protocol(g),
+            scheduler=RandomScheduler(seed=seed + 99),
+            seed=seed,
+        )
+        assert base.outcome == shuffled.outcome
+
+
+def test_attack_success_invariant_to_scheduler():
+    """On the ring, attacks force the target under any oblivious schedule
+    (single incoming link ⇒ schedule-equivalence, paper §2)."""
+    n, k = 25, 5
+    ring = unidirectional_ring(n)
+    pl = RingPlacement.equal_spacing(n, k)
+    for sched_seed in range(3):
+        res = run_protocol(
+            ring,
+            equal_spacing_attack_protocol(ring, pl, 9),
+            scheduler=RandomScheduler(seed=sched_seed),
+            seed=4,
+        )
+        assert res.outcome == 9
+
+
+def test_full_theorem_tour_smoke():
+    """One tiny instance of every headline theorem, in sequence."""
+    from repro.attacks import (
+        basic_cheat_protocol,
+        cubic_attack_protocol,
+        partial_sum_attack_protocol,
+        phase_rushing_attack_protocol,
+        shamir_pooling_attack_protocol,
+    )
+    from repro.protocols import async_complete_protocol
+    from repro.trees import impossibility_certificate
+
+    ring = unidirectional_ring(16)
+    assert run_protocol(
+        ring, basic_cheat_protocol(ring, 2, 5), seed=1
+    ).outcome == 5  # B.1
+
+    pl = RingPlacement.equal_spacing(16, 4)
+    assert run_protocol(
+        ring, equal_spacing_attack_protocol(ring, pl, 7), seed=1
+    ).outcome == 7  # Thm 4.2
+
+    k = 4
+    n = k + (k - 1) * k * (k + 1) // 2
+    big = unidirectional_ring(n)
+    assert run_protocol(
+        big, cubic_attack_protocol(big, RingPlacement.cubic(n, k), 3), seed=1
+    ).outcome == 3  # Thm 4.3
+
+    r20 = unidirectional_ring(20)
+    assert run_protocol(
+        r20, partial_sum_attack_protocol(r20, 4, 6), seed=1
+    ).outcome == 6  # E.4
+
+    r36 = unidirectional_ring(36)
+    assert run_protocol(
+        r36, phase_rushing_attack_protocol(r36, 9, 30), seed=1
+    ).outcome == 30  # Thm 6.1 tightness
+
+    g8 = complete_graph(8)
+    assert run_protocol(
+        g8, shamir_pooling_attack_protocol(g8, [2, 3, 4, 5], 2), seed=1
+    ).outcome == 2  # complete-network tightness
+
+    cert = impossibility_certificate(
+        list(range(1, 9)), [(i, i % 8 + 1) for i in range(1, 9)]
+    )
+    assert cert["k"] == 4  # Thm 7.2 via F.5

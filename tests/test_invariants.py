@@ -1,0 +1,122 @@
+"""Cross-cutting executor/trace invariants, property-tested.
+
+These pin down the simulator semantics every proof-level argument uses:
+message conservation, FIFO per link, per-processor sequence numbering,
+and schedule-independence on the unidirectional ring (paper Section 2:
+with one incoming link per processor, all oblivious schedules are
+equivalent).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.protocols.alead_uni import alead_uni_protocol
+from repro.protocols.basic_lead import basic_lead_protocol
+from repro.protocols.phase_async import phase_async_protocol
+from repro.sim.events import ReceiveEvent, SendEvent
+from repro.sim.execution import run_protocol
+from repro.sim.scheduler import (
+    FifoScheduler,
+    LinkPriorityScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+)
+from repro.sim.topology import complete_graph, unidirectional_ring
+
+PROTOCOLS = [basic_lead_protocol, alead_uni_protocol, phase_async_protocol]
+
+
+def _events(result, cls):
+    return [e for e in result.trace if isinstance(e, cls)]
+
+
+class TestConservation:
+    @given(
+        n=st.integers(2, 16),
+        seed=st.integers(0, 10**6),
+        maker_idx=st.integers(0, len(PROTOCOLS) - 1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_sends_equal_receives_plus_undelivered(self, n, seed, maker_idx):
+        ring = unidirectional_ring(n)
+        maker = PROTOCOLS[maker_idx]
+        result = run_protocol(ring, maker(ring), seed=seed)
+        sends = _events(result, SendEvent)
+        receives = _events(result, ReceiveEvent)
+        undelivered = sum(len(v) for v in result.undelivered.values())
+        assert len(sends) == len(receives) + undelivered
+
+    @given(n=st.integers(2, 12), seed=st.integers(0, 10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_seq_numbers_dense(self, n, seed):
+        ring = unidirectional_ring(n)
+        result = run_protocol(ring, alead_uni_protocol(ring), seed=seed)
+        for pid in ring.nodes:
+            seqs = [e.seq for e in result.trace.sends_by(pid)]
+            assert seqs == list(range(1, len(seqs) + 1))
+            rseqs = [e.seq for e in result.trace.receives_by(pid)]
+            assert rseqs == list(range(1, len(rseqs) + 1))
+
+
+class TestFifoPerLink:
+    @given(n=st.integers(2, 12), seed=st.integers(0, 10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_delivery_order_matches_send_order(self, n, seed):
+        ring = unidirectional_ring(n)
+        result = run_protocol(ring, phase_async_protocol(ring), seed=seed)
+        for u, v in ring.edges:
+            sent = [
+                e.value
+                for e in result.trace.events
+                if isinstance(e, SendEvent) and e.sender == u and e.receiver == v
+            ]
+            received = [
+                e.value
+                for e in result.trace.events
+                if isinstance(e, ReceiveEvent)
+                and e.sender == u
+                and e.receiver == v
+            ]
+            assert received == sent[: len(received)]
+
+
+class TestScheduleIndependence:
+    """On the unidirectional ring all oblivious schedules agree."""
+
+    @given(seed=st.integers(0, 10**5), maker_idx=st.integers(0, 2))
+    @settings(max_examples=20, deadline=None)
+    def test_ring_outcome_schedule_invariant(self, seed, maker_idx):
+        n = 9
+        ring = unidirectional_ring(n)
+        maker = PROTOCOLS[maker_idx]
+        outcomes = set()
+        for scheduler in (
+            FifoScheduler(),
+            RoundRobinScheduler(),
+            RandomScheduler(seed=99),
+            LinkPriorityScheduler({(1, 2): 5, (4, 5): -3}),
+        ):
+            res = run_protocol(
+                ring, maker(ring), scheduler=scheduler, seed=seed
+            )
+            outcomes.add(res.outcome)
+        assert len(outcomes) == 1
+
+    @given(seed=st.integers(0, 10**4))
+    @settings(max_examples=10, deadline=None)
+    def test_complete_graph_shamir_schedule_invariant(self, seed):
+        """The Shamir baseline is also schedule-independent: every
+        processor waits for full share/reveal sets before acting."""
+        from repro.protocols.async_complete import async_complete_protocol
+
+        g = complete_graph(5)
+        outcomes = set()
+        for scheduler in (
+            FifoScheduler(),
+            RoundRobinScheduler(),
+            RandomScheduler(seed=7),
+        ):
+            res = run_protocol(
+                g, async_complete_protocol(g), scheduler=scheduler, seed=seed
+            )
+            outcomes.add(res.outcome)
+        assert len(outcomes) == 1

@@ -1,0 +1,170 @@
+"""Tests for the executable Lemma 3.3 verifier, including fuzzed
+deviations checked against the lemma's iff characterization."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.lemma33 import honest_secret, lemma33_verdict
+from repro.attacks.equal_spacing import equal_spacing_attack_protocol
+from repro.attacks.placement import RingPlacement
+from repro.protocols.alead_uni import ALeadNormalStrategy, ALeadOriginStrategy
+from repro.sim.execution import FAIL, run_protocol
+from repro.sim.strategy import Context, Strategy
+from repro.sim.topology import unidirectional_ring
+from repro.util.modmath import canonical_mod
+
+
+class _SingleFuzzAdversary(Strategy):
+    """A lone adversary with tunable compliance to Lemma 3.3.
+
+    With ``k = 1`` the honest segment is the whole rest of the ring
+    (``l_1 = n - 1``), so the *only* compliant behaviour is
+    buffer-honest forwarding — which is exactly why A-LEADuni is
+    1-resilient. The knobs corrupt one forwarded value (condition 3) or
+    withhold the final message (condition 1); condition 2 is vacuous for
+    a single adversary.
+    """
+
+    def __init__(self, n: int, corrupt_replay: bool, truncate: bool):
+        self.n = n
+        self.corrupt_replay = corrupt_replay
+        self.truncate = truncate
+        self.buffer = 0  # the free first value (an honest node's "secret")
+        self.rounds = 0
+        self.total = 0
+
+    def on_wakeup(self, ctx: Context) -> None:
+        pass
+
+    def on_receive(self, ctx: Context, value, sender) -> None:
+        value = canonical_mod(int(value), self.n)
+        self.rounds += 1
+        self.total = canonical_mod(self.total + value, self.n)
+        outgoing = self.buffer
+        if self.corrupt_replay and self.rounds == self.n // 2:
+            outgoing = (outgoing + 1) % self.n
+        if not (self.truncate and self.rounds == self.n):
+            ctx.send_next(outgoing)
+        self.buffer = value
+        if self.rounds == self.n:
+            from repro.protocols.outcome import residue_to_id
+
+            ctx.terminate(residue_to_id(self.total, self.n))
+
+
+def _run_single_adversary(n, corrupt_replay, truncate, seed):
+    ring = unidirectional_ring(n)
+    protocol = {}
+    for pid in ring.nodes:
+        if pid == 1:
+            protocol[pid] = ALeadOriginStrategy(n)
+        else:
+            protocol[pid] = ALeadNormalStrategy(n)
+    adversary_pid = 3
+    protocol[adversary_pid] = _SingleFuzzAdversary(n, corrupt_replay, truncate)
+    placement = RingPlacement(n, (adversary_pid,))
+    result = run_protocol(ring, protocol, seed=seed)
+    return result, placement
+
+
+class TestVerdictOnKnownDeviations:
+    def test_compliant_single_adversary(self):
+        result, placement = _run_single_adversary(
+            7, corrupt_replay=False, truncate=False, seed=1
+        )
+        verdict = lemma33_verdict(result, placement)
+        assert verdict.conditions_hold
+        assert verdict.outcome_valid
+        assert verdict.consistent_with_lemma
+
+    def test_corrupted_replay_detected(self):
+        result, placement = _run_single_adversary(
+            7, corrupt_replay=True, truncate=False, seed=1
+        )
+        verdict = lemma33_verdict(result, placement)
+        assert not verdict.replays_correct
+        assert not verdict.outcome_valid
+        assert verdict.consistent_with_lemma
+
+    def test_truncated_sends_detected(self):
+        result, placement = _run_single_adversary(
+            7, corrupt_replay=False, truncate=True, seed=1
+        )
+        verdict = lemma33_verdict(result, placement)
+        assert not verdict.sends_enough
+        assert not verdict.outcome_valid
+        assert verdict.consistent_with_lemma
+
+    @given(
+        n=st.integers(4, 14),
+        corrupt=st.booleans(),
+        truncate=st.booleans(),
+        seed=st.integers(0, 10**5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_fuzz_iff_property(self, n, corrupt, truncate, seed):
+        """The lemma's iff holds on every fuzzed single-adversary run."""
+        result, placement = _run_single_adversary(n, corrupt, truncate, seed)
+        verdict = lemma33_verdict(result, placement)
+        assert verdict.consistent_with_lemma, verdict.details
+
+
+class TestVerdictOnCoalitions:
+    def test_equal_spacing_attack_satisfies_conditions(self):
+        n, k = 36, 6
+        ring = unidirectional_ring(n)
+        pl = RingPlacement.equal_spacing(n, k)
+        result = run_protocol(
+            ring, equal_spacing_attack_protocol(ring, pl, 20), seed=2
+        )
+        verdict = lemma33_verdict(result, pl)
+        assert verdict.conditions_hold
+        assert verdict.outcome_valid
+        assert verdict.consistent_with_lemma
+
+    def test_sum_mismatch_between_adversaries_detected(self):
+        """Perturb one adversary's steering message: condition 2 breaks."""
+        from repro.attacks.equal_spacing import RushingAdversary
+
+        n, k = 25, 5
+        ring = unidirectional_ring(n)
+        pl = RingPlacement.equal_spacing(n, k)
+
+        class OffByOne(RushingAdversary):
+            def _burst(self, ctx):
+                l = self.segment_length
+                total = sum(self.received) % self.n
+                replay = self.received[len(self.received) - l:]
+                from repro.protocols.outcome import id_to_residue
+
+                m_value = (
+                    id_to_residue(self.target, self.n) - total - sum(replay) + 1
+                ) % self.n
+                ctx.send_next(m_value)
+                for _ in range(self.k - l - 1):
+                    ctx.send_next(0)
+                for v in replay:
+                    ctx.send_next(v)
+                ctx.terminate(self.target)
+
+        protocol = equal_spacing_attack_protocol(ring, pl, 9)
+        first = pl.positions[0]
+        protocol[first] = OffByOne(n, k, pl.distances()[0], 9)
+        result = run_protocol(ring, protocol, seed=3)
+        verdict = lemma33_verdict(result, pl)
+        assert not verdict.sums_agree
+        assert result.outcome == FAIL
+        assert verdict.consistent_with_lemma
+
+    def test_honest_secret_helper(self):
+        n = 6
+        ring = unidirectional_ring(n)
+        protocol = {
+            pid: (ALeadOriginStrategy(n) if pid == 1 else ALeadNormalStrategy(n))
+            for pid in ring.nodes
+        }
+        result = run_protocol(ring, protocol, seed=5)
+        for pid in ring.nodes:
+            secret = honest_secret(result, pid)
+            assert secret is not None
+            assert 0 <= secret < n

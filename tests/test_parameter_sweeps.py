@@ -1,0 +1,112 @@
+"""Parameter-space property tests: correctness across configurations.
+
+The protocols expose tunables the paper fixes asymptotically (``ell``,
+``m``, thresholds, windows). Honest correctness must hold across the
+whole legal space, not just the defaults — these sweeps pin that down.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.protocols.async_complete import async_complete_protocol
+from repro.protocols.phase_async import (
+    PhaseAsyncParams,
+    phase_async_protocol,
+)
+from repro.sim.execution import run_protocol
+from repro.sim.topology import complete_graph, unidirectional_ring
+
+
+class TestPhaseAsyncParameterSpace:
+    @given(data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_honest_success_for_any_ell(self, data):
+        """The suffix cut only changes f's input arity, never liveness."""
+        n = data.draw(st.integers(3, 14))
+        ell = data.draw(st.integers(0, n))
+        seed = data.draw(st.integers(0, 10**5))
+        ring = unidirectional_ring(n)
+        params = PhaseAsyncParams(n=n, ell=ell)
+        res = run_protocol(ring, phase_async_protocol(ring, params), seed=seed)
+        assert not res.failed, res.fail_reason
+        assert 1 <= res.outcome <= n
+
+    @given(data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_honest_success_for_any_m(self, data):
+        """The validation domain size is free (paper: 2n² for the proof)."""
+        n = data.draw(st.integers(3, 10))
+        m = data.draw(st.integers(2, 10**6))
+        seed = data.draw(st.integers(0, 10**4))
+        ring = unidirectional_ring(n)
+        params = PhaseAsyncParams(n=n, m=m)
+        res = run_protocol(ring, phase_async_protocol(ring, params), seed=seed)
+        assert not res.failed, res.fail_reason
+
+    def test_small_m_raises_collision_but_still_honest_safe(self):
+        """m=2 gives guessable validation values — irrelevant when nobody
+        deviates; the honest run still succeeds."""
+        n = 8
+        ring = unidirectional_ring(n)
+        params = PhaseAsyncParams(n=n, m=2)
+        res = run_protocol(ring, phase_async_protocol(ring, params), seed=9)
+        assert not res.failed
+
+
+class TestShamirThresholdSpace:
+    @given(data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_honest_success_for_any_threshold(self, data):
+        n = data.draw(st.integers(2, 9))
+        threshold = data.draw(st.integers(1, n))
+        seed = data.draw(st.integers(0, 10**4))
+        g = complete_graph(n)
+        res = run_protocol(
+            g, async_complete_protocol(g, threshold=threshold), seed=seed
+        )
+        assert not res.failed, res.fail_reason
+
+
+class TestRandomLocationWindowSpace:
+    @pytest.mark.parametrize("window", [1, 2, 3, 5])
+    def test_window_tradeoff_runs(self, window):
+        """Any window size executes; larger C trades replay length for
+        fewer false wrap detections (Thm C.1's n^(2-C) term)."""
+        import random
+
+        from repro.attacks.placement import RingPlacement
+        from repro.attacks.random_location import (
+            random_location_attack_protocol,
+        )
+        from repro.sim.execution import FAIL
+        from repro.util.rng import RngRegistry
+
+        n = 128
+        ring = unidirectional_ring(n)
+        pl = RingPlacement.random_locations(n, 0.25, random.Random(7))
+        res = run_protocol(
+            ring,
+            random_location_attack_protocol(ring, pl, 5, window=window),
+            rng=RngRegistry(3),
+        )
+        assert res.outcome in (5, FAIL)
+
+
+class TestCubicIntermediateSizes:
+    @given(data=st.data())
+    @settings(max_examples=15, deadline=None)
+    def test_cubic_forces_at_any_feasible_n(self, data):
+        from repro.attacks import RingPlacement, cubic_attack_protocol
+
+        k = data.draw(st.integers(3, 7))
+        n_max = k + (k - 1) * k * (k + 1) // 2
+        n = data.draw(st.integers(2 * k + 2, n_max))
+        target = data.draw(st.integers(1, n))
+        ring = unidirectional_ring(n)
+        pl = RingPlacement.cubic(n, k)
+        res = run_protocol(
+            ring, cubic_attack_protocol(ring, pl, target), seed=n
+        )
+        assert res.outcome == target, res.fail_reason

@@ -1,0 +1,210 @@
+"""White-box tests for PhaseAsyncLead: framing, parity, abort paths.
+
+The protocol's punishment mechanism rests on strict message framing
+(tagged tuples) and data/validation alternation. These tests drive the
+strategies directly with crafted contexts to pin every abort path, and
+run small adversarial injections through the executor to confirm the
+punishments reach the global outcome.
+"""
+
+import pytest
+
+from repro.protocols.phase_async import (
+    DATA,
+    VALIDATION,
+    PhaseAsyncParams,
+    PhaseNormalStrategy,
+    PhaseOriginStrategy,
+    phase_async_protocol,
+)
+from repro.sim.execution import ABORT, FAIL, run_protocol
+from repro.sim.strategy import Context, Strategy
+from repro.sim.topology import unidirectional_ring
+from repro.util.rng import RngRegistry
+
+
+def _ctx(pid=2, n=4):
+    return Context(
+        pid=pid,
+        out_neighbors=[pid % n + 1],
+        n=n,
+        rng=RngRegistry(0).stream(f"proc:{pid}"),
+    )
+
+
+def _started_normal(pid=2, n=4):
+    params = PhaseAsyncParams(n=n)
+    strat = PhaseNormalStrategy(pid, params)
+    ctx = _ctx(pid, n)
+    strat.on_wakeup(ctx)
+    return strat
+
+
+class TestFraming:
+    def test_malformed_message_aborts(self):
+        strat = _started_normal()
+        ctx = _ctx()
+        strat.on_receive(ctx, "not-a-tuple", 1)
+        assert ctx.terminated and ctx.output == ABORT
+
+    def test_wrong_arity_tuple_aborts(self):
+        strat = _started_normal()
+        ctx = _ctx()
+        strat.on_receive(ctx, (DATA, 1, 2), 1)
+        assert ctx.output == ABORT
+
+    def test_validation_first_aborts(self):
+        """Incoming #1 must be data; a validation message is punished."""
+        strat = _started_normal()
+        ctx = _ctx()
+        strat.on_receive(ctx, (VALIDATION, 5), 1)
+        assert ctx.output == ABORT
+
+    def test_data_at_even_position_aborts(self):
+        strat = _started_normal()
+        ctx = _ctx()
+        strat.on_receive(ctx, (DATA, 1), 1)
+        assert not ctx.terminated
+        ctx2 = _ctx()
+        strat.on_receive(ctx2, (DATA, 2), 1)  # expected validation
+        assert ctx2.output == ABORT
+
+    def test_non_integer_payload_aborts(self):
+        strat = _started_normal()
+        ctx = _ctx()
+        strat.on_receive(ctx, (DATA, "zero"), 1)
+        assert ctx.output == ABORT
+
+    def test_unknown_tag_aborts(self):
+        strat = _started_normal()
+        ctx = _ctx()
+        strat.on_receive(ctx, ("X", 0), 1)
+        assert ctx.output == ABORT
+
+
+class TestOriginFraming:
+    def test_origin_expects_data_first(self):
+        params = PhaseAsyncParams(n=4)
+        strat = PhaseOriginStrategy(1, params)
+        ctx = _ctx(1, 4)
+        strat.on_wakeup(ctx)
+        assert len(ctx.sends) == 2  # (D, d1) then (V, v1)
+        tags = [v[0] for _, v in ctx.sends]
+        assert tags == [DATA, VALIDATION]
+        ctx2 = _ctx(1, 4)
+        strat.on_receive(ctx2, (VALIDATION, 0), 4)
+        assert ctx2.output == ABORT
+
+    def test_origin_validation_check(self):
+        """Origin aborts when round-1 validation returns corrupted."""
+        params = PhaseAsyncParams(n=4)
+        strat = PhaseOriginStrategy(1, params)
+        ctx = _ctx(1, 4)
+        strat.on_wakeup(ctx)
+        own_v = strat.validation_secret
+        ctx2 = _ctx(1, 4)
+        strat.on_receive(ctx2, (DATA, 0), 4)
+        assert not ctx2.terminated
+        ctx3 = _ctx(1, 4)
+        strat.on_receive(ctx3, (VALIDATION, (own_v + 1) % params.m), 4)
+        assert ctx3.output == ABORT
+
+
+class TestInjectionPunishments:
+    """Adversarial single-processor injections through the executor."""
+
+    def _run_with(self, adversary_cls, n=8, seed=3):
+        ring = unidirectional_ring(n)
+        protocol = phase_async_protocol(ring)
+        protocol[4] = adversary_cls(n)
+        return run_protocol(ring, protocol, seed=seed)
+
+    def test_corrupting_validation_value_fails(self):
+        class ValidationCorruptor(PhaseNormalStrategy):
+            def __init__(self, n):
+                super().__init__(4, PhaseAsyncParams(n=n))
+
+            def _on_validation(self, ctx, payload):
+                # Honest except round 2's validation value is perturbed.
+                if self.round == 2 and self.round != self.pid:
+                    payload = (payload + 1) % self.params.m
+                super()._on_validation(ctx, payload)
+
+        res = self._run_with(ValidationCorruptor)
+        assert res.outcome == FAIL
+
+    def test_corrupting_data_value_fails(self):
+        class DataCorruptor(PhaseNormalStrategy):
+            def __init__(self, n):
+                super().__init__(4, PhaseAsyncParams(n=n))
+
+            def _on_data(self, ctx, payload):
+                if self.round == 3:
+                    payload = (payload + 1) % self.n
+                super()._on_data(ctx, payload)
+
+        res = self._run_with(DataCorruptor)
+        assert res.outcome == FAIL
+
+    def test_swapping_message_order_fails(self):
+        class OrderSwapper(Strategy):
+            """Sends a validation message where data is expected."""
+
+            def __init__(self, n):
+                self.n = n
+                self.params = PhaseAsyncParams(n=n)
+                self.sent_garbage = False
+
+            def on_wakeup(self, ctx):
+                pass
+
+            def on_receive(self, ctx, value, sender):
+                if not self.sent_garbage:
+                    self.sent_garbage = True
+                    ctx.send_next((VALIDATION, 0))  # wrong phase
+                    ctx.terminate(None)
+
+        res = self._run_with(OrderSwapper)
+        assert res.outcome == FAIL
+
+    def test_silent_processor_fails(self):
+        from repro.sim.strategy import SilentStrategy
+
+        ring = unidirectional_ring(6)
+        protocol = phase_async_protocol(ring)
+        protocol[3] = SilentStrategy()
+        res = run_protocol(ring, protocol, seed=1)
+        assert res.outcome == FAIL
+
+
+class TestParams:
+    def test_rejects_tiny_n(self):
+        from repro.util.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            PhaseAsyncParams(n=1)
+
+    def test_rejects_bad_ell(self):
+        from repro.util.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            PhaseAsyncParams(n=5, ell=9)
+
+    def test_rejects_bad_m(self):
+        from repro.util.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            PhaseAsyncParams(n=5, m=1)
+
+    def test_default_m_is_2n_squared(self):
+        assert PhaseAsyncParams(n=7).m == 98
+
+    def test_num_validation_inputs(self):
+        p = PhaseAsyncParams(n=9, ell=4)
+        assert p.num_validation_inputs == 5
+
+    def test_sum_variant_ignores_validations(self):
+        p = PhaseAsyncParams.sum_variant(5)
+        out1 = p.output_fn([1, 2, 3, 4, 0], [7, 8, 9, 1, 2])
+        out2 = p.output_fn([1, 2, 3, 4, 0], [0, 0, 0, 0, 0])
+        assert out1 == out2

@@ -1,0 +1,118 @@
+"""Unit tests for the RandomFunction substrate (PhaseAsyncLead's f)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.protocols.random_function import RandomFunction, default_ell
+
+
+class TestDefaultEll:
+    def test_formula(self):
+        assert default_ell(100) == 100  # 10*sqrt(100) = 100, capped at n
+
+    def test_cap(self):
+        assert default_ell(4) == 4
+
+    def test_large_n_uncapped(self):
+        n = 10_000
+        assert default_ell(n) == math.ceil(10 * math.sqrt(n))
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            default_ell(0)
+
+
+class TestRandomFunction:
+    def test_output_in_range(self):
+        f = RandomFunction(7, ell=3)
+        out = f([0] * 7, [0] * 4)
+        assert 1 <= out <= 7
+
+    def test_deterministic(self):
+        f = RandomFunction(5, ell=2, key=9)
+        g = RandomFunction(5, ell=2, key=9)
+        args = ([1, 2, 3, 4, 0], [10, 20, 30])
+        assert f(*args) == g(*args)
+
+    def test_key_sensitivity(self):
+        args = ([1, 2, 3, 4, 0], [10, 20, 30])
+        outs = {RandomFunction(5, ell=2, key=k)(*args) for k in range(30)}
+        assert len(outs) > 1
+
+    def test_input_sensitivity(self):
+        f = RandomFunction(50, ell=10)
+        base = [0] * 50
+        v = [0] * 40
+        out0 = f(base, v)
+        flipped = list(base)
+        flipped[17] = 1
+        outs = {f(flipped, v), out0}
+        # Not guaranteed different for one flip, so flip several and expect
+        # at least one change.
+        changed = False
+        for i in range(10):
+            mod = list(base)
+            mod[i] = 1
+            if f(mod, v) != out0:
+                changed = True
+                break
+        assert changed
+
+    def test_ignores_validation_suffix(self):
+        """Only v_1..v_{n-l} may influence the output (protocol invariant)."""
+        f = RandomFunction(6, ell=4)  # reads 2 validation values
+        d = [1, 2, 3, 4, 5, 0]
+        assert f(d, [7, 8, 100, 200]) == f(d, [7, 8, 999, 111])
+
+    def test_rejects_wrong_data_length(self):
+        f = RandomFunction(4, ell=2)
+        with pytest.raises(ValueError):
+            f([1, 2, 3], [0, 0])
+
+    def test_rejects_short_validations(self):
+        f = RandomFunction(4, ell=1)
+        with pytest.raises(ValueError):
+            f([0, 0, 0, 0], [1, 2])
+
+    def test_rejects_bad_ell(self):
+        with pytest.raises(ValueError):
+            RandomFunction(4, ell=5)
+
+    @given(
+        n=st.integers(2, 20),
+        key=st.integers(0, 5),
+        data=st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_always_valid_id(self, n, key, data):
+        ell = data.draw(st.integers(0, n))
+        f = RandomFunction(n, ell=ell, key=key)
+        d = data.draw(
+            st.lists(st.integers(0, n - 1), min_size=n, max_size=n)
+        )
+        v = data.draw(
+            st.lists(
+                st.integers(0, 2 * n * n - 1),
+                min_size=n - ell,
+                max_size=n - ell,
+            )
+        )
+        assert 1 <= f(d, v) <= n
+
+    def test_roughly_uniform_over_inputs(self):
+        """Hash-based f should spread outputs like a random function."""
+        n = 8
+        f = RandomFunction(n, ell=n)  # data-only
+        from collections import Counter
+
+        counts = Counter()
+        for x in range(2000):
+            d = [(x >> (3 * i)) % n for i in range(n)]
+            d[0] = x % n
+            d[1] = (x * 7) % n
+            counts[f(d, [])] += 1
+        # Every id hit, none wildly dominant.
+        assert set(counts) == set(range(1, n + 1))
+        assert max(counts.values()) < 3 * 2000 / n

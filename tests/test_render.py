@@ -1,0 +1,88 @@
+"""Tests for trace export and ASCII rendering."""
+
+import json
+
+from repro.analysis.render import render_sync_timeline, trace_to_dicts
+from repro.attacks import RingPlacement, cubic_attack_protocol
+from repro.protocols.alead_uni import alead_uni_protocol
+from repro.sim.execution import run_protocol
+from repro.sim.topology import unidirectional_ring
+
+
+class TestTraceExport:
+    def test_all_events_exported(self):
+        ring = unidirectional_ring(4)
+        res = run_protocol(ring, alead_uni_protocol(ring), seed=1)
+        rows = trace_to_dicts(res)
+        assert len(rows) == len(res.trace)
+        types = {r["type"] for r in rows}
+        assert {"wakeup", "send", "recv", "terminate"} <= types
+
+    def test_json_serializable(self):
+        ring = unidirectional_ring(3)
+        res = run_protocol(ring, alead_uni_protocol(ring), seed=2)
+        payload = json.dumps(trace_to_dicts(res))
+        assert isinstance(payload, str) and len(payload) > 10
+
+    def test_abort_events_exported(self):
+        from repro.sim.strategy import Strategy
+
+        class Aborter(Strategy):
+            def on_wakeup(self, ctx):
+                ctx.abort("test reason")
+
+            def on_receive(self, ctx, value, sender):
+                pass
+
+        ring = unidirectional_ring(2)
+        from repro.protocols.alead_uni import ALeadNormalStrategy
+
+        res = run_protocol(
+            ring, {1: Aborter(), 2: ALeadNormalStrategy(2)}, seed=0
+        )
+        rows = trace_to_dicts(res)
+        aborts = [r for r in rows if r["type"] == "abort"]
+        assert aborts and aborts[0]["reason"] == "test reason"
+
+    def test_times_monotone(self):
+        ring = unidirectional_ring(5)
+        res = run_protocol(ring, alead_uni_protocol(ring), seed=3)
+        times = [r["t"] for r in trace_to_dicts(res)]
+        assert times == sorted(times)
+
+
+class TestTimeline:
+    def test_renders_all_processors(self):
+        ring = unidirectional_ring(5)
+        res = run_protocol(ring, alead_uni_protocol(ring), seed=1)
+        art = render_sync_timeline(res)
+        for pid in ring.nodes:
+            assert str(pid) in art
+        assert "max sync gap: 1" in art
+
+    def test_cubic_attack_gap_visible(self):
+        k = 5
+        n = k + (k - 1) * k * (k + 1) // 2
+        ring = unidirectional_ring(n)
+        pl = RingPlacement.cubic(n, k)
+        res = run_protocol(ring, cubic_attack_protocol(ring, pl, 3), seed=1)
+        art = render_sync_timeline(res, pids=list(pl.positions), columns=8)
+        gap_line = art.splitlines()[-1]
+        gap = int(gap_line.rsplit(" ", 1)[1])
+        assert gap > k
+
+    def test_subset_rendering(self):
+        ring = unidirectional_ring(6)
+        res = run_protocol(ring, alead_uni_protocol(ring), seed=1)
+        art = render_sync_timeline(res, pids=[2, 4])
+        lines = [l for l in art.splitlines()[1:-1]]
+        assert len(lines) == 2
+
+    def test_empty_trace_safe(self):
+        from repro.sim.execution import ExecutionResult
+        from repro.sim.trace import Trace
+
+        res = ExecutionResult(
+            outcome="FAIL", outputs={}, trace=Trace(), steps=0, quiesced=True
+        )
+        assert "no sends" in render_sync_timeline(res)

@@ -1,0 +1,55 @@
+"""Unit tests for oblivious schedulers."""
+
+import random
+
+import pytest
+
+from repro.sim.scheduler import (
+    FifoScheduler,
+    LinkPriorityScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+)
+
+LINKS = [("a", "b"), ("b", "c"), ("c", "a")]
+
+
+class TestSchedulers:
+    def test_fifo_picks_head(self):
+        assert FifoScheduler().choose(LINKS) == ("a", "b")
+
+    def test_round_robin_cycles(self):
+        s = RoundRobinScheduler()
+        picks = [s.choose(LINKS) for _ in range(6)]
+        assert picks[:3] == LINKS
+        assert picks[3:] == LINKS
+
+    def test_round_robin_single_link(self):
+        s = RoundRobinScheduler()
+        assert s.choose([("x", "y")]) == ("x", "y")
+
+    def test_random_scheduler_in_set(self):
+        s = RandomScheduler(seed=1)
+        for _ in range(20):
+            assert s.choose(LINKS) in LINKS
+
+    def test_random_scheduler_reproducible(self):
+        a = [RandomScheduler(seed=5).choose(LINKS) for _ in range(1)]
+        b = [RandomScheduler(seed=5).choose(LINKS) for _ in range(1)]
+        assert a == b
+
+    def test_random_scheduler_accepts_rng(self):
+        s = RandomScheduler(rng=random.Random(9))
+        assert s.choose(LINKS) in LINKS
+
+    def test_priority_prefers_lowest(self):
+        s = LinkPriorityScheduler({("b", "c"): -1})
+        assert s.choose(LINKS) == ("b", "c")
+
+    def test_priority_ties_broken_by_order(self):
+        s = LinkPriorityScheduler({})
+        assert s.choose(LINKS) == ("a", "b")
+
+    def test_priority_starves_high(self):
+        s = LinkPriorityScheduler({("a", "b"): 10})
+        assert s.choose(LINKS) == ("b", "c")

@@ -1,0 +1,138 @@
+"""Unit + property tests for the Shamir secret-sharing substrate."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.secretshare.field import PrimeField, next_prime, _is_prime
+from repro.secretshare.shamir import ShamirScheme, Share
+from repro.util.errors import ConfigurationError
+
+
+class TestPrimality:
+    def test_small_primes(self):
+        assert all(_is_prime(p) for p in (2, 3, 5, 7, 11, 13, 97, 101))
+
+    def test_small_composites(self):
+        assert not any(_is_prime(c) for c in (0, 1, 4, 9, 91, 100, 561))
+
+    def test_next_prime(self):
+        assert next_prime(1) == 2
+        assert next_prime(8) == 11
+        assert next_prime(13) == 17
+
+    @given(st.integers(2, 10_000))
+    @settings(max_examples=50, deadline=None)
+    def test_next_prime_is_prime(self, n):
+        p = next_prime(n)
+        assert p > n
+        assert _is_prime(p)
+
+
+class TestPrimeField:
+    def test_rejects_composite(self):
+        with pytest.raises(ValueError):
+            PrimeField(10)
+
+    def test_inverse(self):
+        f = PrimeField(13)
+        for a in range(1, 13):
+            assert f.mul(a, f.inv(a)) == 1
+
+    def test_inverse_of_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            PrimeField(13).inv(0)
+
+    def test_eval_poly(self):
+        f = PrimeField(17)
+        # 3 + 2x + x^2 at x=4: 3 + 8 + 16 = 27 = 10 mod 17
+        assert f.eval_poly([3, 2, 1], 4) == 10
+
+    def test_lagrange_recovers_constant(self):
+        f = PrimeField(31)
+        coeffs = [7, 5, 2]  # degree 2
+        points = [(x, f.eval_poly(coeffs, x)) for x in (1, 2, 3)]
+        assert f.lagrange_at_zero(points) == 7
+
+    def test_lagrange_rejects_duplicate_x(self):
+        f = PrimeField(31)
+        with pytest.raises(ValueError):
+            f.lagrange_at_zero([(1, 2), (1, 3)])
+
+
+class TestShamir:
+    @given(
+        n=st.integers(3, 12),
+        data=st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_share_reconstruct_roundtrip(self, n, data):
+        threshold = data.draw(st.integers(1, n))
+        modulus = data.draw(st.integers(2, 50))
+        secret = data.draw(st.integers(0, modulus - 1))
+        scheme = ShamirScheme(n, threshold, modulus)
+        shares = scheme.share(secret, random.Random(7))
+        assert len(shares) == n
+        # Any subset of exactly `threshold` shares reconstructs.
+        subset = data.draw(
+            st.permutations(shares).map(lambda p: p[:threshold])
+        )
+        assert scheme.reconstruct(subset) == secret
+
+    def test_below_threshold_rejected(self):
+        scheme = ShamirScheme(6, 4, 10)
+        shares = scheme.share(3, random.Random(1))
+        with pytest.raises(ConfigurationError):
+            scheme.reconstruct(shares[:3])
+
+    def test_below_threshold_hides_secret(self):
+        """t shares are consistent with *every* secret (perfect hiding)."""
+        n, threshold, modulus = 5, 3, 11
+        scheme = ShamirScheme(n, threshold, modulus)
+        # Fix an adversary's view: shares at x = 1, 2 (t - 1 = 2 shares).
+        view_counts = {}
+        for trial in range(3000):
+            rng = random.Random(trial)
+            secret = rng.randrange(modulus)
+            shares = scheme.share(secret, rng)
+            view = (shares[0].y % 7, shares[1].y % 7)  # coarse bucketing
+            view_counts.setdefault(view, []).append(secret)
+        # For the most common views, observed secrets span the domain.
+        big_views = [v for v in view_counts.values() if len(v) > 50]
+        assert big_views
+        for secrets in big_views[:3]:
+            assert len(set(secrets)) >= modulus - 2
+
+    def test_consistency_accepts_honest(self):
+        scheme = ShamirScheme(7, 4, 13)
+        shares = scheme.share(9, random.Random(2))
+        assert scheme.consistent(shares)
+
+    def test_consistency_catches_tampering(self):
+        scheme = ShamirScheme(7, 4, 13)
+        shares = scheme.share(9, random.Random(2))
+        bad = list(shares)
+        bad[5] = Share(bad[5].x, (bad[5].y + 1) % scheme.field.p)
+        assert not scheme.consistent(bad)
+
+    def test_rejects_secret_out_of_domain(self):
+        scheme = ShamirScheme(5, 3, 10)
+        with pytest.raises(ConfigurationError):
+            scheme.share(10, random.Random(0))
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ConfigurationError):
+            ShamirScheme(5, 6, 10)
+        with pytest.raises(ConfigurationError):
+            ShamirScheme(5, 0, 10)
+
+    @given(st.integers(3, 10), st.integers(0, 100))
+    @settings(max_examples=40, deadline=None)
+    def test_all_shares_reconstruct(self, n, seed):
+        scheme = ShamirScheme(n, (n + 1) // 2, n)
+        rng = random.Random(seed)
+        secret = rng.randrange(n)
+        shares = scheme.share(secret, rng)
+        assert scheme.reconstruct(shares) == secret
+        assert scheme.consistent(shares)

@@ -1,0 +1,118 @@
+"""Tests for the scripted/fuzz adversary scaffolding."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.attacks.placement import RingPlacement
+from repro.sim.execution import ABORT, FAIL, run_protocol
+from repro.sim.topology import unidirectional_ring
+from repro.testing import (
+    FuzzBehavior,
+    RandomDeviationStrategy,
+    ScriptedStrategy,
+    Step,
+    deviation_search,
+    random_deviation_protocol,
+)
+from repro.util.errors import ConfigurationError
+
+
+class TestScripted:
+    def test_wakeup_step_sends(self):
+        ring = unidirectional_ring(2)
+        proto = {
+            1: ScriptedStrategy([Step(sends=(7,), terminate="done")]),
+            2: ScriptedStrategy([Step(terminate="done")]),
+        }
+        res = run_protocol(ring, proto)
+        assert res.outcome == "done"
+        assert res.trace.sent_values(1) == [7]
+
+    def test_receive_steps_in_order(self):
+        ring = unidirectional_ring(2)
+        proto = {
+            1: ScriptedStrategy(
+                [Step(sends=(1, 2, 3), terminate=0)]
+            ),
+            2: ScriptedStrategy(
+                [Step(), Step(), Step(), Step(terminate=0)]
+            ),
+        }
+        res = run_protocol(ring, proto)
+        strat2 = proto[2]
+        assert [v for v, _ in strat2.history] == [1, 2, 3]
+
+    def test_abort_step(self):
+        ring = unidirectional_ring(2)
+        proto = {
+            1: ScriptedStrategy([Step(abort=True)]),
+            2: ScriptedStrategy([Step(terminate=1)]),
+        }
+        res = run_protocol(ring, proto)
+        assert res.failed
+        assert res.outputs[1] == ABORT
+
+    def test_exhausted_script_is_silent(self):
+        ring = unidirectional_ring(2)
+        proto = {
+            1: ScriptedStrategy([Step(sends=(1, 2))]),  # never terminates
+            2: ScriptedStrategy([Step(terminate=0), Step()]),
+        }
+        res = run_protocol(ring, proto)
+        assert res.failed  # processor 1 never terminated
+        assert "never terminated" in res.fail_reason
+
+
+class TestFuzzBehavior:
+    def test_sample_fields_in_range(self):
+        rng = random.Random(3)
+        for _ in range(50):
+            b = FuzzBehavior.sample(12, rng)
+            assert len(b.weights) == 5
+            assert all(w > 0 for w in b.weights)
+            assert 1 <= b.burst_at <= 12
+            assert 0 <= b.burst_len < 4
+            assert b.lifetime == 12
+
+    def test_strategy_deterministic_given_behavior(self):
+        n = 9
+        ring = unidirectional_ring(n)
+        pl = RingPlacement.equal_spacing(n, 2)
+        rng = random.Random(5)
+        behaviors = [FuzzBehavior.sample(n, rng) for _ in range(2)]
+        r1 = run_protocol(
+            ring, random_deviation_protocol(ring, pl, behaviors), seed=4
+        )
+        r2 = run_protocol(
+            ring, random_deviation_protocol(ring, pl, behaviors), seed=4
+        )
+        assert r1.outcome == r2.outcome
+        assert [e for e in r1.trace] == [e for e in r2.trace]
+
+    def test_protocol_requires_matching_behaviors(self):
+        ring = unidirectional_ring(8)
+        pl = RingPlacement.equal_spacing(8, 2)
+        with pytest.raises(ConfigurationError):
+            random_deviation_protocol(ring, pl, [])
+
+
+class TestDeviationSearch:
+    def test_report_accounting(self):
+        rep = deviation_search(12, 2, samples=30, master_seed=7)
+        assert rep.samples == 30
+        assert rep.punished + sum(rep.valid_outcomes.values()) == 30
+        assert 0 <= rep.punishment_rate <= 1
+
+    def test_random_deviations_never_bias(self):
+        """The Theorem 5.1 fuzz property: sampled deviations either get
+        punished or leave no outcome with concentrated mass."""
+        rep = deviation_search(16, 2, samples=80, master_seed=11)
+        assert rep.max_outcome_rate <= 0.15  # << forcing (would be ~1.0)
+
+    @given(seed=st.integers(0, 10**4))
+    @settings(max_examples=5, deadline=None)
+    def test_punishment_dominates_property(self, seed):
+        rep = deviation_search(12, 2, samples=25, master_seed=seed)
+        assert rep.punishment_rate > 0.8

@@ -1,0 +1,102 @@
+"""Unit tests for repro.sim.topology."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.topology import (
+    Topology,
+    bidirectional_ring,
+    complete_graph,
+    line_graph,
+    star_graph,
+    unidirectional_ring,
+)
+from repro.util.errors import ConfigurationError
+
+
+class TestTopologyBasics:
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            Topology([], [])
+
+    def test_rejects_duplicate_nodes(self):
+        with pytest.raises(ConfigurationError):
+            Topology([1, 1], [])
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ConfigurationError):
+            Topology([1, 2], [(1, 1)])
+
+    def test_rejects_unknown_edge_endpoint(self):
+        with pytest.raises(ConfigurationError):
+            Topology([1, 2], [(1, 3)])
+
+    def test_duplicate_edges_collapse(self):
+        topo = Topology([1, 2], [(1, 2), (1, 2)])
+        assert topo.edges == [(1, 2)]
+
+    def test_successors_predecessors(self):
+        topo = Topology([1, 2, 3], [(1, 2), (2, 3)])
+        assert topo.successors(1) == [2]
+        assert topo.predecessors(3) == [2]
+        assert topo.predecessors(1) == []
+
+    def test_has_edge(self):
+        topo = Topology([1, 2], [(1, 2)])
+        assert topo.has_edge(1, 2)
+        assert not topo.has_edge(2, 1)
+
+    def test_len(self):
+        assert len(Topology([1, 2, 3], [])) == 3
+
+
+class TestRing:
+    @given(st.integers(2, 50))
+    def test_unidirectional_ring_structure(self, n):
+        ring = unidirectional_ring(n)
+        assert len(ring) == n
+        for pid in ring.nodes:
+            assert len(ring.successors(pid)) == 1
+            assert len(ring.predecessors(pid)) == 1
+        assert ring.successors(n) == [1]
+
+    def test_ring_too_small(self):
+        with pytest.raises(ConfigurationError):
+            unidirectional_ring(1)
+
+    @given(st.integers(2, 30))
+    def test_ring_strongly_connected(self, n):
+        assert unidirectional_ring(n).is_strongly_connected()
+
+    @given(st.integers(2, 30))
+    def test_bidirectional_ring_degree(self, n):
+        ring = bidirectional_ring(n)
+        for pid in ring.nodes:
+            expected = 2 if n > 2 else 1
+            assert len(set(ring.successors(pid))) == expected
+
+
+class TestOtherTopologies:
+    def test_line_is_not_strongly_connected_when_directed_only(self):
+        line = line_graph(4)
+        # line is bidirectional; strongly connected
+        assert line.is_strongly_connected()
+
+    def test_line_single_node(self):
+        assert len(line_graph(1)) == 1
+
+    @given(st.integers(2, 12))
+    def test_complete_graph_edges(self, n):
+        g = complete_graph(n)
+        assert len(g.edges) == n * (n - 1)
+
+    @given(st.integers(2, 12))
+    def test_star_hub_degree(self, n):
+        g = star_graph(n)
+        assert len(g.successors(1)) == n - 1
+        for pid in range(2, n + 1):
+            assert g.successors(pid) == [1]
+
+    def test_undirected_edges_erase_direction(self):
+        g = bidirectional_ring(4)
+        assert len(g.undirected_edges()) == 4

@@ -1,0 +1,77 @@
+"""Unit tests for Trace analytics (sent counters, sync gaps)."""
+
+from repro.sim.events import ReceiveEvent, SendEvent, TerminateEvent
+from repro.sim.execution import run_protocol
+from repro.sim.topology import unidirectional_ring
+from repro.sim.trace import Trace
+
+
+def _send(t, s, r, v, seq):
+    return SendEvent(t, s, r, v, seq)
+
+
+class TestTraceViews:
+    def test_sends_by_and_values(self):
+        tr = Trace()
+        tr.append(_send(1, "a", "b", 10, 1))
+        tr.append(_send(2, "b", "a", 20, 1))
+        tr.append(_send(3, "a", "b", 30, 2))
+        assert tr.sent_values("a") == [10, 30]
+        assert tr.sent_count("a") == 2
+        assert tr.sent_count("b") == 1
+
+    def test_receives_by(self):
+        tr = Trace()
+        tr.append(ReceiveEvent(1, "a", "b", 5, 1))
+        assert tr.received_values("b") == [5]
+        assert tr.received_values("a") == []
+
+    def test_termination_outputs(self):
+        tr = Trace()
+        tr.append(TerminateEvent(1, "a", 42))
+        assert tr.termination_outputs() == {"a": 42}
+
+    def test_empty_trace_gap(self):
+        assert Trace().max_sync_gap() == 0
+
+    def test_gap_simple(self):
+        tr = Trace()
+        tr.append(_send(1, "a", "b", 0, 1))
+        tr.append(_send(2, "a", "b", 0, 2))
+        tr.append(_send(3, "b", "a", 0, 1))
+        # After event 2: a sent 2, b sent 0 -> gap 2.
+        assert tr.max_sync_gap(["a", "b"]) == 2
+
+    def test_gap_subset(self):
+        tr = Trace()
+        tr.append(_send(1, "a", "b", 0, 1))
+        tr.append(_send(2, "c", "d", 0, 1))
+        assert tr.max_sync_gap(["a", "c"]) == 1
+
+    def test_counter_series_shape(self):
+        tr = Trace()
+        tr.append(_send(1, "a", "b", 0, 1))
+        tr.append(ReceiveEvent(2, "a", "b", 0, 1))
+        series = tr.sent_counter_series(["a"])
+        assert series["a"] == [1, 1]
+
+
+class TestHonestSyncInvariants:
+    """Honest A-LEADuni is 1-synchronized (Section 6 discussion)."""
+
+    def test_alead_gap_is_one(self):
+        from repro.protocols.alead_uni import alead_uni_protocol
+
+        for n in (4, 9, 17):
+            topo = unidirectional_ring(n)
+            res = run_protocol(topo, alead_uni_protocol(topo), seed=n)
+            assert res.trace.max_sync_gap() <= 1
+
+    def test_phase_async_gap_small(self):
+        from repro.protocols.phase_async import phase_async_protocol
+
+        for n in (4, 9, 17):
+            topo = unidirectional_ring(n)
+            res = run_protocol(topo, phase_async_protocol(topo), seed=n)
+            # One data + one validation in flight per round: gap <= 2.
+            assert res.trace.max_sync_gap() <= 2

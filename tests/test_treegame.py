@@ -1,0 +1,96 @@
+"""Tests for the Lemma F.3 tree-collapse machinery."""
+
+import pytest
+
+from repro.trees.dictator import classify_protocol, verify_assurance
+from repro.trees.gametree import Action
+from repro.trees.treegame import (
+    TreeProtocol,
+    collapse_to_two_party,
+    xor_tree_protocol,
+)
+from repro.util.errors import ConfigurationError
+
+
+class TestTreeProtocolBasics:
+    def test_rejects_non_tree(self):
+        with pytest.raises(ConfigurationError):
+            TreeProtocol(
+                edges=[(0, 1), (1, 2), (2, 0)],
+                inputs={0: [0], 1: [0], 2: [0]},
+                actions={i: (lambda b, h: Action("wait")) for i in range(3)},
+            )
+
+    def test_rejects_missing_actions(self):
+        with pytest.raises(ConfigurationError):
+            TreeProtocol(
+                edges=[(0, 1)],
+                inputs={0: [0], 1: [0]},
+                actions={0: lambda b, h: Action("wait")},
+            )
+
+    def test_leaves(self):
+        tp = xor_tree_protocol(4)
+        assert tp.leaves() == [0, 3]
+
+    def test_neighbors(self):
+        tp = xor_tree_protocol(3)
+        assert tp.neighbors(1) == [0, 2]
+
+
+class TestCollapse:
+    @pytest.mark.parametrize("chain", [2, 3, 4])
+    def test_collapse_preserves_xor_semantics(self, chain):
+        tp = xor_tree_protocol(chain)
+        two = collapse_to_two_party(tp, leaf=0)
+        for a in (0, 1):
+            for rest in two.inputs_b:
+                expected = a
+                for _, bit in rest:
+                    expected ^= bit
+                assert two.honest_outcome(a, rest) == expected
+
+    def test_collapse_from_far_leaf(self):
+        tp = xor_tree_protocol(3)
+        two = collapse_to_two_party(tp, leaf=2)
+        for a in (0, 1):
+            for rest in two.inputs_b:
+                expected = a
+                for _, bit in rest:
+                    expected ^= bit
+                assert two.honest_outcome(a, rest) == expected
+
+    def test_rejects_internal_node(self):
+        tp = xor_tree_protocol(3)
+        with pytest.raises(ConfigurationError):
+            collapse_to_two_party(tp, leaf=1)
+
+
+class TestTreeDictator:
+    def test_component_holding_last_mover_dictates(self):
+        """Lemma F.3 on the 3-chain: the component containing the last
+        XOR folder assures both bits; the coalition has size 2 = ⌈n/2⌉."""
+        tp = xor_tree_protocol(3)
+        two = collapse_to_two_party(tp, leaf=0)
+        verdict = classify_protocol(two)
+        assert verdict.get("dictator") == "B"
+        for w in verdict["witnesses"]:
+            assert verify_assurance(two, w)
+
+    def test_collapsing_away_the_dictator_flips_roles(self):
+        """Collapse from the far leaf: now the leaf IS the last mover,
+        and the leaf (player A) dictates."""
+        tp = xor_tree_protocol(3)
+        two = collapse_to_two_party(tp, leaf=2)
+        verdict = classify_protocol(two)
+        assert verdict.get("dictator") == "A"
+        for w in verdict["witnesses"]:
+            assert verify_assurance(two, w)
+
+    @pytest.mark.parametrize("chain", [2, 4])
+    def test_dictatorship_scales_with_chain(self, chain):
+        tp = xor_tree_protocol(chain)
+        two = collapse_to_two_party(tp, leaf=0)
+        verdict = classify_protocol(two)
+        # The last XOR node always sits in the component.
+        assert verdict.get("dictator") == "B"

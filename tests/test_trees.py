@@ -1,0 +1,254 @@
+"""Tests for Section 7 / Appendix F: game trees, dictators, simulated trees."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.trees.dictator import (
+    classify_protocol,
+    find_assurance,
+    verify_assurance,
+)
+from repro.trees.gametree import (
+    TwoPartyProtocol,
+    first_to_speak_protocol,
+    output,
+    send,
+    wait,
+    xor_coin_protocol,
+)
+from repro.trees.impossibility import (
+    biasing_coalition,
+    impossibility_certificate,
+)
+from repro.trees.partition import half_partition, quotient_is_tree
+from repro.trees.simulated import check_k_simulated_tree, is_tree
+from repro.util.errors import ConfigurationError
+
+
+class TestGameTree:
+    def test_xor_honest_outcomes(self):
+        p = xor_coin_protocol()
+        for a in (0, 1):
+            for b in (0, 1):
+                assert p.honest_outcome(a, b) == a ^ b
+
+    def test_constant_protocol(self):
+        p = first_to_speak_protocol(1)
+        assert p.honest_outcome(0, 0) == 1
+
+    def test_disagreeing_outputs_detected(self):
+        p = TwoPartyProtocol(
+            [0], [0],
+            lambda i, h: output(0),
+            lambda i, h: output(1),
+        )
+        with pytest.raises(ConfigurationError):
+            p.honest_outcome(0, 0)
+
+    def test_deadlock_detected(self):
+        p = TwoPartyProtocol([0], [0], lambda i, h: wait(), lambda i, h: wait())
+        with pytest.raises(ConfigurationError):
+            p.honest_outcome(0, 0)
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TwoPartyProtocol([], [0], lambda i, h: wait(), lambda i, h: wait())
+
+
+class TestDictatorSearch:
+    def test_xor_has_dictator_b(self):
+        """B moves second, so B dictates — the classic async failure."""
+        v = classify_protocol(xor_coin_protocol())
+        assert v.get("dictator") == "B"
+        for w in v["witnesses"]:
+            assert verify_assurance(xor_coin_protocol(), w)
+
+    def test_reversed_xor_has_dictator_a(self):
+        """Swap roles: B announces first, A dictates."""
+
+        def act_a(bit, h):
+            if len(h) == 1:
+                return send(bit)
+            if len(h) == 2:
+                return output(h[0][1] ^ h[1][1])
+            return wait()
+
+        def act_b(bit, h):
+            if len(h) == 0:
+                return send(bit)
+            if len(h) == 2:
+                return output(h[0][1] ^ h[1][1])
+            return wait()
+
+        p = TwoPartyProtocol([0, 1], [0, 1], act_a, act_b, max_depth=4)
+        v = classify_protocol(p)
+        assert v.get("dictator") == "A"
+        for w in v["witnesses"]:
+            assert verify_assurance(p, w)
+
+    def test_constant_protocol_favorable(self):
+        p = first_to_speak_protocol(1)
+        a = find_assurance(p, bit_for_a=1, bit_for_b=0)
+        assert a.player == "A" and a.bit == 1
+        assert verify_assurance(p, a)
+
+    def test_constant_zero(self):
+        p = first_to_speak_protocol(0)
+        a = find_assurance(p, bit_for_a=0, bit_for_b=1)
+        assert a.player == "A" and a.bit == 0
+
+    def test_multiround_protocol(self):
+        """Two-round XOR: A sends, B sends, A sends again; majority-ish.
+
+        Output = a1 ^ b ^ a2. The last mover (A) dictates.
+        """
+
+        def act_a(bits, h):
+            if len(h) == 0:
+                return send(bits[0])
+            if len(h) == 2:
+                return send(bits[1])
+            if len(h) == 3:
+                return output(h[0][1] ^ h[1][1] ^ h[2][1])
+            return wait()
+
+        def act_b(bit, h):
+            if len(h) == 1:
+                return send(bit)
+            if len(h) == 3:
+                return output(h[0][1] ^ h[1][1] ^ h[2][1])
+            return wait()
+
+        inputs_a = [(x, y) for x in (0, 1) for y in (0, 1)]
+        p = TwoPartyProtocol(inputs_a, [0, 1], act_a, act_b, max_depth=6)
+        v = classify_protocol(p)
+        assert v.get("dictator") == "A"
+        for w in v["witnesses"]:
+            assert verify_assurance(p, w)
+
+
+class TestSimulatedTrees:
+    def test_is_tree_accepts_path(self):
+        assert is_tree([1, 2, 3], [(1, 2), (2, 3)])
+
+    def test_is_tree_rejects_cycle(self):
+        assert not is_tree([1, 2, 3], [(1, 2), (2, 3), (3, 1)])
+
+    def test_is_tree_rejects_forest(self):
+        assert not is_tree([1, 2, 3, 4], [(1, 2), (3, 4)])
+
+    def test_valid_witness_on_cycle(self):
+        nodes = [1, 2, 3, 4, 5, 6]
+        edges = [(i, i % 6 + 1) for i in nodes]
+        mapping = {1: "x", 2: "x", 3: "x", 4: "y", 5: "y", 6: "y"}
+        report = check_k_simulated_tree(nodes, edges, mapping, k=3)
+        assert report["ok"]
+        assert report["max_fiber_size"] == 3
+
+    def test_oversized_fiber_rejected(self):
+        nodes = [1, 2, 3, 4]
+        edges = [(1, 2), (2, 3), (3, 4), (4, 1)]
+        mapping = {1: "x", 2: "x", 3: "x", 4: "y"}
+        report = check_k_simulated_tree(nodes, edges, mapping, k=2)
+        assert not report["ok"]
+        assert report["oversized_fibers"] == {"x": 3}
+
+    def test_disconnected_fiber_rejected(self):
+        nodes = [1, 2, 3, 4]
+        edges = [(1, 2), (2, 3), (3, 4), (4, 1)]
+        mapping = {1: "x", 3: "x", 2: "y", 4: "z"}
+        report = check_k_simulated_tree(nodes, edges, mapping, k=2)
+        assert "x" in report["disconnected_fibers"]
+
+    def test_non_tree_quotient_rejected(self):
+        nodes = [1, 2, 3]
+        edges = [(1, 2), (2, 3), (3, 1)]
+        mapping = {1: "a", 2: "b", 3: "c"}
+        report = check_k_simulated_tree(nodes, edges, mapping, k=1)
+        assert not report["quotient_is_tree"]
+
+    def test_tree_is_1_simulated(self):
+        nodes = [1, 2, 3, 4]
+        edges = [(1, 2), (2, 3), (2, 4)]
+        mapping = {v: v for v in nodes}
+        assert check_k_simulated_tree(nodes, edges, mapping, k=1)["ok"]
+
+    def test_missing_mapping_raises(self):
+        with pytest.raises(ConfigurationError):
+            check_k_simulated_tree([1, 2], [(1, 2)], {1: "a"}, 1)
+
+
+class TestHalfPartition:
+    @given(st.integers(2, 24))
+    @settings(max_examples=40, deadline=None)
+    def test_ring_partition_valid(self, n):
+        import math
+
+        nodes = list(range(1, n + 1))
+        edges = [(i, i % n + 1) for i in nodes]
+        mapping = half_partition(nodes, edges)
+        sizes = {}
+        for v in nodes:
+            sizes[mapping[v]] = sizes.get(mapping[v], 0) + 1
+        assert max(sizes.values()) <= math.ceil(n / 2)
+        report = check_k_simulated_tree(
+            nodes, edges, mapping, max(sizes.values())
+        )
+        assert report["ok"]
+
+    def test_complete_graph_partition(self):
+        n = 7
+        nodes = list(range(n))
+        edges = [(u, v) for u in nodes for v in nodes if u < v]
+        mapping = half_partition(nodes, edges)
+        assert quotient_is_tree(nodes, edges, mapping)
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(ConfigurationError):
+            half_partition([1, 2, 3, 4], [(1, 2), (3, 4)])
+
+    def test_star_partition(self):
+        nodes = list(range(9))
+        edges = [(0, i) for i in range(1, 9)]
+        mapping = half_partition(nodes, edges)
+        assert quotient_is_tree(nodes, edges, mapping)
+
+
+class TestImpossibility:
+    def test_certificate_ring(self):
+        n = 10
+        nodes = list(range(1, n + 1))
+        edges = [(i, i % n + 1) for i in nodes]
+        cert = impossibility_certificate(nodes, edges)
+        assert cert["k"] == 5
+        assert cert["epsilon_bound"] == pytest.approx(0.1)
+
+    def test_biasing_coalition_fibers(self):
+        nodes = [1, 2, 3, 4, 5, 6]
+        edges = [(i, i % 6 + 1) for i in nodes]
+        mapping = {1: "x", 2: "x", 3: "x", 4: "y", 5: "y", 6: "y"}
+        fibers = biasing_coalition(nodes, edges, mapping, k=3)
+        assert sorted(map(tuple, fibers)) == [(1, 2, 3), (4, 5, 6)]
+
+    def test_biasing_coalition_rejects_bad_witness(self):
+        nodes = [1, 2, 3]
+        edges = [(1, 2), (2, 3), (3, 1)]
+        with pytest.raises(ConfigurationError):
+            biasing_coalition(nodes, edges, {1: "a", 2: "b", 3: "c"}, 1)
+
+    @given(st.integers(3, 16), st.integers(0, 10))
+    @settings(max_examples=30, deadline=None)
+    def test_certificate_random_connected_graph(self, n, seed):
+        import random
+
+        rng = random.Random(seed)
+        nodes = list(range(n))
+        edges = [(i, i + 1) for i in range(n - 1)]  # spanning path
+        for _ in range(n):
+            u, v = rng.randrange(n), rng.randrange(n)
+            if u != v:
+                edges.append((min(u, v), max(u, v)))
+        cert = impossibility_certificate(nodes, edges)
+        import math
+
+        assert cert["k"] <= math.ceil(n / 2)

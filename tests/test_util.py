@@ -1,0 +1,93 @@
+"""Unit tests for repro.util: modmath, rng, errors."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.errors import ConfigurationError, ProtocolViolation, ReproError
+from repro.util.modmath import canonical_mod, mod_sub, mod_sum
+from repro.util.rng import RngRegistry, derive_seed
+
+
+class TestModMath:
+    def test_canonical_mod_positive(self):
+        assert canonical_mod(7, 5) == 2
+
+    def test_canonical_mod_negative(self):
+        assert canonical_mod(-3, 5) == 2
+
+    def test_canonical_mod_zero_value(self):
+        assert canonical_mod(0, 5) == 0
+
+    def test_canonical_mod_rejects_bad_modulus(self):
+        with pytest.raises(ValueError):
+            canonical_mod(1, 0)
+        with pytest.raises(ValueError):
+            canonical_mod(1, -5)
+
+    def test_mod_sum(self):
+        assert mod_sum([1, 2, 3], 5) == 1
+
+    def test_mod_sum_empty(self):
+        assert mod_sum([], 7) == 0
+
+    def test_mod_sub(self):
+        assert mod_sub(2, 4, 5) == 3
+
+    @given(
+        st.lists(st.integers(-1000, 1000)),
+        st.integers(1, 97),
+    )
+    def test_mod_sum_matches_builtin(self, values, modulus):
+        assert mod_sum(values, modulus) == sum(values) % modulus
+
+    @given(st.integers(-10**9, 10**9), st.integers(1, 10**6))
+    def test_canonical_mod_in_range(self, value, modulus):
+        r = canonical_mod(value, modulus)
+        assert 0 <= r < modulus
+        assert (r - value) % modulus == 0
+
+
+class TestRng:
+    def test_derive_seed_deterministic(self):
+        assert derive_seed(1, "a") == derive_seed(1, "a")
+
+    def test_derive_seed_label_sensitive(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+
+    def test_derive_seed_seed_sensitive(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_stream_identity(self):
+        reg = RngRegistry(7)
+        assert reg.stream("x") is reg.stream("x")
+
+    def test_stream_reproducible_across_registries(self):
+        a = RngRegistry(7).stream("p").random()
+        b = RngRegistry(7).stream("p").random()
+        assert a == b
+
+    def test_streams_independent(self):
+        reg = RngRegistry(7)
+        seq_x = [reg.stream("x").randrange(100) for _ in range(5)]
+        reg2 = RngRegistry(7)
+        _ = [reg2.stream("y").randrange(100) for _ in range(50)]
+        seq_x2 = [reg2.stream("x").randrange(100) for _ in range(5)]
+        assert seq_x == seq_x2
+
+    def test_spawn_differs_from_parent(self):
+        reg = RngRegistry(7)
+        child = reg.spawn("c")
+        assert child.seed != reg.seed
+
+    def test_spawn_deterministic(self):
+        assert RngRegistry(7).spawn("c").seed == RngRegistry(7).spawn("c").seed
+
+    def test_none_seed_draws_fresh(self):
+        reg = RngRegistry()
+        assert isinstance(reg.seed, int)
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        assert issubclass(ConfigurationError, ReproError)
+        assert issubclass(ProtocolViolation, ReproError)
