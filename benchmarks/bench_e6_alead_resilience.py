@@ -16,16 +16,13 @@ negligible ε. We probe the defensive side empirically:
 import math
 
 from repro import FAIL, run_protocol, unidirectional_ring
-from repro.analysis.distribution import (
-    chi_square_uniformity,
-    estimate_distribution,
-)
+from repro.analysis.distribution import chi_square_uniformity
 from repro.attacks import (
     RingPlacement,
     cubic_attack_protocol,
     equal_spacing_attack_protocol_unchecked,
 )
-from repro.protocols import alead_uni_protocol
+from repro.experiments import run_scenario
 from repro.util.errors import ConfigurationError
 
 
@@ -96,9 +93,12 @@ def test_e6_resilience_below_threshold(benchmark, experiment_report):
         assert lo <= k_min <= hi + 1
     experiment_report("E6b crossover sits in the paper's gap", rows)
 
-    # Honest uniformity baseline at moderate n (the ε≈0 the theorem keeps).
-    ring = unidirectional_ring(16)
-    dist = estimate_distribution(ring, alead_uni_protocol, trials=320, base_seed=1)
+    # Honest uniformity baseline at moderate n (the ε≈0 the theorem keeps),
+    # via the registry: same spec the CLI's bias/sweep commands run.
+    result = run_scenario(
+        "honest/alead-uni", trials=320, base_seed=1, params={"n": 16}
+    )
+    dist = result.distribution
     assert dist.fail_count == 0
     assert chi_square_uniformity(dist) > 1e-4
     experiment_report(

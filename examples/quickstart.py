@@ -10,7 +10,7 @@ Demonstrates the core public API:
 """
 
 from repro import run_protocol, unidirectional_ring
-from repro.attacks import basic_cheat_protocol
+from repro.experiments import run_scenario
 from repro.protocols import (
     alead_uni_protocol,
     basic_lead_protocol,
@@ -37,11 +37,19 @@ def main() -> None:
         )
 
     print("\n-- a single cheater vs Basic-LEAD (Claim B.1) --")
+    # Monte-Carlo over the registered scenario: same wiring as
+    # `python -m repro sweep --scenario attack/basic-cheat`.
     for target in (3, 9, 16):
-        result = run_protocol(
-            ring, basic_cheat_protocol(ring, cheater=5, target=target), seed=7
+        result = run_scenario(
+            "attack/basic-cheat",
+            trials=20,
+            base_seed=7,
+            params={"n": n, "cheater": 5, "target": target},
         )
-        print(f"cheater at node 5 demanded {target:>2} -> elected {result.outcome}")
+        print(
+            f"cheater at node 5 demanded {target:>2} -> "
+            f"forcing rate {result.successes}"
+        )
 
     print("\nBasic-LEAD is fully controlled by one rational agent;")
     print("A-LEADuni tolerates it (see examples/attack_gallery.py for its")

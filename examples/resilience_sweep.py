@@ -21,7 +21,6 @@ from repro.attacks import (
     RingPlacement,
     cubic_attack_protocol,
     equal_spacing_attack_protocol_unchecked,
-    phase_rushing_attack_protocol,
 )
 from repro.util.errors import ConfigurationError
 
@@ -66,11 +65,27 @@ def main() -> None:
         print(f"  k={k:<3} {try_attack(build, ring, target)}")
 
     print("\n-- PhaseAsyncLead vs rushing+brute-force attack --")
-    for k in (7, 10, 13, 16):
-        def build(k=k):
-            return phase_rushing_attack_protocol(ring, k, target)
+    # Through the scenario registry this time: forcing *rates* over a few
+    # trials per k, instead of a single execution.
+    from repro.experiments import run_scenario
 
-        print(f"  k={k:<3} {try_attack(build, ring, target)}")
+    for k in (7, 10, 13, 16):
+        try:
+            result = run_scenario(
+                "attack/phase-rushing",
+                trials=5,
+                params={"n": n, "k": k, "target": target},
+            )
+        except ConfigurationError as exc:
+            print(f"  k={k:<3} infeasible ({exc})")
+            continue
+        verdict = (
+            "FORCED" if result.success_rate == 1.0
+            else "holds (deviation punished/stalled)"
+            if result.fail_rate == 1.0
+            else f"forcing rate {result.success_rate:.2f}"
+        )
+        print(f"  k={k:<3} {verdict}")
 
     print("\nReading: A-LEADuni's frontier sits between n^(1/4) and "
           "2·n^(1/3);")

@@ -7,6 +7,9 @@ Public API highlights:
   message-passing substrate.
 - :mod:`repro.protocols` — Basic-LEAD, A-LEADuni, PhaseAsyncLead.
 - :mod:`repro.attacks` — every adversarial deviation the paper analyses.
+- :mod:`repro.experiments` — the Monte-Carlo experiment engine: the
+  scenario registry, the parallel deterministic trial runner, and
+  parameter-grid sweeps (``python -m repro sweep``).
 - :mod:`repro.analysis` — outcome distributions, bias estimation,
   synchronization-gap traces.
 - :mod:`repro.cointoss` — FLE ⇔ fair coin toss reductions (Section 8).
@@ -28,8 +31,16 @@ from repro.protocols import (
     PhaseAsyncParams,
     RandomFunction,
 )
+from repro.experiments import (
+    ExperimentRunner,
+    ScenarioSpec,
+    get_scenario,
+    register_scenario,
+    run_scenario,
+    scenario_names,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "FAIL",
@@ -42,5 +53,11 @@ __all__ = [
     "phase_async_protocol",
     "PhaseAsyncParams",
     "RandomFunction",
+    "ExperimentRunner",
+    "ScenarioSpec",
+    "get_scenario",
+    "register_scenario",
+    "run_scenario",
+    "scenario_names",
     "__version__",
 ]

@@ -43,12 +43,21 @@ def empirical_bias(
     trials: int,
     base_seed: int = 0,
     distribution: Optional[OutcomeDistribution] = None,
+    workers: int = 1,
 ) -> BiasReport:
-    """Estimate the bias ε of ``factory`` over ``trials`` executions."""
+    """Estimate the bias ε of ``factory`` over ``trials`` executions.
+
+    Estimation runs through the :mod:`repro.experiments` runner;
+    ``workers > 1`` fans trials out over processes without changing the
+    result (see :func:`estimate_distribution` for the picklability
+    caveat).
+    """
     dist = (
         distribution
         if distribution is not None
-        else estimate_distribution(topology, factory, trials, base_seed)
+        else estimate_distribution(
+            topology, factory, trials, base_seed, workers=workers
+        )
     )
     return BiasReport(
         n=len(topology),
@@ -58,18 +67,35 @@ def empirical_bias(
     )
 
 
+class _TargetFactory:
+    """Picklable adapter binding a target id into an attack factory."""
+
+    def __init__(
+        self,
+        factory_for_target: Callable[[Topology, int], Dict[Hashable, object]],
+        target: int,
+    ):
+        self.factory_for_target = factory_for_target
+        self.target = target
+
+    def __call__(self, topology: Topology) -> Dict[Hashable, object]:
+        return self.factory_for_target(topology, self.target)
+
+
 def attack_success_rate(
     topology: Topology,
     factory_for_target: Callable[[Topology, int], Dict[Hashable, object]],
     target: int,
     trials: int,
     base_seed: int = 0,
+    workers: int = 1,
 ) -> float:
     """Fraction of runs in which the attack forces ``outcome == target``."""
     dist = estimate_distribution(
         topology,
-        lambda topo: factory_for_target(topo, target),
+        _TargetFactory(factory_for_target, target),
         trials,
         base_seed,
+        workers=workers,
     )
     return dist.probability(target)

@@ -5,6 +5,11 @@ An FLE protocol must elect every id with probability exactly ``1/n``
 independent seeds, histogram the outcomes, and test uniformity with a
 chi-square statistic (scipy when available, plain implementation
 otherwise, so the core library stays dependency-free).
+
+Estimation delegates to the :mod:`repro.experiments` runner: trials run
+with trace recording off (the executor fast path) and can fan out over
+worker processes, while the per-trial seed derivation is unchanged from
+the original serial loop — so historical results are preserved exactly.
 """
 
 import math
@@ -12,9 +17,8 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Hashable, Optional
 
-from repro.sim.execution import FAIL, run_protocol
+from repro.sim.execution import FAIL
 from repro.sim.topology import Topology
-from repro.util.rng import RngRegistry
 
 #: A protocol factory: builds a fresh strategy vector per execution.
 ProtocolFactory = Callable[[Topology], Dict[Hashable, object]]
@@ -52,21 +56,54 @@ class OutcomeDistribution:
         return {j: self.counts.get(j, 0) for j in range(1, self.n + 1)}
 
 
+class _FixedTopology:
+    """Picklable topology factory closing over one prebuilt topology."""
+
+    def __init__(self, topology: Topology):
+        self.topology = topology
+
+    def __call__(self, params) -> Topology:
+        return self.topology
+
+
+class _FactoryProtocol:
+    """Picklable adapter from the legacy one-argument protocol factory."""
+
+    def __init__(self, factory: ProtocolFactory):
+        self.factory = factory
+
+    def __call__(self, topology, params, rng):
+        return self.factory(topology)
+
+
 def estimate_distribution(
     topology: Topology,
     factory: ProtocolFactory,
     trials: int,
     base_seed: int = 0,
+    workers: int = 1,
+    max_steps: Optional[int] = None,
 ) -> OutcomeDistribution:
-    """Run ``factory`` ``trials`` times with derived seeds and histogram."""
-    n = len(topology)
-    dist = OutcomeDistribution(n=n, trials=trials)
-    for t in range(trials):
-        result = run_protocol(
-            topology, factory(topology), rng=RngRegistry(base_seed).spawn(str(t))
-        )
-        dist.counts[result.outcome] += 1
-    return dist
+    """Run ``factory`` ``trials`` times with derived seeds and histogram.
+
+    Trial ``t`` runs from the registry seed derived from
+    ``(base_seed, t)`` — the same derivation at any ``workers`` count, so
+    the histogram is reproducible however the work is distributed.
+    ``workers > 1`` requires ``topology`` and ``factory`` to be picklable
+    (module-level factories such as ``alead_uni_protocol`` are; ad-hoc
+    lambdas should stay at ``workers=1``).
+    """
+    from repro.experiments.runner import ExperimentRunner
+    from repro.experiments.scenario import ScenarioSpec
+
+    spec = ScenarioSpec(
+        name="adhoc/estimate-distribution",
+        description="legacy protocol-factory distribution estimate",
+        build_topology=_FixedTopology(topology),
+        build_protocol=_FactoryProtocol(factory),
+    )
+    runner = ExperimentRunner(workers=workers, max_steps=max_steps)
+    return runner.run(spec, trials, base_seed=base_seed).distribution
 
 
 def chi_square_uniformity(dist: OutcomeDistribution) -> float:

@@ -5,15 +5,20 @@ Examples::
     python -m repro run --protocol phase-async --n 64 --seed 3
     python -m repro attack --name cubic --n 111 --k 6 --target 42
     python -m repro bias --protocol alead-uni --n 8 --trials 500
+    python -m repro sweep --scenario attack/cubic --trials 200 --workers 4
+    python -m repro sweep --list
     python -m repro certificate --graph ring --n 12
 
 Everything printed is derived from the same public API the examples and
 benches use; the CLI exists so downstream users can poke the system
-without writing a script.
+without writing a script. Protocol and attack wiring comes from the
+scenario registry (:mod:`repro.experiments`), so the CLI, benchmarks,
+and examples all run exactly the same setups.
 """
 
 import argparse
-import math
+import json
+import os
 import sys
 from typing import Optional
 
@@ -22,31 +27,41 @@ from repro.analysis.distribution import (
     chi_square_uniformity,
     estimate_distribution,
 )
-from repro.attacks import (
-    RingPlacement,
-    basic_cheat_protocol,
-    cubic_attack_protocol,
-    equal_spacing_attack_protocol,
-    partial_sum_attack_protocol,
-    phase_rushing_attack_protocol,
-    shamir_pooling_attack_protocol,
+from repro.experiments import (
+    all_scenarios,
+    expand_grid,
+    get_scenario,
+    sweep_scenario,
 )
 from repro.protocols import (
     alead_uni_protocol,
     async_complete_protocol,
     basic_lead_protocol,
-    default_threshold,
     phase_async_protocol,
 )
 from repro.sim.execution import run_protocol
 from repro.sim.topology import complete_graph, unidirectional_ring
 from repro.trees import impossibility_certificate
+from repro.util.errors import ConfigurationError
+from repro.util.rng import RngRegistry
 
 PROTOCOLS = {
     "basic-lead": (basic_lead_protocol, "ring"),
     "alead-uni": (alead_uni_protocol, "ring"),
     "phase-async": (phase_async_protocol, "ring"),
     "async-complete": (async_complete_protocol, "complete"),
+}
+
+#: CLI attack name -> registered scenario. The CLI predates the registry
+#: and keeps its short names; the wiring behind them is shared.
+ATTACK_SCENARIOS = {
+    "basic-cheat": "attack/basic-cheat",
+    "rushing": "attack/equal-spacing",
+    "random-location": "attack/random-location",
+    "cubic": "attack/cubic",
+    "partial-sum": "attack/partial-sum",
+    "phase-rushing": "attack/phase-rushing",
+    "shamir-pool": "attack/shamir-pool",
 }
 
 
@@ -57,7 +72,9 @@ def _topology(kind: str, n: int):
 def _cmd_run(args) -> int:
     maker, kind = PROTOCOLS[args.protocol]
     topo = _topology(kind, args.n)
-    result = run_protocol(topo, maker(topo), seed=args.seed)
+    result = run_protocol(
+        topo, maker(topo), seed=args.seed, max_steps=args.max_steps
+    )
     print(f"protocol : {args.protocol} (n={args.n}, seed={args.seed})")
     print(f"outcome  : {result.outcome}")
     print(f"steps    : {result.steps}")
@@ -66,39 +83,23 @@ def _cmd_run(args) -> int:
     return 0 if not result.failed else 1
 
 
-def _build_attack(args):
-    n, k, target = args.n, args.k, args.target
-    if args.name == "basic-cheat":
-        topo = unidirectional_ring(n)
-        return topo, basic_cheat_protocol(topo, cheater=2, target=target)
-    if args.name == "rushing":
-        topo = unidirectional_ring(n)
-        kk = k if k else math.isqrt(n)
-        pl = RingPlacement.equal_spacing(n, kk)
-        return topo, equal_spacing_attack_protocol(topo, pl, target)
-    if args.name == "cubic":
-        topo = unidirectional_ring(n)
-        kk = k if k else max(3, round(2 * n ** (1 / 3)))
-        pl = RingPlacement.cubic(n, kk)
-        return topo, cubic_attack_protocol(topo, pl, target)
-    if args.name == "partial-sum":
-        topo = unidirectional_ring(n)
-        return topo, partial_sum_attack_protocol(topo, k if k else 4, target)
-    if args.name == "phase-rushing":
-        topo = unidirectional_ring(n)
-        kk = k if k else math.isqrt(n) + 3
-        return topo, phase_rushing_attack_protocol(topo, kk, target)
-    if args.name == "shamir-pool":
-        topo = complete_graph(n)
-        kk = k if k else default_threshold(n)
-        coalition = list(range(2, 2 + kk))
-        return topo, shamir_pooling_attack_protocol(topo, coalition, target)
-    raise SystemExit(f"unknown attack {args.name!r}")
-
-
 def _cmd_attack(args) -> int:
-    topo, protocol = _build_attack(args)
-    result = run_protocol(topo, protocol, seed=args.seed)
+    spec = get_scenario(ATTACK_SCENARIOS[args.name])
+    overrides = {"n": args.n, "target": args.target}
+    if args.k is not None:
+        if "k" not in spec.defaults:
+            raise SystemExit(
+                f"attack {args.name!r} does not take --k "
+                f"(parameters: {sorted(spec.defaults)})"
+            )
+        overrides["k"] = args.k
+    params = spec.resolve_params(overrides)
+    registry = RngRegistry(args.seed)
+    topo = spec.build_topology(params)
+    protocol = spec.build_protocol(topo, params, registry.stream("scenario"))
+    result = run_protocol(
+        topo, protocol, rng=registry, max_steps=args.max_steps
+    )
     forced = result.outcome == args.target
     print(f"attack   : {args.name} (n={args.n}, target={args.target})")
     print(f"outcome  : {result.outcome} ({'FORCED' if forced else 'not forced'})")
@@ -110,13 +111,111 @@ def _cmd_attack(args) -> int:
 def _cmd_bias(args) -> int:
     maker, kind = PROTOCOLS[args.protocol]
     topo = _topology(kind, args.n)
-    dist = estimate_distribution(topo, maker, trials=args.trials, base_seed=args.seed)
+    dist = estimate_distribution(
+        topo,
+        maker,
+        trials=args.trials,
+        base_seed=args.seed,
+        workers=args.workers,
+        max_steps=args.max_steps,
+    )
     report = empirical_bias(topo, maker, args.trials, distribution=dist)
     print(f"protocol : {args.protocol} (n={args.n}, {args.trials} trials)")
     print(f"fail rate: {report.fail_rate:.4f}")
     print(f"max Pr   : {report.max_probability:.4f} (1/n = {1/args.n:.4f})")
     print(f"epsilon  : {report.epsilon:.4f}")
     print(f"chi2 p   : {chi_square_uniformity(dist):.4f}")
+    # Every single trial failing means the estimate is vacuous (e.g. the
+    # step budget was set below what the protocol needs).
+    return 1 if dist.trials and dist.fail_count == dist.trials else 0
+
+
+def _coerce_param(text: str):
+    """CLI parameter literal -> int / float / bool / None / str."""
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            pass
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    if lowered in ("none", "null"):
+        return None
+    return text
+
+
+def _parse_grid(pairs):
+    """``["n=8,16", "k=4"]`` -> ``{"n": [8, 16], "k": [4]}``."""
+    grid = {}
+    for pair in pairs:
+        key, sep, values = pair.partition("=")
+        if not sep or not key:
+            raise SystemExit(f"--param expects KEY=VALUE[,VALUE...], got {pair!r}")
+        grid[key] = [_coerce_param(v) for v in values.split(",")]
+    return grid
+
+
+def _cmd_sweep(args) -> int:
+    if args.list:
+        for spec in all_scenarios():
+            defaults = ", ".join(
+                f"{k}={v}" for k, v in sorted(spec.defaults.items())
+            )
+            print(f"{spec.name:<24} {spec.description}  [{defaults}]")
+        return 0
+    if not args.scenario:
+        raise SystemExit("sweep requires --scenario NAME (or --list)")
+    if args.trials < 0:
+        raise SystemExit(f"--trials must be >= 0, got {args.trials}")
+    grid = _parse_grid(args.param)
+    # Validate the scenario and every grid point's keys up front, so a
+    # typo'd re-run fails before touching a previous run's --out file.
+    try:
+        spec = get_scenario(args.scenario)
+        for point in expand_grid(grid):
+            spec.resolve_params(point)
+    except ConfigurationError as exc:
+        raise SystemExit(str(exc)) from None
+    # Parameter *values* can still be infeasible (e.g. a placement that
+    # does not fit the ring), and that only surfaces when the grid point
+    # runs — so rows stream to a temp file that replaces --out atomically
+    # on success, never clobbering earlier results on a failed run.
+    tmp_path = f"{args.out}.tmp" if args.out else None
+    try:
+        out = open(tmp_path, "w") if tmp_path else None
+    except OSError as exc:
+        raise SystemExit(f"cannot write --out file: {exc}") from None
+    failure = None
+    try:
+        for result in sweep_scenario(
+            args.scenario,
+            trials=args.trials,
+            grid=grid,
+            base_seed=args.seed,
+            workers=args.workers,
+            max_steps=args.max_steps,
+        ):
+            line = json.dumps(result.to_row(), sort_keys=True)
+            print(line)
+            if out:
+                out.write(line + "\n")
+            print(
+                f"  [{result.scenario} {result.params}: "
+                f"{result.trials} trials in {result.elapsed:.2f}s]",
+                file=sys.stderr,
+            )
+    except ConfigurationError as exc:
+        failure = exc
+    finally:
+        if out:
+            out.close()
+    if failure is not None:
+        if tmp_path:
+            os.remove(tmp_path)
+        raise SystemExit(f"sweep failed: {failure}")
+    if tmp_path:
+        os.replace(tmp_path, args.out)
     return 0
 
 
@@ -175,21 +274,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--protocol", choices=sorted(PROTOCOLS), required=True)
     p.add_argument("--n", type=int, default=16)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--max-steps", type=int, default=None,
+        help="delivery budget before declaring non-termination",
+    )
     p.set_defaults(func=_cmd_run)
 
     p = sub.add_parser("attack", help="run an adversarial deviation")
     p.add_argument(
         "--name",
-        choices=[
-            "basic-cheat", "rushing", "cubic", "partial-sum",
-            "phase-rushing", "shamir-pool",
-        ],
+        choices=sorted(ATTACK_SCENARIOS),
         required=True,
     )
     p.add_argument("--n", type=int, default=64)
     p.add_argument("--k", type=int, default=None)
     p.add_argument("--target", type=int, default=1)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--max-steps", type=int, default=None,
+        help="delivery budget before declaring non-termination",
+    )
     p.set_defaults(func=_cmd_attack)
 
     p = sub.add_parser("bias", help="estimate a protocol's bias")
@@ -197,7 +301,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--n", type=int, default=8)
     p.add_argument("--trials", type=int, default=400)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--workers", type=int, default=1)
+    p.add_argument(
+        "--max-steps", type=int, default=None,
+        help="per-trial delivery budget",
+    )
     p.set_defaults(func=_cmd_bias)
+
+    p = sub.add_parser(
+        "sweep",
+        help="run a registered scenario grid; one JSON row per grid point",
+    )
+    p.add_argument("--scenario", default=None, help="registry name, e.g. attack/cubic")
+    p.add_argument("--list", action="store_true", help="list registered scenarios")
+    p.add_argument("--trials", type=int, default=200)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--workers", type=int, default=1)
+    p.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="KEY=V[,V...]",
+        help="pin a parameter or sweep comma-separated values (repeatable)",
+    )
+    p.add_argument(
+        "--max-steps", type=int, default=None,
+        help="per-trial delivery budget",
+    )
+    p.add_argument("--out", default=None, help="also write JSON rows to this file")
+    p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser(
         "certificate", help="Theorem 7.2 impossibility certificate"

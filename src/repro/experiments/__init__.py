@@ -1,0 +1,74 @@
+"""Unified Monte-Carlo experiment engine.
+
+Three layers, each usable on its own:
+
+- **Scenarios** (:mod:`~repro.experiments.scenario`): a
+  :class:`ScenarioSpec` names a (topology, protocol/attack, scheduler,
+  parameters, success predicate) bundle; the registry maps names like
+  ``"attack/cubic"`` to specs. The builtin catalog
+  (:mod:`~repro.experiments.catalog`) registers every protocol and
+  attack from the paper at import time.
+- **Runner** (:mod:`~repro.experiments.runner`): an
+  :class:`ExperimentRunner` fans a trial budget out over
+  ``multiprocessing`` workers — trial ``i`` always derives its seed from
+  ``(base_seed, i)`` alone, so results are identical at any worker count
+  — and folds outcomes into distributions and Wilson-interval
+  proportions as they stream back. Trials run with trace recording off,
+  the executor's Monte-Carlo fast path.
+- **Sweeps** (:mod:`~repro.experiments.sweep`): cartesian parameter
+  grids over a scenario, one JSON-stable row per grid point; surfaced on
+  the command line as ``python -m repro sweep``.
+
+Quick taste::
+
+    from repro.experiments import run_scenario
+
+    result = run_scenario(
+        "attack/cubic", trials=200, params={"n": 111, "k": 6}, workers=4
+    )
+    print(result.successes)          # forcing rate with Wilson interval
+    print(result.distribution.counts)
+"""
+
+from repro.experiments.scenario import (
+    Params,
+    ScenarioSpec,
+    all_scenarios,
+    forced_target,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+    unregister_scenario,
+)
+from repro.experiments.runner import (
+    ExperimentResult,
+    ExperimentRunner,
+    TrialOutcome,
+    run_one_trial,
+    run_scenario,
+    trial_registry,
+)
+from repro.experiments.sweep import expand_grid, sweep_scenario
+
+# Importing the catalog registers the builtin scenarios as a side effect;
+# keep it last so the registry machinery above is fully initialised.
+from repro.experiments import catalog  # noqa: F401  (import for effect)
+
+__all__ = [
+    "Params",
+    "ScenarioSpec",
+    "all_scenarios",
+    "forced_target",
+    "get_scenario",
+    "register_scenario",
+    "scenario_names",
+    "unregister_scenario",
+    "ExperimentResult",
+    "ExperimentRunner",
+    "TrialOutcome",
+    "run_one_trial",
+    "run_scenario",
+    "trial_registry",
+    "expand_grid",
+    "sweep_scenario",
+]

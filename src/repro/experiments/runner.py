@@ -1,0 +1,303 @@
+"""The Monte-Carlo trial runner: deterministic fan-out over workers.
+
+One *experiment* is ``trials`` independent executions of a scenario, each
+with its own derived seed. The runner owns the loop every caller used to
+hand-roll:
+
+- **Determinism by construction.** Trial ``i`` of an experiment with
+  ``base_seed`` always runs from the registry seed
+  ``derive_seed(base_seed, f"spawn:{i}")`` — a pure function of
+  ``(base_seed, i)``. How trials are sliced into worker chunks, and how
+  many workers there are, cannot change any trial's randomness; the same
+  ``(scenario, params, trials, base_seed)`` produces the same outcomes
+  with ``parallel=False``, one worker, or sixteen. (This derivation is
+  exactly the one :func:`repro.analysis.distribution.estimate_distribution`
+  has always used, so historical results are preserved bit-for-bit.)
+- **Lean hot path.** Trials run with ``record_trace=False`` by default:
+  Monte-Carlo estimation reads only outcomes, so the executor skips all
+  event-object allocation.
+- **Streaming fold.** Worker chunks come back via ``imap_unordered`` and
+  are folded into an :class:`~repro.analysis.distribution.OutcomeDistribution`
+  and a success counter as they arrive; per-trial outcomes are re-sorted
+  by index at the end, so the fold order never shows in the result.
+
+The in-process mode (``parallel=False`` or one worker) runs the same
+per-trial function with no multiprocessing at all — the mode tests use,
+and the fallback for ad-hoc scenario specs built from closures that
+cannot cross process boundaries.
+"""
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Tuple, Union
+
+from repro.analysis.distribution import OutcomeDistribution
+from repro.analysis.stats import Proportion, proportion
+from repro.experiments.scenario import Params, ScenarioSpec, get_scenario
+from repro.sim.execution import run_protocol
+from repro.util.errors import ConfigurationError
+from repro.util.rng import RngRegistry
+
+#: A scenario argument: registered name or an (ad-hoc) spec object.
+ScenarioRef = Union[str, ScenarioSpec]
+
+
+def trial_registry(base_seed: int, index: int) -> RngRegistry:
+    """The :class:`RngRegistry` trial ``index`` runs from — pure in
+    ``(base_seed, index)``, independent of worker layout. Delegates to
+    :meth:`RngRegistry.spawn` so the derivation stays structurally
+    identical to the legacy serial loops' ``spawn(str(t))``."""
+    return RngRegistry(base_seed).spawn(str(index))
+
+
+@dataclass(frozen=True)
+class TrialOutcome:
+    """One finished trial, reduced to what experiments aggregate."""
+
+    index: int
+    outcome: Any
+    steps: int
+    success: bool
+
+
+@dataclass
+class ExperimentResult:
+    """Aggregated result of one experiment (one scenario, one grid point)."""
+
+    scenario: str
+    params: Params
+    trials: int
+    base_seed: int
+    outcomes: List[TrialOutcome]
+    distribution: OutcomeDistribution
+    successes: Proportion
+    elapsed: float = 0.0  # wall-clock; excluded from to_row() determinism
+
+    @property
+    def success_rate(self) -> float:
+        return self.successes.estimate
+
+    @property
+    def fail_rate(self) -> float:
+        return self.distribution.fail_rate
+
+    def to_row(self) -> Dict[str, Any]:
+        """A JSON-stable summary row (identical across worker counts)."""
+        return {
+            "scenario": self.scenario,
+            "params": {k: self.params[k] for k in sorted(self.params)},
+            "trials": self.trials,
+            "base_seed": self.base_seed,
+            "successes": self.successes.successes,
+            "success_rate": round(self.success_rate, 6),
+            "success_low": round(self.successes.low, 6),
+            "success_high": round(self.successes.high, 6),
+            "fail_rate": round(self.fail_rate, 6),
+            "outcomes": {
+                str(outcome): count
+                for outcome, count in sorted(
+                    self.distribution.counts.items(), key=lambda kv: str(kv[0])
+                )
+            },
+        }
+
+
+def run_one_trial(
+    spec: ScenarioSpec,
+    params: Params,
+    base_seed: int,
+    index: int,
+    record_trace: bool = False,
+    max_steps: Optional[int] = None,
+) -> TrialOutcome:
+    """Run trial ``index`` of an experiment and score it.
+
+    This is *the* definition of a trial — the parallel and in-process
+    paths both funnel through it, which is what makes them agree.
+    """
+    registry = trial_registry(base_seed, index)
+    topology = spec.build_topology(params)
+    protocol = spec.build_protocol(topology, params, registry.stream("scenario"))
+    scheduler = spec.build_scheduler(params) if spec.build_scheduler else None
+    result = run_protocol(
+        topology,
+        protocol,
+        scheduler=scheduler,
+        rng=registry,
+        max_steps=max_steps,
+        record_trace=record_trace,
+    )
+    return TrialOutcome(
+        index=index,
+        outcome=result.outcome,
+        steps=result.steps,
+        success=spec.success(result.outcome, params),
+    )
+
+
+def _run_chunk(
+    payload: Tuple[ScenarioRef, Params, int, Tuple[int, ...], bool, Optional[int]]
+) -> List[TrialOutcome]:
+    """Worker entry point: run a contiguous chunk of trial indices."""
+    scenario, params, base_seed, indices, record_trace, max_steps = payload
+    if isinstance(scenario, str):
+        import repro.experiments  # noqa: F401 - registers the builtin catalog
+
+        spec = get_scenario(scenario)
+    else:
+        spec = scenario
+    return [
+        run_one_trial(spec, params, base_seed, i, record_trace, max_steps)
+        for i in indices
+    ]
+
+
+class ExperimentRunner:
+    """Fans a trial budget out over worker processes, deterministically.
+
+    Parameters
+    ----------
+    workers:
+        Worker-process count. ``1`` (the default) runs in-process.
+    parallel:
+        Force (``True``) or forbid (``False``) multiprocessing; ``None``
+        derives it from ``workers > 1``. ``parallel=False`` with many
+        workers is the test mode: same chunking, no processes.
+    chunk_size:
+        Trials per worker task; defaults to ~4 tasks per worker so slow
+        chunks load-balance. Never affects results, only scheduling.
+    record_trace:
+        Forwarded to the executor; ``False`` (default) is the Monte-Carlo
+        fast path.
+    max_steps:
+        Per-trial delivery budget override (``None`` = executor default).
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        parallel: Optional[bool] = None,
+        chunk_size: Optional[int] = None,
+        record_trace: bool = False,
+        max_steps: Optional[int] = None,
+    ):
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ConfigurationError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.workers = workers
+        self.parallel = parallel if parallel is not None else workers > 1
+        self.chunk_size = chunk_size
+        self.record_trace = record_trace
+        self.max_steps = max_steps
+
+    # -- internals -----------------------------------------------------
+
+    def _chunks(self, trials: int) -> List[Tuple[int, ...]]:
+        if self.chunk_size is not None:
+            size = self.chunk_size
+        else:
+            size = max(1, trials // (self.workers * 4) or 1)
+        return [
+            tuple(range(start, min(start + size, trials)))
+            for start in range(0, trials, size)
+        ]
+
+    def _iter_chunk_results(
+        self, spec: ScenarioSpec, params: Params, trials: int, base_seed: int
+    ) -> Iterable[List[TrialOutcome]]:
+        chunks = self._chunks(trials)
+        payloads = [
+            (
+                # Ship *builtin* scenarios by name so workers resolve them
+                # from their own catalog import instead of unpickling
+                # arbitrary callables. User-registered and ad-hoc specs go
+                # by value — a worker under the spawn/forkserver start
+                # methods rebuilds only the builtin catalog, so a bare name
+                # would not resolve there; shipping the spec just requires
+                # its factories to be picklable when run in parallel.
+                spec.name if _is_builtin(spec) else spec,
+                params,
+                base_seed,
+                chunk,
+                self.record_trace,
+                self.max_steps,
+            )
+            for chunk in chunks
+        ]
+        if not self.parallel or self.workers == 1 or trials <= 1:
+            for payload in payloads:
+                yield _run_chunk(payload)
+            return
+        processes = min(self.workers, len(payloads))
+        with multiprocessing.Pool(processes=processes) as pool:
+            for chunk_result in pool.imap_unordered(_run_chunk, payloads):
+                yield chunk_result
+
+    # -- public API ----------------------------------------------------
+
+    def run(
+        self,
+        scenario: ScenarioRef,
+        trials: int,
+        base_seed: int = 0,
+        params: Optional[Mapping[str, Any]] = None,
+        on_outcome: Optional[Callable[[TrialOutcome], None]] = None,
+    ) -> ExperimentResult:
+        """Run ``trials`` independent executions and fold the outcomes.
+
+        ``on_outcome`` (if given) observes every trial as its chunk
+        arrives — arrival order is nondeterministic under parallelism,
+        but the folded result and the final ``outcomes`` list (sorted by
+        trial index) are not.
+        """
+        spec = get_scenario(scenario) if isinstance(scenario, str) else scenario
+        resolved = spec.resolve_params(params)
+        if trials < 0:
+            raise ConfigurationError(f"trials must be >= 0, got {trials}")
+        started = time.perf_counter()
+        n = len(spec.build_topology(resolved))
+        distribution = OutcomeDistribution(n=n, trials=trials)
+        outcomes: List[TrialOutcome] = []
+        success_count = 0
+        for chunk_result in self._iter_chunk_results(
+            spec, resolved, trials, base_seed
+        ):
+            for trial in chunk_result:
+                distribution.counts[trial.outcome] += 1
+                success_count += int(trial.success)
+                outcomes.append(trial)
+                if on_outcome is not None:
+                    on_outcome(trial)
+        outcomes.sort(key=lambda t: t.index)
+        return ExperimentResult(
+            scenario=spec.name,
+            params=resolved,
+            trials=trials,
+            base_seed=base_seed,
+            outcomes=outcomes,
+            distribution=distribution,
+            successes=proportion(success_count, trials),
+            elapsed=time.perf_counter() - started,
+        )
+
+
+def _is_builtin(spec: ScenarioSpec) -> bool:
+    from repro.experiments.catalog import BUILTIN_SCENARIO_NAMES
+    from repro.experiments.scenario import _REGISTRY
+
+    return spec.name in BUILTIN_SCENARIO_NAMES and _REGISTRY.get(spec.name) is spec
+
+
+def run_scenario(
+    scenario: ScenarioRef,
+    trials: int,
+    base_seed: int = 0,
+    params: Optional[Mapping[str, Any]] = None,
+    workers: int = 1,
+    **runner_kwargs: Any,
+) -> ExperimentResult:
+    """One-shot convenience: build a runner and run one experiment."""
+    runner = ExperimentRunner(workers=workers, **runner_kwargs)
+    return runner.run(scenario, trials, base_seed=base_seed, params=params)

@@ -1,0 +1,163 @@
+"""Scenario specifications and the scenario registry.
+
+A *scenario* names everything needed to run one Monte-Carlo trial of an
+experiment: how to build the topology, how to build the protocol vector
+(honest or adversarial), which scheduler to use, the default parameters,
+and what counts as *success* for a trial. Bundling these behind a name
+means the CLI, the benchmarks, and the examples all share one wiring
+instead of each hand-rolling topology/protocol/scheduler glue.
+
+Registry usage::
+
+    from repro.experiments import get_scenario, register_scenario
+
+    spec = get_scenario("attack/basic-cheat")
+    params = spec.resolve_params({"n": 64, "target": 40})
+
+Scenario names are flat strings; the builtin catalog uses the
+``honest/<protocol>`` and ``attack/<name>`` convention. The registry is
+import-time populated (see :mod:`repro.experiments.catalog`), so worker
+processes that merely ``import repro.experiments`` can resolve any
+builtin scenario by name — the key property that lets the parallel
+runner ship ``(name, params)`` pairs across process boundaries instead
+of pickled closures.
+"""
+
+import random
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Hashable,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+)
+
+from repro.sim.execution import FAIL
+from repro.sim.scheduler import Scheduler
+from repro.sim.strategy import Strategy
+from repro.sim.topology import Topology
+from repro.util.errors import ConfigurationError
+
+#: Scenario parameters: plain JSON-ish dict (ints/floats/strs/bools).
+Params = Dict[str, Any]
+
+#: Builds the communication graph for one trial.
+TopologyFactory = Callable[[Params], Topology]
+
+#: Builds the full strategy vector for one trial. The third argument is a
+#: private random stream (label ``scenario``) drawn from the trial's
+#: :class:`~repro.util.rng.RngRegistry`, for scenarios that randomise
+#: their own setup (e.g. random adversary placement); deterministic
+#: scenarios simply ignore it.
+ProtocolFactory = Callable[[Topology, Params, random.Random], Mapping[Hashable, Strategy]]
+
+#: Builds the (oblivious) scheduler for one trial; ``None`` means FIFO.
+SchedulerFactory = Callable[[Params], Scheduler]
+
+#: Classifies one finished trial's outcome as success/failure.
+SuccessPredicate = Callable[[Any, Params], bool]
+
+
+def _default_success(outcome: Any, params: Params) -> bool:
+    """Default success predicate: the execution did not globally fail."""
+    return outcome != FAIL
+
+
+def forced_target(outcome: Any, params: Params) -> bool:
+    """Success predicate for forcing attacks: outcome equals ``target``."""
+    return outcome == params["target"]
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A named, parameterised experiment setup.
+
+    Attributes
+    ----------
+    name:
+        Registry key, e.g. ``"attack/cubic"``.
+    description:
+        One-line human summary (shown by ``python -m repro sweep --list``).
+    build_topology / build_protocol / build_scheduler:
+        Factories invoked once per trial. ``build_scheduler=None`` selects
+        the default :class:`~repro.sim.scheduler.FifoScheduler`.
+    defaults:
+        Default parameter values; ``resolve_params`` overlays caller
+        overrides on top and rejects unknown keys, so typos fail loudly
+        instead of silently running the default grid point.
+    success:
+        Per-trial success classifier; defaults to "outcome is not FAIL".
+    tags:
+        Free-form labels (``"honest"``, ``"attack"``, ``"ring"``, ...).
+    """
+
+    name: str
+    description: str
+    build_topology: TopologyFactory
+    build_protocol: ProtocolFactory
+    build_scheduler: Optional[SchedulerFactory] = None
+    defaults: Mapping[str, Any] = field(default_factory=dict)
+    success: SuccessPredicate = _default_success
+    tags: Tuple[str, ...] = ()
+
+    def resolve_params(self, overrides: Optional[Mapping[str, Any]] = None) -> Params:
+        """Overlay ``overrides`` on the defaults, rejecting unknown keys."""
+        params: Params = dict(self.defaults)
+        if overrides:
+            unknown = sorted(set(overrides) - set(params))
+            if unknown:
+                raise ConfigurationError(
+                    f"scenario {self.name!r} has no parameters {unknown}; "
+                    f"known: {sorted(params)}"
+                )
+            params.update(overrides)
+        return params
+
+
+_REGISTRY: Dict[str, ScenarioSpec] = {}
+
+
+def register_scenario(spec: ScenarioSpec, replace: bool = False) -> ScenarioSpec:
+    """Add ``spec`` to the global registry (returned for chaining).
+
+    Re-registering an existing name requires ``replace=True``; accidental
+    collisions raise :class:`~repro.util.errors.ConfigurationError`.
+    """
+    if spec.name in _REGISTRY and not replace:
+        raise ConfigurationError(f"scenario {spec.name!r} already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def unregister_scenario(name: str) -> None:
+    """Remove ``name`` from the registry (no-op if absent); test helper."""
+    _REGISTRY.pop(name, None)
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Look up a registered scenario by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "<none>"
+        raise ConfigurationError(
+            f"unknown scenario {name!r}; registered: {known}"
+        ) from None
+
+
+def scenario_names(tag: Optional[str] = None) -> List[str]:
+    """Sorted names of all registered scenarios (optionally by tag)."""
+    return sorted(
+        name
+        for name, spec in _REGISTRY.items()
+        if tag is None or tag in spec.tags
+    )
+
+
+def all_scenarios() -> List[ScenarioSpec]:
+    """All registered specs, sorted by name."""
+    return [_REGISTRY[name] for name in scenario_names()]

@@ -1,0 +1,58 @@
+"""Parameter-grid sweeps over registered scenarios.
+
+A sweep is the cartesian product of per-parameter value lists, each grid
+point run as one experiment through the
+:class:`~repro.experiments.runner.ExperimentRunner`. Rows come back as
+JSON-stable dicts (see :meth:`ExperimentResult.to_row`), so the ``python
+-m repro sweep`` command can stream them line-by-line and downstream
+tooling can diff runs — the rows are identical whatever the worker
+count.
+"""
+
+import itertools
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Union
+
+from repro.experiments.runner import ExperimentRunner, ExperimentResult
+from repro.experiments.scenario import get_scenario
+
+#: A grid: parameter name -> single value or list of values to sweep.
+Grid = Mapping[str, Union[Any, Sequence[Any]]]
+
+
+def expand_grid(grid: Optional[Grid]) -> List[Dict[str, Any]]:
+    """Cartesian-product a grid into concrete parameter dicts.
+
+    Scalar values are treated as singleton axes; ``None`` or an empty
+    grid yields one empty dict (the scenario's defaults). Axis order
+    follows the grid's own key order, so callers control row ordering.
+    """
+    if not grid:
+        return [{}]
+    axes = []
+    for key, values in grid.items():
+        if isinstance(values, (list, tuple)):
+            axis = list(values)
+        else:
+            axis = [values]
+        axes.append([(key, value) for value in axis])
+    return [dict(point) for point in itertools.product(*axes)]
+
+
+def sweep_scenario(
+    scenario: str,
+    trials: int,
+    grid: Optional[Grid] = None,
+    base_seed: int = 0,
+    workers: int = 1,
+    max_steps: Optional[int] = None,
+) -> Iterator[ExperimentResult]:
+    """Run ``scenario`` at every grid point, yielding results lazily.
+
+    Grid points run sequentially (each one parallelises internally over
+    ``workers``), so memory stays flat however large the grid is and
+    callers can stream rows as they complete.
+    """
+    spec = get_scenario(scenario)
+    runner = ExperimentRunner(workers=workers, max_steps=max_steps)
+    for point in expand_grid(grid):
+        yield runner.run(spec, trials, base_seed=base_seed, params=point)

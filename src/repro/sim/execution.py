@@ -17,6 +17,7 @@ Semantics follow Section 2 of the paper:
 """
 
 from collections import deque
+from collections.abc import Sequence as SequenceABC
 from dataclasses import dataclass, field
 from typing import Any, Deque, Dict, Hashable, List, Mapping, Optional, Tuple
 
@@ -42,6 +43,42 @@ FAIL = "FAIL"
 ABORT = _ABORT_SENTINEL
 
 Link = Tuple[Hashable, Hashable]
+
+
+class _ReadyLinks(SequenceABC):
+    """Read-only sequence view over the executor's ready-link set.
+
+    The executor keeps ready links in an insertion-ordered dict so that
+    membership tests and removals are O(1); schedulers still see the same
+    first-ready-ordered :class:`~collections.abc.Sequence` they always did.
+    Index 0 — the only index the default :class:`FifoScheduler` touches —
+    is served in O(1) without materialising a list.
+    """
+
+    __slots__ = ("_links",)
+
+    def __init__(self, links: "Dict[Link, None]"):
+        self._links = links
+
+    def __len__(self) -> int:
+        return len(self._links)
+
+    def __iter__(self):
+        return iter(self._links)
+
+    def __contains__(self, link: object) -> bool:
+        return link in self._links
+
+    def __getitem__(self, index):
+        if index == 0:
+            try:
+                return next(iter(self._links))
+            except StopIteration:
+                raise IndexError("no ready links") from None
+        return list(self._links)[index]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"_ReadyLinks({list(self._links)!r})"
 
 
 @dataclass
@@ -80,6 +117,12 @@ class Executor:
         Delivery budget after which the execution is declared
         non-terminating. Protocol runs on a ring need about ``2 n²``
         deliveries, so the default scales generously with topology size.
+    record_trace:
+        When ``True`` (the default) every wakeup/send/receive/terminate is
+        recorded as an event object on ``result.trace``. Monte-Carlo loops
+        that only read ``result.outcome`` should pass ``False``: the hot
+        path then skips all event allocation and the result carries an
+        empty trace.
     """
 
     def __init__(
@@ -89,6 +132,7 @@ class Executor:
         scheduler: Optional[Scheduler] = None,
         rng: Optional[RngRegistry] = None,
         max_steps: Optional[int] = None,
+        record_trace: bool = True,
     ):
         missing = [v for v in topology.nodes if v not in protocol]
         if missing:
@@ -109,11 +153,16 @@ class Executor:
         self.max_steps = max_steps if max_steps is not None else 40 * n * n + 1000
 
         self._queues: Dict[Link, Deque[Any]] = {e: deque() for e in topology.edges}
-        self._ready: List[Link] = []  # non-empty links, in first-ready order
+        # Non-empty links in first-ready order. An insertion-ordered dict
+        # doubles as an ordered set: append, membership, and removal are all
+        # O(1), where the previous list needed O(ready) scans for the latter
+        # two on every delivery.
+        self._ready: Dict[Link, None] = {}
         self._terminated: Dict[Hashable, bool] = {v: False for v in topology.nodes}
         self._outputs: Dict[Hashable, Any] = {}
         self._sent: Dict[Hashable, int] = {v: 0 for v in topology.nodes}
         self._received: Dict[Hashable, int] = {v: 0 for v in topology.nodes}
+        self._record_trace = record_trace
         self._trace = Trace()
         self._time = 0
 
@@ -125,12 +174,13 @@ class Executor:
         if queue is None:
             raise SimulationError(f"send on non-existent link {link}")
         if not queue:
-            self._ready.append(link)
+            self._ready[link] = None
         queue.append(value)
         self._sent[sender] += 1
-        self._trace.append(
-            SendEvent(self._time, sender, receiver, value, self._sent[sender])
-        )
+        if self._record_trace:
+            self._trace.append(
+                SendEvent(self._time, sender, receiver, value, self._sent[sender])
+            )
 
     def _drain_context(self, pid: Hashable, ctx: Context) -> None:
         for to, value in ctx.sends:
@@ -138,11 +188,12 @@ class Executor:
         if ctx.terminated:
             self._terminated[pid] = True
             self._outputs[pid] = ctx.output
-            self._trace.append(TerminateEvent(self._time, pid, ctx.output))
-            if ctx.output == ABORT:
-                self._trace.append(
-                    AbortEvent(self._time, pid, ctx.abort_reason or "abort")
-                )
+            if self._record_trace:
+                self._trace.append(TerminateEvent(self._time, pid, ctx.output))
+                if ctx.output == ABORT:
+                    self._trace.append(
+                        AbortEvent(self._time, pid, ctx.abort_reason or "abort")
+                    )
 
     def _make_context(self, pid: Hashable) -> Context:
         return Context(
@@ -158,36 +209,40 @@ class Executor:
         """Execute to quiescence (or the step budget) and score the outcome."""
         for pid in self.topology.nodes:
             self._time += 1
-            self._trace.append(WakeupEvent(self._time, pid))
+            if self._record_trace:
+                self._trace.append(WakeupEvent(self._time, pid))
             ctx = self._make_context(pid)
             self.protocol[pid].on_wakeup(ctx)
             self._drain_context(pid, ctx)
 
         steps = 0
-        while self._ready and steps < self.max_steps:
-            link = self.scheduler.choose(self._ready)
-            if link not in self._ready:
+        ready = self._ready
+        ready_view = _ReadyLinks(ready)
+        while ready and steps < self.max_steps:
+            link = self.scheduler.choose(ready_view)
+            if link not in ready:
                 raise SimulationError(f"scheduler chose non-ready link {link}")
             queue = self._queues[link]
             value = queue.popleft()
             if not queue:
-                self._ready.remove(link)
+                del ready[link]
             sender, receiver = link
             steps += 1
             self._time += 1
             self._received[receiver] += 1
-            self._trace.append(
-                ReceiveEvent(
-                    self._time, sender, receiver, value, self._received[receiver]
+            if self._record_trace:
+                self._trace.append(
+                    ReceiveEvent(
+                        self._time, sender, receiver, value, self._received[receiver]
+                    )
                 )
-            )
             if self._terminated[receiver]:
                 continue  # terminated processors ignore late messages
             ctx = self._make_context(receiver)
             self.protocol[receiver].on_receive(ctx, value, sender)
             self._drain_context(receiver, ctx)
 
-        quiesced = not self._ready
+        quiesced = not ready
         return self._score(steps, quiesced)
 
     def _score(self, steps: int, quiesced: bool) -> ExecutionResult:
@@ -232,17 +287,24 @@ def run_protocol(
     rng: Optional[RngRegistry] = None,
     seed: Optional[int] = None,
     max_steps: Optional[int] = None,
+    record_trace: bool = True,
 ) -> ExecutionResult:
     """One-shot convenience wrapper around :class:`Executor`.
 
     Exactly one of ``rng`` / ``seed`` may be given; ``seed`` builds a fresh
-    :class:`RngRegistry`.
+    :class:`RngRegistry`. Pass ``record_trace=False`` for Monte-Carlo hot
+    loops that only inspect the outcome (the trace comes back empty).
     """
     if rng is not None and seed is not None:
         raise ConfigurationError("pass either rng or seed, not both")
     if rng is None:
         rng = RngRegistry(seed if seed is not None else 0)
     executor = Executor(
-        topology, protocol, scheduler=scheduler, rng=rng, max_steps=max_steps
+        topology,
+        protocol,
+        scheduler=scheduler,
+        rng=rng,
+        max_steps=max_steps,
+        record_trace=record_trace,
     )
     return executor.run()

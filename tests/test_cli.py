@@ -84,3 +84,115 @@ class TestCommands:
         out = capsys.readouterr().out
         assert rc == 0
         assert "punished" in out
+
+
+class TestMaxStepsAndExitCodes:
+    def test_run_max_steps_fails_nonzero(self, capsys):
+        rc = main(
+            ["run", "--protocol", "alead-uni", "--n", "8", "--max-steps", "3"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "budget" in out
+
+    def test_attack_max_steps_fails_nonzero(self, capsys):
+        rc = main(
+            ["attack", "--name", "basic-cheat", "--n", "8", "--target", "3",
+             "--max-steps", "2"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "not forced" in out
+
+    def test_attack_random_location(self):
+        assert main(
+            ["attack", "--name", "random-location", "--n", "256",
+             "--target", "9", "--seed", "2"]
+        ) == 0
+
+    def test_bias_all_fail_exits_nonzero(self, capsys):
+        rc = main(
+            ["bias", "--protocol", "alead-uni", "--n", "8", "--trials", "5",
+             "--max-steps", "2"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "fail rate: 1.0000" in out
+
+
+class TestSweep:
+    def test_sweep_list(self, capsys):
+        rc = main(["sweep", "--list"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "attack/cubic" in out
+        assert "honest/alead-uni" in out
+
+    def test_sweep_requires_scenario(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--trials", "5"])
+
+    def test_sweep_rows_identical_across_worker_counts(self, capsys):
+        import json
+
+        def run_rows(workers):
+            rc = main(
+                ["sweep", "--scenario", "attack/basic-cheat",
+                 "--trials", "10", "--workers", str(workers),
+                 "--param", "n=8,12", "--param", "target=2"]
+            )
+            assert rc == 0
+            return [
+                json.loads(line)
+                for line in capsys.readouterr().out.splitlines()
+                if line.startswith("{")
+            ]
+
+        rows_serial = run_rows(1)
+        rows_parallel = run_rows(4)
+        assert rows_serial == rows_parallel
+        assert len(rows_serial) == 2
+        assert all(row["success_rate"] == 1.0 for row in rows_serial)
+
+    def test_sweep_out_file(self, tmp_path, capsys):
+        import json
+
+        out_file = tmp_path / "rows.jsonl"
+        rc = main(
+            ["sweep", "--scenario", "honest/basic-lead", "--trials", "6",
+             "--param", "n=6", "--out", str(out_file)]
+        )
+        capsys.readouterr()
+        assert rc == 0
+        rows = [json.loads(l) for l in out_file.read_text().splitlines()]
+        assert rows[0]["trials"] == 6
+        assert sum(rows[0]["outcomes"].values()) == 6
+
+    def test_sweep_bad_param_syntax(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--scenario", "honest/basic-lead", "--param", "n"])
+
+    def test_sweep_typo_does_not_truncate_out_file(self, tmp_path, capsys):
+        """A failed invocation must leave a previous --out file intact."""
+        out_file = tmp_path / "rows.jsonl"
+        out_file.write_text('{"precious": "results"}\n')
+        with pytest.raises(SystemExit):  # unknown scenario
+            main(["sweep", "--scenario", "attack/cubik", "--trials", "2",
+                  "--out", str(out_file)])
+        with pytest.raises(SystemExit):  # unknown parameter key
+            main(["sweep", "--scenario", "attack/cubic", "--trials", "2",
+                  "--param", "kk=4", "--out", str(out_file)])
+        with pytest.raises(SystemExit):  # valid keys, infeasible values
+            main(["sweep", "--scenario", "attack/equal-spacing",
+                  "--trials", "2", "--param", "n=8", "--param", "k=7",
+                  "--out", str(out_file)])
+        capsys.readouterr()
+        assert out_file.read_text() == '{"precious": "results"}\n'
+        assert not (tmp_path / "rows.jsonl.tmp").exists()
+
+    def test_attack_rejects_k_when_unsupported(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["attack", "--name", "random-location", "--n", "256",
+                  "--k", "5"])
+        with pytest.raises(SystemExit):
+            main(["attack", "--name", "basic-cheat", "--n", "8", "--k", "2"])

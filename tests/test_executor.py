@@ -2,10 +2,15 @@
 
 import pytest
 
+from repro.sim.events import ReceiveEvent
 from repro.sim.execution import ABORT, FAIL, Executor, run_protocol
-from repro.sim.scheduler import RandomScheduler
+from repro.sim.scheduler import (
+    LinkPriorityScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+)
 from repro.sim.strategy import Context, SilentStrategy, Strategy
-from repro.sim.topology import Topology, unidirectional_ring
+from repro.sim.topology import Topology, complete_graph, unidirectional_ring
 from repro.util.errors import ConfigurationError, ProtocolViolation
 from repro.util.rng import RngRegistry
 
@@ -207,6 +212,117 @@ class TestConfiguration:
                 rng=RngRegistry(0),
                 seed=1,
             )
+
+
+class TestDeliveryOrderRegression:
+    """The O(1) ready-set bookkeeping must not change delivery order.
+
+    Golden sequences below were recorded against the original list-based
+    bookkeeping (``self._ready.remove(link)`` / ``link not in
+    self._ready``) for every scheduler; the complete graph keeps many
+    links concurrently ready, so any reordering in how links enter or
+    leave the ready set would show up here.
+    """
+
+    GOLDEN = {
+        "fifo": [
+            (1, 2), (1, 3), (1, 4), (2, 1), (2, 3), (2, 4), (3, 1), (3, 2),
+            (3, 4), (4, 1), (4, 1), (4, 2), (4, 2), (4, 3), (4, 3), (1, 2),
+            (1, 3), (1, 4), (2, 1), (2, 3), (2, 4), (3, 1), (3, 2), (3, 4),
+        ],
+        "round-robin": [
+            (1, 2), (1, 4), (2, 3), (3, 1), (3, 4), (4, 2), (1, 3), (2, 4),
+            (4, 1), (4, 3), (4, 2), (3, 4), (3, 2), (4, 1), (3, 1), (2, 4),
+            (3, 2), (2, 3), (4, 3), (2, 1), (1, 2), (1, 4), (1, 3), (2, 1),
+        ],
+        "random": [
+            (2, 4), (1, 4), (3, 4), (1, 2), (2, 1), (4, 3), (4, 1), (1, 3),
+            (3, 2), (4, 3), (2, 3), (3, 4), (4, 1), (3, 1), (3, 1), (1, 3),
+            (1, 4), (4, 2), (3, 2), (4, 2), (2, 4), (1, 2), (2, 1), (2, 3),
+        ],
+        "priority": [
+            (2, 1), (1, 3), (1, 4), (2, 3), (2, 4), (3, 1), (3, 2), (3, 4),
+            (4, 1), (4, 1), (4, 2), (4, 2), (4, 3), (4, 3), (1, 3), (1, 4),
+            (3, 1), (3, 2), (3, 4), (1, 2), (2, 1), (2, 3), (2, 4), (1, 2),
+        ],
+    }
+
+    @staticmethod
+    def _delivery_order(scheduler):
+        from repro.protocols import async_complete_protocol
+
+        topo = complete_graph(4)
+        res = run_protocol(
+            topo, async_complete_protocol(topo), scheduler=scheduler, seed=5
+        )
+        assert res.outcome == 3
+        return [
+            (e.sender, e.receiver)
+            for e in res.trace
+            if isinstance(e, ReceiveEvent)
+        ]
+
+    def test_fifo_first_ready_order_unchanged(self):
+        assert self._delivery_order(None) == self.GOLDEN["fifo"]
+
+    def test_round_robin_order_unchanged(self):
+        assert self._delivery_order(RoundRobinScheduler()) == self.GOLDEN[
+            "round-robin"
+        ]
+
+    def test_random_scheduler_order_unchanged(self):
+        assert self._delivery_order(RandomScheduler(seed=7)) == self.GOLDEN[
+            "random"
+        ]
+
+    def test_priority_scheduler_order_unchanged(self):
+        scheduler = LinkPriorityScheduler({(1, 2): 5, (2, 1): -1})
+        assert self._delivery_order(scheduler) == self.GOLDEN["priority"]
+
+    def test_bad_scheduler_choice_still_detected(self):
+        from repro.sim.scheduler import Scheduler
+        from repro.util.errors import SimulationError
+
+        class Liar(Scheduler):
+            def choose(self, ready_links):
+                return ("nope", "nope")
+
+        class Sender(Strategy):
+            def on_wakeup(self, ctx):
+                ctx.send_next("x")
+
+            def on_receive(self, ctx, value, sender):
+                ctx.terminate(0)
+
+        topo = two_ring()
+        with pytest.raises(SimulationError):
+            run_protocol(topo, {1: Sender(), 2: Sender()}, scheduler=Liar())
+
+
+class TestTraceRecordingSwitch:
+    def test_trace_off_preserves_outcome_and_steps(self):
+        from repro.protocols.alead_uni import alead_uni_protocol
+
+        topo = unidirectional_ring(8)
+        traced = run_protocol(topo, alead_uni_protocol(topo), seed=4)
+        bare = run_protocol(
+            topo, alead_uni_protocol(topo), seed=4, record_trace=False
+        )
+        assert bare.outcome == traced.outcome
+        assert bare.steps == traced.steps
+        assert bare.outputs == traced.outputs
+        assert len(traced.trace) > 0
+        assert len(bare.trace) == 0
+
+    def test_trace_off_keeps_failure_reporting(self):
+        topo = two_ring()
+        res = run_protocol(
+            topo,
+            {1: SilentStrategy(), 2: SilentStrategy()},
+            record_trace=False,
+        )
+        assert res.failed
+        assert "never terminated" in res.fail_reason
 
 
 class TestDeterminism:
