@@ -6,17 +6,16 @@ open a Θ(k²) gap without detection; PhaseAsyncLead's phase validation
 forces any (honest-looking) execution back to O(1)-per-round
 synchronization. This ablation traces ``max_t (max_i Sent_i^t - min_j
 Sent_j^t)`` for each scenario.
+
+Every execution is built through the scenario registry
+(:func:`~repro.experiments.runner.run_traced_trial`), so the traced runs
+here are wired identically to the Monte-Carlo trials the sweep command
+runs — just with the event trace switched on.
 """
 
 import math
 
-from repro import run_protocol, unidirectional_ring
-from repro.attacks import (
-    RingPlacement,
-    cubic_attack_protocol,
-    phase_rushing_attack_protocol,
-)
-from repro.protocols import alead_uni_protocol, phase_async_protocol
+from repro.experiments import run_traced_trial
 
 
 def test_a1_sync_gaps(benchmark, experiment_report):
@@ -24,8 +23,7 @@ def test_a1_sync_gaps(benchmark, experiment_report):
 
     # Honest A-LEADuni: gap 1.
     n = 111
-    ring = unidirectional_ring(n)
-    res = run_protocol(ring, alead_uni_protocol(ring), seed=1)
+    res = run_traced_trial("honest/alead-uni", params={"n": n}, base_seed=1)
     gap_honest = res.trace.max_sync_gap()
     rows.append(f"A-LEADuni honest        n={n:<4} gap={gap_honest}")
     assert gap_honest <= 1
@@ -33,9 +31,9 @@ def test_a1_sync_gaps(benchmark, experiment_report):
     # Cubic attack on A-LEADuni: gap Θ(k²) among all processors.
     k = 6
     n = k + (k - 1) * k * (k + 1) // 2
-    ring = unidirectional_ring(n)
-    pl = RingPlacement.cubic(n, k)
-    res = run_protocol(ring, cubic_attack_protocol(ring, pl, 1), seed=1)
+    res = run_traced_trial(
+        "attack/cubic", params={"n": n, "k": k, "target": 1}, base_seed=1
+    )
     gap_cubic = res.trace.max_sync_gap()
     rows.append(
         f"A-LEADuni cubic attack  n={n:<4} k={k} gap={gap_cubic} "
@@ -46,8 +44,7 @@ def test_a1_sync_gaps(benchmark, experiment_report):
 
     # Honest PhaseAsyncLead: gap ≤ 2 (one data + one validation per round).
     n = 100
-    ring = unidirectional_ring(n)
-    res = run_protocol(ring, phase_async_protocol(ring), seed=1)
+    res = run_traced_trial("honest/phase-async", params={"n": n}, base_seed=1)
     gap_phase = res.trace.max_sync_gap()
     rows.append(f"PhaseAsyncLead honest   n={n:<4} gap={gap_phase}")
     assert gap_phase <= 2
@@ -55,8 +52,10 @@ def test_a1_sync_gaps(benchmark, experiment_report):
     # Even a *successful* attack on PhaseAsyncLead stays O(k)-synchronized:
     # the phase mechanism caps desynchronization (the protocol's design goal).
     k = math.isqrt(n) + 3
-    res = run_protocol(
-        ring, phase_rushing_attack_protocol(ring, k, 5), seed=2
+    res = run_traced_trial(
+        "attack/phase-rushing",
+        params={"n": n, "k": k, "target": 5},
+        base_seed=2,
     )
     gap_phase_attack = res.trace.max_sync_gap()
     rows.append(
@@ -67,9 +66,8 @@ def test_a1_sync_gaps(benchmark, experiment_report):
 
     experiment_report("A1 synchronization-gap ablation", rows)
 
-    ring = unidirectional_ring(64)
     benchmark(
-        lambda: run_protocol(
-            ring, phase_async_protocol(ring), seed=3
+        lambda: run_traced_trial(
+            "honest/phase-async", params={"n": 64}, base_seed=3
         ).trace.max_sync_gap()
     )

@@ -10,35 +10,34 @@ records what the rational-agent protocols cost on top:
 - Shamir complete-network: Θ(n) per processor but Θ(n)-sized reveal
   payloads (n² messages, n³ field elements).
 
-The asserted shapes are exact counts, not estimates.
+The asserted shapes are exact counts, not estimates. Every protocol is
+instantiated through its registered scenario (including
+``honest/wakeup-alead``), so the counted executions share the sweep
+engine's wiring.
 """
 
-from repro import run_protocol, unidirectional_ring
-from repro.protocols import (
-    alead_uni_protocol,
-    async_complete_protocol,
-    basic_lead_protocol,
-    phase_async_protocol,
-    wakeup_alead_protocol,
-)
+from repro.experiments import run_traced_trial
 from repro.sim.events import SendEvent
-from repro.sim.topology import complete_graph
 
 
 def _total_sends(result) -> int:
     return sum(1 for e in result.trace if isinstance(e, SendEvent))
 
 
+def _sends(scenario: str, n: int) -> int:
+    return _total_sends(
+        run_traced_trial(scenario, params={"n": n}, base_seed=1)
+    )
+
+
 def test_a5_message_complexity(benchmark, experiment_report):
     rows = []
     for n in (8, 16, 32):
-        ring = unidirectional_ring(n)
-        basic = _total_sends(run_protocol(ring, basic_lead_protocol(ring), seed=1))
-        alead = _total_sends(run_protocol(ring, alead_uni_protocol(ring), seed=1))
-        phase = _total_sends(run_protocol(ring, phase_async_protocol(ring), seed=1))
-        wake = _total_sends(run_protocol(ring, wakeup_alead_protocol(ring), seed=1))
-        g = complete_graph(n)
-        shamir = _total_sends(run_protocol(g, async_complete_protocol(g), seed=1))
+        basic = _sends("honest/basic-lead", n)
+        alead = _sends("honest/alead-uni", n)
+        phase = _sends("honest/phase-async", n)
+        wake = _sends("honest/wakeup-alead", n)
+        shamir = _sends("honest/async-complete", n)
         rows.append(
             f"n={n:<3} basic={basic:<5} alead={alead:<5} phase={phase:<6} "
             f"wakeup+alead={wake:<6} shamir={shamir}"
@@ -51,9 +50,4 @@ def test_a5_message_complexity(benchmark, experiment_report):
         assert shamir == 2 * n * (n - 1)
     experiment_report("A5 message complexity (exact counts)", rows)
 
-    ring = unidirectional_ring(32)
-    benchmark(
-        lambda: _total_sends(
-            run_protocol(ring, alead_uni_protocol(ring), seed=2)
-        )
-    )
+    benchmark(lambda: _sends("honest/alead-uni", 32))

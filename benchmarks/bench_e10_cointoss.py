@@ -7,49 +7,50 @@ Paper claims:
 
 We measure: honest reductions stay balanced/uniform; a *biased* FLE
 (single-cheater Basic-LEAD forcing an even id) propagates to a constant
-coin, saturating the paper's bound.
+coin, saturating the paper's bound. All three estimation loops run
+through the registered ``cointoss/*`` scenarios on the experiment
+runner, so they inherit deterministic seeding and worker fan-out.
 """
 
-from collections import Counter
+import pytest
 
-from repro import unidirectional_ring
-from repro.attacks import basic_cheat_protocol
 from repro.cointoss import (
-    CoinTossRunner,
     coin_bias_bound_from_fle,
     fle_bias_bound_from_coin,
-    independent_coin_fle,
 )
-from repro.protocols import alead_uni_protocol
-from repro.util.rng import RngRegistry
+from repro.experiments import ExperimentRunner
 
 
+@pytest.mark.smoke
 def test_e10_reductions(benchmark, experiment_report):
     rows = []
-    ring = unidirectional_ring(8)
+    runner = ExperimentRunner()
 
     # Honest FLE -> coin: balanced.
-    runner = CoinTossRunner(ring, alead_uni_protocol)
-    tosses = [runner.toss(RngRegistry(s)) for s in range(200)]
-    ones = sum(tosses)
+    result = runner.run("cointoss/fle-coin", trials=200, params={"n": 8})
+    ones = result.distribution.counts[1]
     rows.append(f"honest FLE->coin: Pr[1]={ones/200:.2f} (target 0.5)")
+    assert result.fail_rate == 0.0
     assert 0.35 <= ones / 200 <= 0.65
 
     # Honest coins -> FLE over n=8: uniform-ish.
-    counts = Counter(
-        independent_coin_fle(ring, alead_uni_protocol, 8, RngRegistry(s))
-        for s in range(200)
-    )
+    result = runner.run("cointoss/coin-fle", trials=200, params={"n": 8})
+    counts = result.distribution.counts
     top = max(counts.values()) / 200
     rows.append(f"honest coin->FLE(8): max Pr={top:.2f} (target 0.125)")
     assert set(counts) <= set(range(1, 9))
     assert top < 0.30
 
     # Fully biased FLE -> constant coin (saturates (n/2)eps).
-    biased = CoinTossRunner(ring, lambda t: basic_cheat_protocol(t, 2, 4))
-    outs = {biased.toss(RngRegistry(s)) for s in range(20)}
+    result = runner.run(
+        "cointoss/biased-coin",
+        trials=20,
+        params={"n": 8, "cheater": 2, "target": 4},
+    )
+    outs = set(result.distribution.counts)
     rows.append(f"biased FLE (forces id 4) -> coin outcomes {sorted(outs)}")
     assert outs == {0}
+    assert result.success_rate == 1.0  # every toss landed on target parity
 
     # The analytic bounds themselves.
     rows.append(
@@ -62,7 +63,8 @@ def test_e10_reductions(benchmark, experiment_report):
     experiment_report("E10 FLE <-> coin toss (Thm 8.1)", rows)
 
     benchmark(
-        lambda: independent_coin_fle(
-            ring, alead_uni_protocol, 8, RngRegistry(1)
-        )
+        lambda: ExperimentRunner()
+        .run("cointoss/coin-fle", trials=1, base_seed=1, params={"n": 8})
+        .outcomes[0]
+        .outcome
     )

@@ -5,22 +5,15 @@ plus the election rule — yield Fair Consensus (everyone outputs a
 uniformly chosen processor's input) and Fair Renaming (a uniform
 rotation of names). Both must be exactly fair under honest execution and
 inherit the ring's punishment mechanism under deviation (covered in the
-test suite); here we regenerate the fairness series.
+test suite); here we regenerate the fairness series through the
+``blocks/*`` scenarios on the experiment runner.
 """
 
-from collections import Counter
-
 from repro import run_protocol, unidirectional_ring
-from repro.analysis.distribution import (
-    OutcomeDistribution,
-    chi_square_uniformity,
-)
-from repro.blocks import (
-    fair_consensus_protocol,
-    fair_renaming_protocol,
-    knowledge_sharing_protocol,
-)
+from repro.analysis.distribution import chi_square_uniformity
+from repro.blocks import fair_renaming_protocol, knowledge_sharing_protocol
 from repro.blocks.renaming import my_name
+from repro.experiments import ExperimentRunner
 
 
 def test_e12_blocks_fairness(benchmark, experiment_report):
@@ -40,37 +33,36 @@ def test_e12_blocks_fairness(benchmark, experiment_report):
         assert ok
     experiment_report("E12a knowledge-sharing block", rows)
 
+    runner = ExperimentRunner()
+    n = 6
+    trials = 360
+
     # Fair consensus: decided input uniform over processors.
     rows = []
-    n = 6
-    ring = unidirectional_ring(n)
-    counts = Counter()
-    trials = 360
-    for s in range(trials):
-        res = run_protocol(
-            ring, fair_consensus_protocol(ring, lambda p: p), seed=s
-        )
-        assert not res.failed
-        counts[res.outcome] += 1
-    dist = OutcomeDistribution(n=n, trials=trials, counts=counts)
-    p = chi_square_uniformity(dist)
+    result = runner.run("blocks/fair-consensus", trials=trials, params={"n": n})
+    assert result.fail_rate == 0.0
+    p = chi_square_uniformity(result.distribution)
     rows.append(f"consensus n={n}: decided-input chi2 p={p:.3f}")
     assert p > 1e-4
     experiment_report("E12b fair consensus uniformity", rows)
 
-    # Fair renaming: each processor's new name uniform; order preserved.
+    # Fair renaming: processor 1's new name uniform over 1..n.
     rows = []
-    counts = Counter()
-    for s in range(trials):
-        res = run_protocol(ring, fair_renaming_protocol(ring), seed=s)
-        assert not res.failed
-        counts[my_name(res.outcome, 1)] += 1
-        names = [my_name(res.outcome, pid) for pid in ring.nodes]
-        assert sorted(names) == list(range(1, n + 1))
-    dist = OutcomeDistribution(n=n, trials=trials, counts=counts)
-    p = chi_square_uniformity(dist)
+    result = runner.run("blocks/fair-renaming", trials=trials, params={"n": n})
+    assert result.fail_rate == 0.0
+    p = chi_square_uniformity(result.distribution)
     rows.append(f"renaming n={n}: name-of-processor-1 chi2 p={p:.3f}")
     assert p > 1e-4
+
+    # Order preservation is per-assignment, which the scenario's outcome
+    # map collapses away — spot-check it on direct executions.
+    ring = unidirectional_ring(n)
+    for s in range(20):
+        res = run_protocol(ring, fair_renaming_protocol(ring), seed=s)
+        assert not res.failed
+        names = [my_name(res.outcome, pid) for pid in ring.nodes]
+        assert sorted(names) == list(range(1, n + 1))
+    rows.append(f"renaming n={n}: order preserved on 20 spot checks")
     experiment_report("E12c fair renaming uniformity", rows)
 
     ring = unidirectional_ring(16)

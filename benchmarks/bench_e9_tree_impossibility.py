@@ -16,14 +16,12 @@ from repro.trees import (
     TwoPartyProtocol,
     check_k_simulated_tree,
     classify_protocol,
-    find_assurance,
     half_partition,
     impossibility_certificate,
     output,
     send,
     verify_assurance,
     wait,
-    xor_coin_protocol,
 )
 
 
@@ -64,12 +62,15 @@ def _last_mover_protocol(rounds: int) -> TwoPartyProtocol:
 
 def test_e9_dictator_search(benchmark, experiment_report):
     rows = []
-    # The canonical XOR protocol: B dictates.
-    v = classify_protocol(xor_coin_protocol())
-    rows.append(f"xor(2 msgs): dictator={v.get('dictator')}")
-    assert v.get("dictator") == "B"
-    for w in v["witnesses"]:
-        assert verify_assurance(xor_coin_protocol(), w)
+    # The canonical XOR protocol: B dictates. The registered scenario
+    # runs the search *and* replays both witnesses (success means the
+    # expected dictator was extracted and every witness verified).
+    from repro.experiments import run_scenario
+
+    result = run_scenario("tree/xor-coin", trials=1)
+    rows.append(f"xor(2 msgs): dictator={result.outcomes[0].outcome}")
+    assert result.success_rate == 1.0
+    assert result.outcomes[0].outcome == "B"
 
     # Longer alternating protocols: the last mover always dictates.
     for rounds in (2, 3, 4):
@@ -149,23 +150,26 @@ def test_e9_certificates_beat_generic_bound(benchmark, experiment_report):
 
 def test_e9_tree_collapse_lemma_f3(benchmark, experiment_report):
     """Lemma F.3 executable: collapse a tree protocol to two parties and
-    extract the dictator — the coalition Corollary F.4 promises."""
-    from repro.trees import collapse_to_two_party, xor_tree_protocol
+    extract the dictator — the coalition Corollary F.4 promises. Runs as
+    a chain-length sweep of the ``tree/xor-chain`` scenario (the spec
+    collapses, classifies, and replays both witnesses per trial)."""
+    from repro.experiments import sweep_scenario
 
     rows = []
-    for chain in (2, 3, 4):
-        tp = xor_tree_protocol(chain)
-        two = collapse_to_two_party(tp, leaf=0)
-        verdict = classify_protocol(two)
+    for result in sweep_scenario(
+        "tree/xor-chain", trials=1, grid={"chain": [2, 3, 4]}
+    ):
+        chain = result.params["chain"]
         # The component (containing the last XOR folder) dictates.
-        assert verdict.get("dictator") == "B"
-        for w in verdict["witnesses"]:
-            assert verify_assurance(two, w)
+        assert result.success_rate == 1.0
+        assert result.outcomes[0].outcome == "B"
         rows.append(
             f"xor-chain({chain}): component of {chain - 1} nodes dictates; "
             f"witnesses verified for both bits"
         )
     experiment_report("E9d Lemma F.3 tree collapse", rows)
+
+    from repro.trees import collapse_to_two_party, xor_tree_protocol
 
     tp = xor_tree_protocol(3)
     benchmark(

@@ -8,14 +8,17 @@ its attack's precondition:
 
 - equal spacing: max l_j ≤ k-1 once k ≥ √n (Lemma 4.1's condition);
 - cubic staircase: l_i ≤ l_{i+1} + (k-1), l_k ≤ k-1 (Thm 4.3);
-- random: max l_j concentrates near its logarithmic envelope (Thm C.1).
+- random: max l_j concentrates near its logarithmic envelope (Thm C.1)
+  — estimated as the ``placement/random-segments`` scenario on the
+  experiment runner (one i.i.d. placement per trial).
 """
 
 import math
-import random
 
 from repro.analysis.segments import segment_statistics
-from repro.attacks import RingPlacement, recommended_probability
+from repro.attacks import RingPlacement
+from repro.analysis.scenarios import segment_probability
+from repro.experiments import ExperimentRunner
 
 
 def test_f1_segment_geometry(benchmark, experiment_report):
@@ -42,20 +45,22 @@ def test_f1_segment_geometry(benchmark, experiment_report):
     experiment_report("F1b cubic staircase profiles", rows)
 
     rows = []
+    runner = ExperimentRunner()
     for n in (256, 400):
-        p = recommended_probability(n) / 2
-        maxima = []
-        for seed in range(12):
-            pl = RingPlacement.random_locations(n, p, random.Random(seed))
-            if pl is not None:
-                maxima.append(segment_statistics(pl).max_length)
+        params = {"n": n, "p": None}
+        result = runner.run(
+            "placement/random-segments", trials=12, params=params
+        )
+        maxima = [t.outcome for t in result.outcomes if t.outcome > 0]
         mean_max = sum(maxima) / len(maxima)
         # Extreme-value envelope: the max of ~np geometric(p) gaps
         # concentrates below ~ln(n)/p (the log factor in Thm C.1).
+        p = segment_probability(result.params)
         envelope = math.log(n) / p
         rows.append(
             f"random n={n:<4} p={p:.3f} mean max l_j={mean_max:.1f} "
-            f"ln(n)/p≈{envelope:.1f}"
+            f"ln(n)/p≈{envelope:.1f} under-envelope "
+            f"rate={result.success_rate:.2f}"
         )
         assert mean_max <= envelope
     experiment_report("F1c random-placement segment maxima", rows)

@@ -1,42 +1,37 @@
 """F2 (Figure 2): the paper's 4-simulated tree example.
 
 Figure 2 depicts a graph partitioned into connected blocks of at most 4
-vertices whose quotient is a tree. We rebuild that construction: a
-caterpillar of 4-cliques (each clique one tree node), verify the witness
-via Definition 7.1, and compare against the generic Claim F.5 bound.
+vertices whose quotient is a tree. We rebuild that construction through
+the ``tree/clique-caterpillar`` scenario: each grid point verifies the
+Definition 7.1 witness (success = the witness checks) and reports the
+generic Claim F.5 bound it beats as the trial outcome — so the figure's
+series is one registry sweep.
 """
 
-from repro.trees import check_k_simulated_tree, impossibility_certificate
-
-
-def _clique_caterpillar(blocks: int):
-    """``blocks`` 4-cliques strung along a path (a 4-simulated tree)."""
-    nodes = list(range(4 * blocks))
-    edges = []
-    for b in range(blocks):
-        ids = nodes[4 * b : 4 * b + 4]
-        edges += [(u, v) for u in ids for v in ids if u < v]
-        if b:
-            edges.append((4 * b - 1, 4 * b))  # bridge to previous clique
-    mapping = {v: v // 4 for v in nodes}
-    return nodes, edges, mapping
+from repro.experiments import sweep_scenario
 
 
 def test_f2_four_simulated_tree(benchmark, experiment_report):
     rows = []
-    for blocks in (2, 3, 5, 8):
-        nodes, edges, mapping = _clique_caterpillar(blocks)
-        report = check_k_simulated_tree(nodes, edges, mapping, k=4)
-        assert report["ok"], report
-        cert = impossibility_certificate(nodes, edges)
+    for result in sweep_scenario(
+        "tree/clique-caterpillar", trials=1, grid={"blocks": [2, 3, 5, 8]}
+    ):
+        blocks = result.params["blocks"]
+        assert result.success_rate == 1.0  # witness verified (no FAIL)
+        generic_k = result.outcomes[0].outcome
         rows.append(
-            f"{blocks} cliques (n={len(nodes):<3}): 4-simulated tree OK; "
-            f"impossibility at k=4 vs generic ceil(n/2)={cert['k']}"
+            f"{blocks} cliques (n={4 * blocks:<3}): 4-simulated tree OK; "
+            f"impossibility at k=4 vs generic ceil(n/2)={generic_k}"
         )
         if blocks >= 3:
             # The fine witness beats the generic bound strictly.
-            assert 4 < cert["k"]
+            assert 4 < generic_k
     experiment_report("F2 Figure-2 style 4-simulated trees", rows)
 
-    nodes, edges, mapping = _clique_caterpillar(8)
-    benchmark(lambda: check_k_simulated_tree(nodes, edges, mapping, 4)["ok"])
+    from repro.experiments import run_scenario
+
+    benchmark(
+        lambda: run_scenario(
+            "tree/clique-caterpillar", trials=1, params={"blocks": 8}
+        ).outcomes[0].outcome
+    )

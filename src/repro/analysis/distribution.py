@@ -47,9 +47,13 @@ class OutcomeDistribution:
         return self.counts.get(outcome, 0) / self.trials if self.trials else 0.0
 
     def max_probability(self) -> float:
-        """``max_j Pr[outcome = j]`` over valid ids only."""
+        """``max_j Pr[outcome = j]`` over valid ids only (0.0 when the
+        distribution has no valid-id range, i.e. ``n == 0`` — scenarios
+        whose outcomes are not election ids)."""
         valid = [self.counts.get(j, 0) for j in range(1, self.n + 1)]
-        return max(valid) / self.trials if self.trials else 0.0
+        if not valid or not self.trials:
+            return 0.0
+        return max(valid) / self.trials
 
     def valid_counts(self) -> Dict[int, int]:
         """Counts restricted to valid ids ``1..n`` (zeros included)."""

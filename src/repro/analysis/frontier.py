@@ -6,19 +6,21 @@ at Θ(n^(1/3)) (Conjecture 4.7). :func:`forcing_frontier` searches, per
 ring size, for the smallest coalition at which any implemented attack
 family forces the outcome — the empirical frontier an experimenter can
 track against the conjecture as better attacks are added.
+
+The per-``(family, k)`` estimation runs through the shared
+:class:`~repro.experiments.runner.ExperimentRunner` over the registered
+``frontier/*`` scenarios (:mod:`repro.analysis.scenarios`), so the scan
+inherits deterministic trial seeding and optional multiprocessing
+fan-out; infeasible placements surface as
+:class:`~repro.util.errors.ConfigurationError` from the scenario builder
+and simply exclude that family at that ``k``.
 """
 
 import math
+import random
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Dict, List, Optional
 
-from repro.attacks.cubic import cubic_attack_protocol
-from repro.attacks.equal_spacing import (
-    equal_spacing_attack_protocol_unchecked,
-)
-from repro.attacks.placement import RingPlacement
-from repro.sim.execution import run_protocol
-from repro.sim.topology import Topology, unidirectional_ring
 from repro.util.errors import ConfigurationError
 
 
@@ -39,67 +41,70 @@ class FrontierPoint:
         return self.lower_bound <= self.k_min <= self.upper_bound + 1
 
 
-AttackBuilder = Callable[[Topology, int, int], Optional[dict]]
-
-
-def _try_cubic(ring: Topology, n: int, k: int):
-    try:
-        return cubic_attack_protocol(ring, RingPlacement.cubic(n, k), 7)
-    except ConfigurationError:
-        return None
-
-
-def _try_rushing(ring: Topology, n: int, k: int):
-    try:
-        pl = RingPlacement.equal_spacing(n, k)
-        return equal_spacing_attack_protocol_unchecked(ring, pl, 7)
-    except ConfigurationError:
-        return None
-
-
-#: The attack families the search sweeps, in preference order.
-FAMILIES: Dict[str, AttackBuilder] = {
-    "cubic": _try_cubic,
-    "rushing": _try_rushing,
+#: Attack families the search sweeps (scan preference order) — each a
+#: registered scenario taking explicit ``n``/``k``/``target`` parameters.
+FAMILIES: Dict[str, str] = {
+    "cubic": "frontier/cubic",
+    "rushing": "frontier/rushing",
 }
+
+#: The id every frontier probe tries to force (arbitrary, fixed).
+TARGET = 7
+
+
+def _placement_feasible(spec, params) -> bool:
+    """Whether the family has a placement at this grid point at all."""
+    try:
+        topology = spec.build_topology(params)
+        spec.build_protocol(topology, params, random.Random(0))
+    except ConfigurationError:
+        return False
+    return True
+
+
+def _bounds(n: int) -> Dict[str, float]:
+    return {
+        "lower_bound": n ** 0.25,
+        "conjecture": n ** (1 / 3),
+        "upper_bound": 2 * n ** (1 / 3),
+    }
 
 
 def smallest_forcing_coalition(
-    n: int, seeds: int = 2, k_max: Optional[int] = None
+    n: int,
+    seeds: int = 2,
+    k_max: Optional[int] = None,
+    workers: int = 1,
 ) -> FrontierPoint:
-    """Scan k upward until some family forces the target on all seeds."""
-    ring = unidirectional_ring(n)
+    """Scan k upward until some family forces the target on all seeds.
+
+    ``seeds`` is the trial count per probe (one experiment of ``seeds``
+    trials through the runner); a family forces at ``k`` when every
+    trial ends on the target.
+    """
+    from repro.experiments.runner import ExperimentRunner
+    from repro.experiments.scenario import get_scenario
+
     if k_max is None:
         k_max = math.isqrt(n) + 2
+    runner = ExperimentRunner(workers=workers)
     for k in range(2, k_max + 1):
-        for family, builder in FAMILIES.items():
-            protocol = builder(ring, n, k)
-            if protocol is None:
+        for family, scenario in FAMILIES.items():
+            spec = get_scenario(scenario)
+            params = spec.resolve_params({"n": n, "k": k, "target": TARGET})
+            if not _placement_feasible(spec, params):
                 continue
-            if all(
-                run_protocol(ring, builder(ring, n, k), seed=s).outcome == 7
-                for s in range(seeds)
-            ):
-                return FrontierPoint(
-                    n=n,
-                    k_min=k,
-                    family=family,
-                    lower_bound=n ** 0.25,
-                    conjecture=n ** (1 / 3),
-                    upper_bound=2 * n ** (1 / 3),
-                )
-    return FrontierPoint(
-        n=n,
-        k_min=k_max + 1,
-        family="none",
-        lower_bound=n ** 0.25,
-        conjecture=n ** (1 / 3),
-        upper_bound=2 * n ** (1 / 3),
-    )
+            result = runner.run(spec, trials=seeds, params=params)
+            if result.trials and result.success_rate == 1.0:
+                return FrontierPoint(n=n, k_min=k, family=family, **_bounds(n))
+    return FrontierPoint(n=n, k_min=k_max + 1, family="none", **_bounds(n))
 
 
 def forcing_frontier(
-    sizes: List[int], seeds: int = 2
+    sizes: List[int], seeds: int = 2, workers: int = 1
 ) -> List[FrontierPoint]:
     """The frontier table across ring sizes (the Conjecture 4.7 series)."""
-    return [smallest_forcing_coalition(n, seeds=seeds) for n in sizes]
+    return [
+        smallest_forcing_coalition(n, seeds=seeds, workers=workers)
+        for n in sizes
+    ]

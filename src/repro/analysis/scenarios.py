@@ -1,0 +1,111 @@
+"""Scenario specs behind the analysis tooling (frontier + Figure 1).
+
+The frontier scenarios expose the two attack families
+:func:`repro.analysis.frontier.smallest_forcing_coalition` scans, with
+``k`` as an explicit parameter and *unchecked* builders where the search
+needs to probe below the proven feasibility threshold. Infeasible
+``(n, k)`` combinations raise
+:class:`~repro.util.errors.ConfigurationError` from the builder — the
+frontier search treats that as "this family has no placement here" and
+moves on.
+
+``placement/random-segments`` turns the Figure-1c measurement into a
+Monte-Carlo scenario: each trial draws an i.i.d. placement from the
+trial's private stream and reports the longest honest segment; success
+means the maximum stayed under the Theorem C.1 logarithmic envelope.
+
+Registered here (imported for effect by
+:mod:`repro.experiments.catalog`).
+"""
+
+import math
+from typing import Optional, Tuple
+
+from repro.attacks.cubic import cubic_attack_protocol
+from repro.attacks.equal_spacing import (
+    equal_spacing_attack_protocol_unchecked,
+)
+from repro.attacks.placement import RingPlacement
+from repro.attacks.random_location import recommended_probability
+from repro.analysis.segments import segment_statistics
+from repro.experiments.scenario import (
+    Params,
+    ScenarioSpec,
+    forced_target,
+    no_valid_ids,
+    register_scenario,
+    ring_topology,
+)
+
+
+def _frontier_cubic(topo, params, rng):
+    placement = RingPlacement.cubic(len(topo), params["k"])
+    return cubic_attack_protocol(topo, placement, params["target"])
+
+
+def _frontier_rushing(topo, params, rng):
+    placement = RingPlacement.equal_spacing(len(topo), params["k"])
+    return equal_spacing_attack_protocol_unchecked(
+        topo, placement, params["target"]
+    )
+
+
+def segment_probability(params: Params) -> float:
+    """The placement density: explicit ``p`` or the Thm C.1 half-rate."""
+    p = params["p"]
+    return p if p is not None else recommended_probability(params["n"]) / 2
+
+
+def run_random_segments_trial(
+    params: Params, registry, max_steps: Optional[int]
+) -> Tuple[object, int]:
+    """Draw one i.i.d. placement; outcome = longest honest segment."""
+    n = params["n"]
+    placement = RingPlacement.random_locations(
+        n, segment_probability(params), registry.stream("scenario")
+    )
+    if placement is None:
+        return 0, 0  # empty coalition: no segments to expose
+    return segment_statistics(placement).max_length, 0
+
+
+def within_envelope(outcome, params: Params) -> bool:
+    """Success predicate: max segment under the ln(n)/p envelope."""
+    return outcome <= math.log(params["n"]) / segment_probability(params)
+
+
+register_scenario(
+    ScenarioSpec(
+        name="frontier/cubic",
+        description="cubic staircase at explicit k (frontier scan family)",
+        build_topology=ring_topology,
+        build_protocol=_frontier_cubic,
+        defaults={"n": 34, "k": 4, "target": 7},
+        success=forced_target,
+        tags=("frontier", "attack"),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="frontier/rushing",
+        description="equal spacing at explicit k, unchecked (frontier scan)",
+        build_topology=ring_topology,
+        build_protocol=_frontier_rushing,
+        defaults={"n": 36, "k": 6, "target": 7},
+        success=forced_target,
+        tags=("frontier", "attack"),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="placement/random-segments",
+        description="Figure 1c: longest honest segment of an i.i.d. placement",
+        run_trial=run_random_segments_trial,
+        outcome_size=no_valid_ids,  # outcomes are segment lengths, not ids
+        defaults={"n": 256, "p": None},
+        success=within_envelope,
+        tags=("placement",),
+    )
+)

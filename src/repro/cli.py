@@ -31,6 +31,8 @@ from repro.experiments import (
     all_scenarios,
     expand_grid,
     get_scenario,
+    load_completed_keys,
+    row_resume_key,
     sweep_scenario,
 )
 from repro.protocols import (
@@ -156,50 +158,105 @@ def _parse_grid(pairs):
     return grid
 
 
+def _read_rows_file(path: str):
+    """Lines of ``path`` (empty if absent), final newline normalised so
+    an externally written file whose last line lacks ``\\n`` cannot get
+    an appended row concatenated onto it."""
+    if not os.path.exists(path):
+        return []
+    try:
+        with open(path) as f:
+            lines = f.readlines()
+    except OSError as exc:
+        raise SystemExit(f"cannot read --out file: {exc}") from None
+    if lines and not lines[-1].endswith("\n"):
+        lines[-1] += "\n"
+    return lines
+
+
+def _salvageable_rows(tmp_path: str, completed):
+    """Well-formed sweep rows stranded in an interrupted run's staging
+    file, minus those already in ``completed``. Malformed lines (torn
+    final write) and foreign content are dropped — they can only cause a
+    re-run, never a skip."""
+    rows = []
+    seen = set(completed)
+    for line in _read_rows_file(tmp_path):
+        try:
+            row = json.loads(line)
+            key = row_resume_key(row)
+        except (ValueError, KeyError, TypeError):
+            continue
+        if key not in seen:
+            seen.add(key)
+            rows.append(row)
+    return rows
+
+
 def _cmd_sweep(args) -> int:
     if args.list:
-        for spec in all_scenarios():
-            defaults = ", ".join(
-                f"{k}={v}" for k, v in sorted(spec.defaults.items())
-            )
-            print(f"{spec.name:<24} {spec.description}  [{defaults}]")
+        for name, desc, _tags, defaults in _scenario_rows():
+            print(f"{name:<26} {desc}  [{defaults}]")
         return 0
     if not args.scenario:
         raise SystemExit("sweep requires --scenario NAME (or --list)")
     if args.trials < 0:
         raise SystemExit(f"--trials must be >= 0, got {args.trials}")
+    if args.resume and not args.out:
+        raise SystemExit("--resume requires --out (the file to resume into)")
     grid = _parse_grid(args.param)
-    # Validate the scenario and every grid point's keys up front, so a
-    # typo'd re-run fails before touching a previous run's --out file.
+    # Rows already present in a previous run's --out file: their grid
+    # points are skipped entirely, so an interrupted overnight sweep
+    # re-runs only what is missing. A hard interrupt (Ctrl-C, crash)
+    # leaves the finished rows in the .tmp staging file instead of --out
+    # — salvage those too, or resuming would both re-run them and then
+    # truncate the only copy when reopening the staging file.
+    completed = set()
+    existing_lines = []
+    if args.resume:
+        existing_lines = _read_rows_file(args.out)
+        completed = load_completed_keys(existing_lines)
+        for row in _salvageable_rows(f"{args.out}.tmp", completed):
+            existing_lines.append(json.dumps(row, sort_keys=True) + "\n")
+            completed.add(row_resume_key(row))
+    # sweep_scenario validates the scenario and the whole grid eagerly —
+    # a typo'd re-run fails here, before touching a previous --out file.
     try:
-        spec = get_scenario(args.scenario)
-        for point in expand_grid(grid):
-            spec.resolve_params(point)
-    except ConfigurationError as exc:
-        raise SystemExit(str(exc)) from None
-    # Parameter *values* can still be infeasible (e.g. a placement that
-    # does not fit the ring), and that only surfaces when the grid point
-    # runs — so rows stream to a temp file that replaces --out atomically
-    # on success, never clobbering earlier results on a failed run.
-    tmp_path = f"{args.out}.tmp" if args.out else None
-    try:
-        out = open(tmp_path, "w") if tmp_path else None
-    except OSError as exc:
-        raise SystemExit(f"cannot write --out file: {exc}") from None
-    failure = None
-    try:
-        for result in sweep_scenario(
+        total_points = len(expand_grid(grid))
+        results = sweep_scenario(
             args.scenario,
             trials=args.trials,
             grid=grid,
             base_seed=args.seed,
             workers=args.workers,
             max_steps=args.max_steps,
-        ):
+            completed=completed,
+        )
+    except ConfigurationError as exc:
+        raise SystemExit(str(exc)) from None
+    # Parameter *values* can still be infeasible (e.g. a placement that
+    # does not fit the ring), and that only surfaces when the grid point
+    # runs — so rows stream to a temp file that replaces --out atomically
+    # on success, never clobbering earlier results on a failed run. Under
+    # --resume the temp file starts as a copy of the previous rows and
+    # missing rows are appended.
+    tmp_path = f"{args.out}.tmp" if args.out else None
+    try:
+        out = open(tmp_path, "w") if tmp_path else None
+    except OSError as exc:
+        raise SystemExit(f"cannot write --out file: {exc}") from None
+    ran = 0
+    failure = None
+    try:
+        if out and existing_lines:
+            out.writelines(existing_lines)
+        for result in results:
+            ran += 1
             line = json.dumps(result.to_row(), sort_keys=True)
             print(line)
             if out:
                 out.write(line + "\n")
+                out.flush()  # a killed run must leave finished rows salvageable
             print(
                 f"  [{result.scenario} {result.params}: "
                 f"{result.trials} trials in {result.elapsed:.2f}s]",
@@ -216,6 +273,50 @@ def _cmd_sweep(args) -> int:
         raise SystemExit(f"sweep failed: {failure}")
     if tmp_path:
         os.replace(tmp_path, args.out)
+    if args.resume:
+        print(
+            f"  [resume: ran {ran} of {total_points} grid points; "
+            f"{total_points - ran} already in {args.out}]",
+            file=sys.stderr,
+        )
+    return 0
+
+
+#: Column layout of the ``scenarios`` listing (shared by --markdown).
+_SCENARIO_COLUMNS = ("Scenario", "Description", "Tags", "Defaults")
+
+
+def _scenario_rows():
+    rows = []
+    for spec in all_scenarios():
+        defaults = ", ".join(
+            f"{k}={v}" for k, v in sorted(spec.defaults.items())
+        )
+        rows.append(
+            (spec.name, spec.description, ", ".join(spec.tags), defaults)
+        )
+    return rows
+
+
+def _cmd_scenarios(args) -> int:
+    """List every registered scenario (the README table's source)."""
+    rows = _scenario_rows()
+    if args.tag:
+        rows = [r for r in rows if args.tag in r[2].split(", ")]
+    if args.markdown:
+        print("| " + " | ".join(_SCENARIO_COLUMNS) + " |")
+        print("|" + "---|" * len(_SCENARIO_COLUMNS))
+        for name, desc, tags, defaults in rows:
+            print(f"| `{name}` | {desc} | {tags} | `{defaults}` |")
+        return 0
+    widths = [
+        max(len(str(row[i])) for row in rows + [_SCENARIO_COLUMNS])
+        for i in range(len(_SCENARIO_COLUMNS))
+    ]
+    for row in rows:
+        print(
+            "  ".join(str(cell).ljust(width) for cell, width in zip(row, widths)).rstrip()
+        )
     return 0
 
 
@@ -238,7 +339,7 @@ def _cmd_certificate(args) -> int:
 def _cmd_frontier(args) -> int:
     from repro.analysis.frontier import forcing_frontier
 
-    for point in forcing_frontier(args.sizes, seeds=1):
+    for point in forcing_frontier(args.sizes, seeds=1, workers=args.workers):
         print(
             f"n={point.n:<5} smallest forcing k={point.k_min:<3} "
             f"({point.family}); proven gap "
@@ -253,7 +354,11 @@ def _cmd_fuzz(args) -> int:
     from repro.testing.fuzz import deviation_search
 
     report = deviation_search(
-        args.n, args.k, samples=args.samples, master_seed=args.seed
+        args.n,
+        args.k,
+        samples=args.samples,
+        master_seed=args.seed,
+        workers=args.workers,
     )
     print(f"sampled deviations : {report.samples} (n={args.n}, k={args.k})")
     print(f"punished (FAIL)    : {report.punished} "
@@ -329,7 +434,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-trial delivery budget",
     )
     p.add_argument("--out", default=None, help="also write JSON rows to this file")
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip grid points whose rows are already in --out; append the rest",
+    )
     p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser(
+        "scenarios",
+        help="list every registered scenario (source of the README table)",
+    )
+    p.add_argument("--tag", default=None, help="only scenarios with this tag")
+    p.add_argument(
+        "--markdown", action="store_true", help="emit a Markdown table"
+    )
+    p.set_defaults(func=_cmd_scenarios)
 
     p = sub.add_parser(
         "certificate", help="Theorem 7.2 impossibility certificate"
@@ -343,6 +463,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="Conjecture 4.7: smallest forcing coalition per ring size",
     )
     p.add_argument("--sizes", type=int, nargs="+", default=[64, 144, 256])
+    p.add_argument("--workers", type=int, default=1)
     p.set_defaults(func=_cmd_frontier)
 
     p = sub.add_parser(
@@ -352,6 +473,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--k", type=int, default=3)
     p.add_argument("--samples", type=int, default=100)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--workers", type=int, default=1)
     p.set_defaults(func=_cmd_fuzz)
     return parser
 

@@ -1,0 +1,107 @@
+"""Scenario specs for the Theorem 8.1 coin-toss reductions.
+
+Two of the three scenarios ride the asynchronous executor directly and
+only post-process the elected id through
+:func:`~repro.cointoss.reductions.coin_toss_from_leader_election` (the
+``map_outcome`` hook); the coin→FLE direction runs ``log2(n)``
+independent elections per trial and therefore uses ``run_trial``.
+
+Registered here (imported for effect by
+:mod:`repro.experiments.catalog`):
+
+- ``cointoss/fle-coin`` — honest A-LEADuni election, outcome mapped to
+  the low bit (first direction of Theorem 8.1);
+- ``cointoss/biased-coin`` — the Basic-LEAD single cheater forces an
+  id, saturating the (n/2)·ε coin-bias bound (success = the coin landed
+  on the forced parity);
+- ``cointoss/coin-fle`` — FLE over ``n = 2^r`` built from ``r``
+  independent coin tosses, each one a full A-LEADuni run.
+"""
+
+from typing import Optional, Tuple
+
+from repro.attacks.basic_cheat import basic_cheat_protocol
+from repro.cointoss.protocols import independent_coin_fle
+from repro.cointoss.reductions import coin_toss_from_leader_election
+from repro.experiments.scenario import (
+    Params,
+    ScenarioSpec,
+    no_valid_ids,
+    register_scenario,
+    ring_topology,
+)
+from repro.protocols.alead_uni import alead_uni_protocol
+from repro.sim.execution import FAIL
+from repro.sim.topology import unidirectional_ring
+
+
+def _honest_alead(topo, params, rng):
+    return alead_uni_protocol(topo)
+
+
+def _cheating_basic_lead(topo, params, rng):
+    return basic_cheat_protocol(
+        topo, cheater=params["cheater"], target=params["target"]
+    )
+
+
+def leader_to_coin(outcome, params: Params):
+    """Outcome map: elected id -> coin bit (FAIL passes through)."""
+    if outcome == FAIL:
+        return FAIL
+    return coin_toss_from_leader_election(outcome, params["n"])
+
+
+def forced_parity(outcome, params: Params) -> bool:
+    """Success predicate: the coin shows the forced target's parity."""
+    return outcome == params["target"] % 2
+
+
+def run_coin_fle_trial(
+    params: Params, registry, max_steps: Optional[int]
+) -> Tuple[object, int]:
+    """One coin→FLE reduction: log2(n) independent ring elections."""
+    import math
+
+    n = params["n"]
+    topo = unidirectional_ring(n)
+    outcome = independent_coin_fle(topo, alead_uni_protocol, n, registry)
+    return outcome, int(math.log2(n))
+
+
+register_scenario(
+    ScenarioSpec(
+        name="cointoss/fle-coin",
+        description="coin toss from one honest A-LEADuni election (Thm 8.1)",
+        build_topology=ring_topology,
+        build_protocol=_honest_alead,
+        map_outcome=leader_to_coin,
+        outcome_size=no_valid_ids,  # outcomes are coin bits, not ids
+        defaults={"n": 8},
+        tags=("cointoss", "honest"),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="cointoss/biased-coin",
+        description="biased FLE (Basic-LEAD cheat) propagates to the coin",
+        build_topology=ring_topology,
+        build_protocol=_cheating_basic_lead,
+        map_outcome=leader_to_coin,
+        outcome_size=no_valid_ids,  # outcomes are coin bits, not ids
+        defaults={"n": 8, "cheater": 2, "target": 4},
+        success=forced_parity,
+        tags=("cointoss", "attack"),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="cointoss/coin-fle",
+        description="FLE over n=2^r from r independent coin tosses (Thm 8.1)",
+        run_trial=run_coin_fle_trial,
+        defaults={"n": 8},
+        tags=("cointoss", "honest"),
+    )
+)

@@ -36,6 +36,8 @@ from repro.experiments.scenario import (
     all_scenarios,
     forced_target,
     get_scenario,
+    no_valid_ids,
+    punished,
     register_scenario,
     scenario_names,
     unregister_scenario,
@@ -46,9 +48,16 @@ from repro.experiments.runner import (
     TrialOutcome,
     run_one_trial,
     run_scenario,
+    run_traced_trial,
     trial_registry,
 )
-from repro.experiments.sweep import expand_grid, sweep_scenario
+from repro.experiments.sweep import (
+    expand_grid,
+    load_completed_keys,
+    resume_key,
+    row_resume_key,
+    sweep_scenario,
+)
 
 # Importing the catalog registers the builtin scenarios as a side effect;
 # keep it last so the registry machinery above is fully initialised.
@@ -60,6 +69,8 @@ __all__ = [
     "all_scenarios",
     "forced_target",
     "get_scenario",
+    "no_valid_ids",
+    "punished",
     "register_scenario",
     "scenario_names",
     "unregister_scenario",
@@ -68,7 +79,11 @@ __all__ = [
     "TrialOutcome",
     "run_one_trial",
     "run_scenario",
+    "run_traced_trial",
     "trial_registry",
     "expand_grid",
+    "load_completed_keys",
+    "resume_key",
+    "row_resume_key",
     "sweep_scenario",
 ]

@@ -1,11 +1,15 @@
-"""Builtin scenario catalog: every protocol and attack in the paper.
+"""Builtin scenario catalog: every experiment in the paper, by name.
 
 Importing this module (which :mod:`repro.experiments` does eagerly)
-registers one scenario per honest protocol and one per adversarial
+registers one scenario per honest ring protocol and one per adversarial
 deviation, under the ``honest/<protocol>`` / ``attack/<name>``
-convention. All builder functions are module-level so the specs resolve
-identically in any process that imports the package — the contract the
-parallel :class:`~repro.experiments.runner.ExperimentRunner` relies on.
+convention, then pulls in the subsystem catalogs (``sync/``, ``tree/``,
+``cointoss/``, ``fullinfo/``, ``blocks/``, ``fuzz/``, ``frontier/``,
+``placement/`` — each a ``scenarios`` module inside its own package) so
+``scenario_names()`` enumerates the whole paper. All builder functions
+are module-level so the specs resolve identically in any process that
+imports the package — the contract the parallel
+:class:`~repro.experiments.runner.ExperimentRunner` relies on.
 
 ========================  ==================================  ===========
 Scenario                  Paper reference                     Topology
@@ -14,6 +18,7 @@ honest/basic-lead         Appendix B baseline                 ring
 honest/alead-uni          Section 3 / Appendix A              ring
 honest/phase-async        Section 6 / Appendix E.3            ring
 honest/async-complete     Section 1.1 (Shamir baseline)       complete
+honest/wakeup-alead       Afek et al. wake-up block           ring
 attack/basic-cheat        Claim B.1                           ring
 attack/equal-spacing      Lemma 4.1 / Theorem 4.2             ring
 attack/random-location    Theorem C.1                         ring
@@ -22,6 +27,9 @@ attack/partial-sum        Appendix E.4                        ring
 attack/phase-rushing      Remark after Theorem 6.1            ring
 attack/shamir-pool        Section 1.1 (sharp threshold)       complete
 ========================  ==================================  ===========
+
+(Run ``python -m repro scenarios`` for the full, registry-generated
+listing including the subsystem entries.)
 
 Parameters left at ``None`` (e.g. ``k``) are filled with the same
 size-derived defaults the CLI has always used, so ``sweep`` grid points
@@ -48,6 +56,7 @@ from repro.experiments.scenario import (
     ScenarioSpec,
     forced_target,
     register_scenario,
+    ring_topology,
     scenario_names,
 )
 from repro.protocols import (
@@ -56,14 +65,10 @@ from repro.protocols import (
     basic_lead_protocol,
     default_threshold,
     phase_async_protocol,
+    wakeup_alead_protocol,
 )
 from repro.sim.strategy import Strategy
-from repro.sim.topology import Topology, complete_graph, unidirectional_ring
-
-
-def ring_topology(params: Params) -> Topology:
-    """Unidirectional ring of ``params['n']`` processors."""
-    return unidirectional_ring(params["n"])
+from repro.sim.topology import Topology, complete_graph
 
 
 def complete_topology(params: Params) -> Topology:
@@ -88,6 +93,10 @@ def _honest_phase_async(topo, params, rng):
 
 def _honest_async_complete(topo, params, rng):
     return async_complete_protocol(topo)
+
+
+def _honest_wakeup_alead(topo, params, rng):
+    return wakeup_alead_protocol(topo)
 
 
 # -- attacks -----------------------------------------------------------
@@ -169,6 +178,12 @@ def _register_builtins() -> None:
             "Shamir-sharing election on a complete graph",
             _honest_async_complete,
             8,
+        ),
+        (
+            "wakeup-alead",
+            "wake-up phase + A-LEADuni on a ring (Afek et al. block)",
+            _honest_wakeup_alead,
+            16,
         ),
     ):
         register_scenario(
@@ -254,6 +269,21 @@ def _register_builtins() -> None:
 
 
 _register_builtins()
+
+# The subsystem catalogs: each module registers its specs at import time,
+# extending the registry beyond the ring protocols/attacks to the whole
+# paper — the lockstep sync engine, the tree games, the coin-toss
+# reductions, the full-information comparators, the building-block
+# applications, the fuzzer, and the frontier scan families. Imported
+# here (not from the subsystems' own __init__) so registration happens
+# exactly once, in every process that can run experiments.
+import repro.analysis.scenarios  # noqa: E402,F401  (import for effect)
+import repro.blocks.scenarios  # noqa: E402,F401  (import for effect)
+import repro.cointoss.scenarios  # noqa: E402,F401  (import for effect)
+import repro.fullinfo.scenarios  # noqa: E402,F401  (import for effect)
+import repro.sync.scenarios  # noqa: E402,F401  (import for effect)
+import repro.testing.scenarios  # noqa: E402,F401  (import for effect)
+import repro.trees.scenarios  # noqa: E402,F401  (import for effect)
 
 #: Names every process rebuilds on ``import repro.experiments`` — the set
 #: the parallel runner may ship across process boundaries by name alone

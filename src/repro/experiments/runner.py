@@ -72,6 +72,7 @@ class ExperimentResult:
     outcomes: List[TrialOutcome]
     distribution: OutcomeDistribution
     successes: Proportion
+    max_steps: Optional[int] = None  # per-trial budget the rows ran under
     elapsed: float = 0.0  # wall-clock; excluded from to_row() determinism
 
     @property
@@ -89,6 +90,7 @@ class ExperimentResult:
             "params": {k: self.params[k] for k in sorted(self.params)},
             "trials": self.trials,
             "base_seed": self.base_seed,
+            "max_steps": self.max_steps,
             "successes": self.successes.successes,
             "success_rate": round(self.success_rate, 6),
             "success_low": round(self.successes.low, 6),
@@ -115,12 +117,41 @@ def run_one_trial(
 
     This is *the* definition of a trial — the parallel and in-process
     paths both funnel through it, which is what makes them agree.
+    Scenarios with a custom ``run_trial`` (sync engine, tree games,
+    coin-toss reductions, full-information games) bypass the executor but
+    keep the same registry derivation, so the determinism contract is
+    identical for every registered scenario.
     """
     registry = trial_registry(base_seed, index)
+    if spec.run_trial is not None:
+        outcome, steps = spec.run_trial(params, registry, max_steps)
+    else:
+        result = _execute_trial(spec, params, registry, record_trace, max_steps)
+        outcome, steps = result.outcome, result.steps
+    if spec.map_outcome is not None:
+        outcome = spec.map_outcome(outcome, params)
+    return TrialOutcome(
+        index=index,
+        outcome=outcome,
+        steps=steps,
+        success=spec.success(outcome, params),
+    )
+
+
+def _execute_trial(
+    spec: ScenarioSpec,
+    params: Params,
+    registry: RngRegistry,
+    record_trace: bool,
+    max_steps: Optional[int],
+):
+    """The executor wiring of one trial — the single definition both the
+    Monte-Carlo path and :func:`run_traced_trial` share, so a traced run
+    is byte-for-byte the execution the untraced trial would have been."""
     topology = spec.build_topology(params)
     protocol = spec.build_protocol(topology, params, registry.stream("scenario"))
     scheduler = spec.build_scheduler(params) if spec.build_scheduler else None
-    result = run_protocol(
+    return run_protocol(
         topology,
         protocol,
         scheduler=scheduler,
@@ -128,11 +159,33 @@ def run_one_trial(
         max_steps=max_steps,
         record_trace=record_trace,
     )
-    return TrialOutcome(
-        index=index,
-        outcome=result.outcome,
-        steps=result.steps,
-        success=spec.success(result.outcome, params),
+
+
+def run_traced_trial(
+    scenario: ScenarioRef,
+    params: Optional[Mapping[str, Any]] = None,
+    base_seed: int = 0,
+    index: int = 0,
+    max_steps: Optional[int] = None,
+):
+    """Run one executor trial of a scenario with the event trace ON.
+
+    Same wiring and registry derivation as :func:`run_one_trial`, but
+    returns the full :class:`~repro.sim.execution.ExecutionResult` so
+    observability tooling (sync-gap ablations, message-complexity
+    counts) can read the trace of exactly the execution the Monte-Carlo
+    path would have run. Only available for executor-backed scenarios —
+    ``run_trial`` scenarios have no event trace to record.
+    """
+    spec = get_scenario(scenario) if isinstance(scenario, str) else scenario
+    if spec.run_trial is not None:
+        raise ConfigurationError(
+            f"scenario {spec.name!r} runs outside the executor; "
+            "it has no event trace"
+        )
+    resolved = spec.resolve_params(params)
+    return _execute_trial(
+        spec, resolved, trial_registry(base_seed, index), True, max_steps
     )
 
 
@@ -257,8 +310,7 @@ class ExperimentRunner:
         if trials < 0:
             raise ConfigurationError(f"trials must be >= 0, got {trials}")
         started = time.perf_counter()
-        n = len(spec.build_topology(resolved))
-        distribution = OutcomeDistribution(n=n, trials=trials)
+        distribution = OutcomeDistribution(n=spec.size(resolved), trials=trials)
         outcomes: List[TrialOutcome] = []
         success_count = 0
         for chunk_result in self._iter_chunk_results(
@@ -279,6 +331,7 @@ class ExperimentRunner:
             outcomes=outcomes,
             distribution=distribution,
             successes=proportion(success_count, trials),
+            max_steps=self.max_steps,
             elapsed=time.perf_counter() - started,
         )
 

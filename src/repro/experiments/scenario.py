@@ -39,7 +39,7 @@ from typing import (
 from repro.sim.execution import FAIL
 from repro.sim.scheduler import Scheduler
 from repro.sim.strategy import Strategy
-from repro.sim.topology import Topology
+from repro.sim.topology import Topology, unidirectional_ring
 from repro.util.errors import ConfigurationError
 
 #: Scenario parameters: plain JSON-ish dict (ints/floats/strs/bools).
@@ -61,6 +61,41 @@ SchedulerFactory = Callable[[Params], Scheduler]
 #: Classifies one finished trial's outcome as success/failure.
 SuccessPredicate = Callable[[Any, Params], bool]
 
+#: A self-contained trial for scenarios that do not run on the
+#: asynchronous executor (lockstep sync engine, tree games, coin-toss
+#: reductions, full-information games). Receives the resolved parameters,
+#: the trial's private :class:`~repro.util.rng.RngRegistry` (derived from
+#: ``(base_seed, index)`` exactly like executor trials), and the runner's
+#: per-trial step budget override (``None`` = subsystem default). Must
+#: return ``(outcome, steps)`` with a hashable outcome — and must derive
+#: *all* randomness from the given registry so the registry-wide
+#: determinism contract (identical rows at any worker count) holds.
+TrialRunner = Callable[[Params, Any, Optional[int]], Tuple[Any, int]]
+
+#: Post-processes a trial's raw outcome before scoring/histogramming
+#: (e.g. leader id -> coin bit, renaming assignment -> one name).
+OutcomeMap = Callable[[Any, Params], Any]
+
+#: Size of the election-shaped outcome space (valid ids ``1..n``) for
+#: scenarios whose outcomes are not the network's processor ids.
+OutcomeSize = Callable[[Params], int]
+
+
+def no_valid_ids(params: Params) -> int:
+    """``outcome_size`` for scenarios whose outcomes are not ids at all
+    (coin bits, probabilities, certificate bounds): the histogram keeps
+    every count, but the valid-id-range statistics
+    (:meth:`~repro.analysis.distribution.OutcomeDistribution.max_probability`
+    and friends) report an empty range instead of silently misreading
+    foreign outcomes as processor ids."""
+    return 0
+
+
+def ring_topology(params: Params) -> Topology:
+    """Unidirectional ring of ``params['n']`` processors — the builder
+    most scenarios share (module-level, so it pickles to workers)."""
+    return unidirectional_ring(params["n"])
+
 
 def _default_success(outcome: Any, params: Params) -> bool:
     """Default success predicate: the execution did not globally fail."""
@@ -70,6 +105,16 @@ def _default_success(outcome: Any, params: Params) -> bool:
 def forced_target(outcome: Any, params: Params) -> bool:
     """Success predicate for forcing attacks: outcome equals ``target``."""
     return outcome == params["target"]
+
+
+def punished(outcome: Any, params: Params) -> bool:
+    """Success predicate for punishment demos: the deviation was caught.
+
+    Used by scenarios whose *claim* is that cheating ends in ``FAIL``
+    (the sync last-round cheater, the fuzzer's unstructured deviations):
+    a "successful" trial is one where the punishment mechanism fired.
+    """
+    return outcome == FAIL
 
 
 @dataclass(frozen=True)
@@ -84,7 +129,22 @@ class ScenarioSpec:
         One-line human summary (shown by ``python -m repro sweep --list``).
     build_topology / build_protocol / build_scheduler:
         Factories invoked once per trial. ``build_scheduler=None`` selects
-        the default :class:`~repro.sim.scheduler.FifoScheduler`.
+        the default :class:`~repro.sim.scheduler.FifoScheduler`. Both
+        builders may be omitted when ``run_trial`` is given instead.
+    run_trial:
+        Self-contained trial function for scenarios outside the
+        asynchronous executor (sync engine, tree games, coin-toss
+        reductions, full-information games); mutually exclusive with the
+        topology/protocol builders. See :data:`TrialRunner`.
+    map_outcome:
+        Optional post-map applied to each trial's raw outcome before the
+        success predicate and histogram see it (e.g. leader id -> coin
+        bit). ``FAIL`` should normally be passed through unchanged.
+    outcome_size:
+        Overrides :meth:`size` — the ``n`` of the outcome histogram's
+        valid-id range ``1..n``. Set this when the (possibly mapped)
+        outcomes are not the topology's processor ids; use
+        :func:`no_valid_ids` when they are not ids at all.
     defaults:
         Default parameter values; ``resolve_params`` overlays caller
         overrides on top and rejects unknown keys, so typos fail loudly
@@ -97,12 +157,42 @@ class ScenarioSpec:
 
     name: str
     description: str
-    build_topology: TopologyFactory
-    build_protocol: ProtocolFactory
+    build_topology: Optional[TopologyFactory] = None
+    build_protocol: Optional[ProtocolFactory] = None
     build_scheduler: Optional[SchedulerFactory] = None
+    run_trial: Optional[TrialRunner] = None
+    map_outcome: Optional[OutcomeMap] = None
+    outcome_size: Optional[OutcomeSize] = None
     defaults: Mapping[str, Any] = field(default_factory=dict)
     success: SuccessPredicate = _default_success
     tags: Tuple[str, ...] = ()
+
+    def __post_init__(self):
+        if self.run_trial is not None:
+            if self.build_topology or self.build_protocol or self.build_scheduler:
+                raise ConfigurationError(
+                    f"scenario {self.name!r}: run_trial is mutually "
+                    "exclusive with the topology/protocol/scheduler builders"
+                )
+        elif not (self.build_topology and self.build_protocol):
+            raise ConfigurationError(
+                f"scenario {self.name!r} needs either run_trial or both "
+                "build_topology and build_protocol"
+            )
+
+    def size(self, params: Params) -> int:
+        """Outcome-space size for ``params`` — drives the histogram's
+        valid-id range ``1..n``. An explicit ``outcome_size`` wins (the
+        outcomes may not be processor ids, e.g. after ``map_outcome``);
+        executor scenarios then measure their topology; ``run_trial``
+        scenarios fall back to the ``n`` parameter (0 when absent, which
+        leaves the histogram without a valid-id range)."""
+        if self.outcome_size is not None:
+            return self.outcome_size(params)
+        if self.build_topology is not None:
+            return len(self.build_topology(params))
+        n = params.get("n", 0)
+        return n if isinstance(n, int) else 0
 
     def resolve_params(self, overrides: Optional[Mapping[str, Any]] = None) -> Params:
         """Overlay ``overrides`` on the defaults, rejecting unknown keys."""

@@ -1,4 +1,4 @@
-"""Parameter-grid sweeps over registered scenarios.
+"""Parameter-grid sweeps over registered scenarios, with resume support.
 
 A sweep is the cartesian product of per-parameter value lists, each grid
 point run as one experiment through the
@@ -7,13 +7,34 @@ JSON-stable dicts (see :meth:`ExperimentResult.to_row`), so the ``python
 -m repro sweep`` command can stream them line-by-line and downstream
 tooling can diff runs — the rows are identical whatever the worker
 count.
+
+Long grids are resumable: every grid point has a canonical *resume key*
+— a pure function of ``(scenario, resolved params, trials, base_seed)``
+— and :func:`sweep_scenario` skips points whose key appears in the
+``completed`` set, which :func:`load_completed_keys` reconstructs from a
+previous run's ``--out`` file. Because the key is computed on *resolved*
+parameters (defaults overlaid), it is independent of which subset of
+parameters the grid happened to pin and of their order.
 """
 
 import itertools
-from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Union
+import json
+from typing import (
+    Any,
+    Collection,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Union,
+)
 
 from repro.experiments.runner import ExperimentRunner, ExperimentResult
-from repro.experiments.scenario import get_scenario
+from repro.experiments.scenario import Params, get_scenario
 
 #: A grid: parameter name -> single value or list of values to sweep.
 Grid = Mapping[str, Union[Any, Sequence[Any]]]
@@ -38,6 +59,72 @@ def expand_grid(grid: Optional[Grid]) -> List[Dict[str, Any]]:
     return [dict(point) for point in itertools.product(*axes)]
 
 
+def resume_key(
+    scenario: str,
+    params: Mapping[str, Any],
+    trials: int,
+    base_seed: int,
+    max_steps: Optional[int] = None,
+) -> str:
+    """Canonical identity of one grid point's experiment.
+
+    A pure function of ``(scenario, params, trials, base_seed,
+    max_steps)`` — the exact tuple that determines an experiment's rows
+    — serialised with sorted keys so two parameter dicts with equal
+    contents always collide, whatever their insertion order.
+    ``max_steps`` is part of the identity because the per-trial delivery
+    budget changes outcomes: a resume run must not treat rows produced
+    under a different budget as done. Pass *resolved* parameters
+    (defaults overlaid) so a pinned-at-default grid and an unpinned one
+    produce the same key.
+    """
+    return json.dumps(
+        {
+            "scenario": scenario,
+            "params": {key: params[key] for key in sorted(params)},
+            "trials": trials,
+            "base_seed": base_seed,
+            "max_steps": max_steps,
+        },
+        sort_keys=True,
+    )
+
+
+def row_resume_key(row: Mapping[str, Any]) -> str:
+    """The resume key of a previously written sweep row.
+
+    Rows written before ``max_steps`` joined the row format count as
+    default-budget rows (``max_steps=None``), matching how they ran.
+    """
+    return resume_key(
+        row["scenario"],
+        row["params"],
+        row["trials"],
+        row["base_seed"],
+        row.get("max_steps"),
+    )
+
+
+def load_completed_keys(lines: Iterable[str]) -> Set[str]:
+    """Resume keys of every well-formed sweep row in ``lines``.
+
+    Lines that are not JSON objects carrying the four identity fields
+    (foreign content, partial writes) are ignored: an unparseable line
+    can only cause a grid point to *re-run*, never to be skipped.
+    """
+    keys: Set[str] = set()
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            row = json.loads(line)
+            keys.add(row_resume_key(row))
+        except (ValueError, KeyError, TypeError):
+            continue
+    return keys
+
+
 def sweep_scenario(
     scenario: str,
     trials: int,
@@ -45,14 +132,40 @@ def sweep_scenario(
     base_seed: int = 0,
     workers: int = 1,
     max_steps: Optional[int] = None,
+    completed: Optional[Collection[str]] = None,
 ) -> Iterator[ExperimentResult]:
     """Run ``scenario`` at every grid point, yielding results lazily.
 
-    Grid points run sequentially (each one parallelises internally over
-    ``workers``), so memory stays flat however large the grid is and
-    callers can stream rows as they complete.
+    The scenario and the whole grid are validated *eagerly*, before the
+    first experiment runs: an unknown scenario or a grid key the
+    scenario does not declare raises
+    :class:`~repro.util.errors.ConfigurationError` (listing the known
+    parameters) from this call itself, not from deep inside iteration —
+    so a typo'd overnight grid dies immediately instead of after the
+    first grid point's trials.
+
+    Grid points whose :func:`resume_key` appears in ``completed`` are
+    skipped entirely; pass :func:`load_completed_keys` of a previous
+    run's output to resume a partial sweep. Remaining points run
+    sequentially (each one parallelises internally over ``workers``), so
+    memory stays flat however large the grid is and callers can stream
+    rows as they complete.
     """
     spec = get_scenario(scenario)
+    resolved_points: List[Params] = [
+        spec.resolve_params(point) for point in expand_grid(grid)
+    ]
     runner = ExperimentRunner(workers=workers, max_steps=max_steps)
-    for point in expand_grid(grid):
-        yield runner.run(spec, trials, base_seed=base_seed, params=point)
+    done = frozenset(completed) if completed else frozenset()
+
+    def _run() -> Iterator[ExperimentResult]:
+        for params in resolved_points:
+            if (
+                done
+                and resume_key(spec.name, params, trials, base_seed, max_steps)
+                in done
+            ):
+                continue
+            yield runner.run(spec, trials, base_seed=base_seed, params=params)
+
+    return _run()

@@ -1,0 +1,100 @@
+"""Scenario specs for the full-information comparators (Section 1.1).
+
+Neither workload runs on the asynchronous executor — pass-the-baton is a
+sequential broadcast game and the sequential coin game is an exact
+backward induction — so both use the ``run_trial`` hook.
+
+Registered here (imported for effect by
+:mod:`repro.experiments.catalog`):
+
+- ``fullinfo/baton`` — Saks' pass-the-baton election with a greedy
+  coalition; success = the leader landed in the coalition, so the
+  experiment's success rate *is* the survival probability E11 traces;
+- ``fullinfo/sequential-coin`` — optimal late-mover coalition play on a
+  one-round boolean outcome function, evaluated exactly; the outcome is
+  the forced probability (deterministic per grid point).
+"""
+
+from typing import Optional, Tuple
+
+from repro.experiments.scenario import (
+    Params,
+    ScenarioSpec,
+    no_valid_ids,
+    register_scenario,
+)
+from repro.fullinfo.baton import pass_the_baton
+from repro.fullinfo.boolean import majority_function, parity_function
+from repro.fullinfo.games import SequentialCoinGame
+from repro.util.errors import ConfigurationError
+
+
+def leader_in_coalition(outcome, params: Params) -> bool:
+    """Success predicate: the elected player is a coalition member."""
+    return isinstance(outcome, int) and 0 <= outcome < params["k"]
+
+
+def run_baton_trial(
+    params: Params, registry, max_steps: Optional[int]
+) -> Tuple[object, int]:
+    """One baton game; the coalition is the first ``k`` players."""
+    n = params["n"]
+    leader = pass_the_baton(
+        n, range(params["k"]), rng=registry.stream("scenario")
+    )
+    return leader, n - 1
+
+
+#: One-round outcome functions the sequential game can be played over.
+GAMES = {
+    "parity": parity_function,
+    "majority": majority_function,
+}
+
+
+def run_sequential_coin_trial(
+    params: Params, registry, max_steps: Optional[int]
+) -> Tuple[object, int]:
+    """Exact forced probability for the k latest movers (rounded to 6)."""
+    game_name = params["game"]
+    if game_name not in GAMES:
+        raise ConfigurationError(
+            f"unknown sequential game {game_name!r}; known: {sorted(GAMES)}"
+        )
+    n = params["n"]
+    f = GAMES[game_name](n)
+    coalition = list(range(n - params["k"], n))
+    probability = SequentialCoinGame(f, coalition).forced_probability(
+        params["target"]
+    )
+    return round(probability, 6), 0
+
+
+def bias_achieved(outcome, params: Params) -> bool:
+    """Success predicate: the coalition shifts past the honest half."""
+    return isinstance(outcome, float) and outcome > 0.5
+
+
+register_scenario(
+    ScenarioSpec(
+        name="fullinfo/baton",
+        description="Saks' pass-the-baton vs a greedy coalition (E11)",
+        run_trial=run_baton_trial,
+        outcome_size=no_valid_ids,  # players are 0-based, not ids 1..n
+        defaults={"n": 64, "k": 8},
+        success=leader_in_coalition,
+        tags=("fullinfo", "attack"),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="fullinfo/sequential-coin",
+        description="optimal late movers on a sequential boolean coin game",
+        run_trial=run_sequential_coin_trial,
+        outcome_size=no_valid_ids,  # outcomes are probabilities, not ids
+        defaults={"game": "majority", "n": 7, "k": 2, "target": 1},
+        success=bias_achieved,
+        tags=("fullinfo",),
+    )
+)

@@ -20,9 +20,9 @@ from typing import Dict, Hashable, List, Optional
 
 from repro.attacks.placement import RingPlacement
 from repro.protocols.alead_uni import ALeadNormalStrategy, ALeadOriginStrategy
-from repro.sim.execution import FAIL, run_protocol
+from repro.sim.execution import FAIL
 from repro.sim.strategy import Context, Strategy
-from repro.sim.topology import Topology, unidirectional_ring
+from repro.sim.topology import Topology
 from repro.util.errors import ConfigurationError
 from repro.util.modmath import canonical_mod
 
@@ -148,21 +148,33 @@ def deviation_search(
     k: int,
     samples: int,
     master_seed: int = 0,
+    workers: int = 1,
 ) -> DeviationSearchReport:
-    """Sample ``samples`` random k-coalition deviations and score them."""
-    ring = unidirectional_ring(n)
-    placement = RingPlacement.equal_spacing(n, k)
-    rng = random.Random(master_seed)
-    punished = 0
-    histogram: Dict[int, int] = {}
-    for s in range(samples):
-        behaviors = [FuzzBehavior.sample(n, rng) for _ in range(k)]
-        protocol = random_deviation_protocol(ring, placement, behaviors)
-        result = run_protocol(ring, protocol, seed=rng.randrange(2**31))
-        if result.outcome == FAIL:
-            punished += 1
-        else:
-            histogram[result.outcome] = histogram.get(result.outcome, 0) + 1
+    """Sample ``samples`` random k-coalition deviations and score them.
+
+    Each sample is one trial of the registered ``fuzz/random-deviation``
+    scenario (:mod:`repro.testing.scenarios`): the coalition's behaviours
+    are drawn from that trial's private stream, so sample ``i`` is a pure
+    function of ``(master_seed, i)`` — reproducible at any ``workers``
+    count, and campaigns parallelise over worker processes for free.
+    """
+    from repro.experiments.runner import ExperimentRunner
+
+    result = ExperimentRunner(workers=workers).run(
+        "fuzz/random-deviation",
+        trials=samples,
+        base_seed=master_seed,
+        params={"n": n, "k": k},
+    )
+    histogram: Dict[int, int] = {
+        outcome: count
+        for outcome, count in result.distribution.counts.items()
+        if outcome != FAIL
+    }
     return DeviationSearchReport(
-        n=n, k=k, samples=samples, punished=punished, valid_outcomes=histogram
+        n=n,
+        k=k,
+        samples=samples,
+        punished=result.distribution.fail_count,
+        valid_outcomes=histogram,
     )

@@ -1,0 +1,44 @@
+"""Scenario spec for the unstructured-deviation fuzzer (Theorem 5.1).
+
+One trial samples a fresh coalition of random behaviours from the
+trial's private ``scenario`` stream and runs them against honest
+A-LEADuni — so the whole fuzz campaign inherits the runner's
+determinism (trial *i* always samples the same behaviours, whatever the
+worker count) and its parallelism for free.
+
+The success predicate is *punishment*: Theorem 5.1 predicts every
+unstructured deviation is either caught (FAIL) or non-biasing, so a
+high success rate plus a flat surviving-outcome histogram is the
+resilience evidence :func:`repro.testing.fuzz.deviation_search` reports.
+"""
+
+from repro.attacks.placement import RingPlacement
+from repro.experiments.scenario import (
+    ScenarioSpec,
+    punished,
+    register_scenario,
+    ring_topology,
+)
+from repro.testing.fuzz import FuzzBehavior, random_deviation_protocol
+
+
+def _random_deviation(topo, params, rng):
+    """Sample one coalition of behaviours from the trial's own stream."""
+    n = len(topo)
+    k = params["k"]
+    placement = RingPlacement.equal_spacing(n, k)
+    behaviors = [FuzzBehavior.sample(n, rng) for _ in range(k)]
+    return random_deviation_protocol(topo, placement, behaviors)
+
+
+register_scenario(
+    ScenarioSpec(
+        name="fuzz/random-deviation",
+        description="random k-coalition deviation vs A-LEADuni (Thm 5.1)",
+        build_topology=ring_topology,
+        build_protocol=_random_deviation,
+        defaults={"n": 25, "k": 3},
+        success=punished,
+        tags=("fuzz", "attack"),
+    )
+)

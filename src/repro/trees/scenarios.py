@@ -1,0 +1,121 @@
+"""Scenario specs for the Section 7 / Appendix F tree machinery.
+
+Tree games are deterministic decision procedures, not Monte-Carlo
+estimators — a "trial" here is one run of the Lemma F.2/F.3 search or
+one Definition 7.1 witness check. Registering them anyway buys the
+shared entry point: ``python -m repro sweep`` can grid over chain
+lengths or block counts, the smoke suite exercises them alongside the
+probabilistic scenarios, and the determinism test holds them to the same
+worker-invariance contract (trivially, but a spec that accidentally
+picked up process-local state would be caught).
+
+Registered here (imported for effect by
+:mod:`repro.experiments.catalog`):
+
+- ``tree/xor-coin`` — Lemma F.2 on the canonical 2-message XOR
+  protocol; outcome is the extracted dictator;
+- ``tree/xor-chain`` — Lemma F.3: collapse an XOR chain protocol to two
+  parties and extract the component dictator;
+- ``tree/clique-caterpillar`` — Theorem 7.2: verify the Figure-2 style
+  4-simulated-tree witness; outcome is the generic ceil(n/2) bound it
+  beats.
+"""
+
+from typing import Optional, Tuple
+
+from repro.experiments.scenario import (
+    Params,
+    ScenarioSpec,
+    register_scenario,
+)
+from repro.sim.execution import FAIL
+from repro.trees.dictator import classify_protocol, verify_assurance
+from repro.trees.gametree import xor_coin_protocol
+from repro.trees.impossibility import impossibility_certificate
+from repro.trees.simulated import check_k_simulated_tree
+from repro.trees.treegame import collapse_to_two_party, xor_tree_protocol
+
+
+def expected_dictator(outcome, params: Params) -> bool:
+    """Success predicate: the search found the predicted dictator."""
+    return outcome == params["expect"]
+
+
+def _classify_outcome(protocol) -> Tuple[object, int]:
+    """Run the Lemma F.2 classification; outcome = dictator (verified)."""
+    verdict = classify_protocol(protocol)
+    dictator = verdict.get("dictator")
+    if dictator is None:
+        favorable = verdict.get("favorable")
+        return (FAIL if favorable is None else f"favorable:{favorable}"), 0
+    for witness in verdict["witnesses"]:
+        if not verify_assurance(protocol, witness):
+            return FAIL, 0
+    return dictator, 0
+
+
+def run_xor_coin_trial(
+    params: Params, registry, max_steps: Optional[int]
+) -> Tuple[object, int]:
+    return _classify_outcome(xor_coin_protocol())
+
+
+def run_xor_chain_trial(
+    params: Params, registry, max_steps: Optional[int]
+) -> Tuple[object, int]:
+    protocol = collapse_to_two_party(
+        xor_tree_protocol(params["chain"]), leaf=0
+    )
+    return _classify_outcome(protocol)
+
+
+def run_clique_caterpillar_trial(
+    params: Params, registry, max_steps: Optional[int]
+) -> Tuple[object, int]:
+    """Verify the 4-clique caterpillar witness; outcome = generic bound."""
+    blocks = params["blocks"]
+    nodes = list(range(4 * blocks))
+    edges = []
+    for b in range(blocks):
+        ids = nodes[4 * b : 4 * b + 4]
+        edges += [(u, v) for u in ids for v in ids if u < v]
+        if b:
+            edges.append((4 * b - 1, 4 * b))
+    mapping = {v: v // 4 for v in nodes}
+    report = check_k_simulated_tree(nodes, edges, mapping, k=4)
+    if not report["ok"]:
+        return FAIL, 0
+    return impossibility_certificate(nodes, edges)["k"], 0
+
+
+register_scenario(
+    ScenarioSpec(
+        name="tree/xor-coin",
+        description="Lemma F.2 dictator extraction on the XOR coin protocol",
+        run_trial=run_xor_coin_trial,
+        defaults={"expect": "B"},
+        success=expected_dictator,
+        tags=("tree",),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="tree/xor-chain",
+        description="Lemma F.3 collapse of an XOR chain; component dictates",
+        run_trial=run_xor_chain_trial,
+        defaults={"chain": 3, "expect": "B"},
+        success=expected_dictator,
+        tags=("tree",),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="tree/clique-caterpillar",
+        description="Theorem 7.2: 4-simulated-tree witness on clique chains",
+        run_trial=run_clique_caterpillar_trial,
+        defaults={"blocks": 3},
+        tags=("tree",),
+    )
+)

@@ -196,3 +196,146 @@ class TestSweep:
                   "--k", "5"])
         with pytest.raises(SystemExit):
             main(["attack", "--name", "basic-cheat", "--n", "8", "--k", "2"])
+
+    def test_sweep_runs_non_executor_scenarios(self, capsys):
+        """The registry expansion: sweep reaches sync/tree/cointoss/
+        fullinfo subsystems, not only the ring protocols."""
+        import json
+
+        for scenario in (
+            "sync/broadcast", "tree/xor-coin", "cointoss/fle-coin",
+            "fullinfo/baton",
+        ):
+            rc = main(["sweep", "--scenario", scenario, "--trials", "3"])
+            rows = [
+                json.loads(line)
+                for line in capsys.readouterr().out.splitlines()
+                if line.startswith("{")
+            ]
+            assert rc == 0
+            assert rows[0]["scenario"] == scenario
+            assert rows[0]["trials"] == 3
+
+
+class TestSweepResume:
+    def _sweep(self, out_file, params, resume=False):
+        argv = ["sweep", "--scenario", "attack/basic-cheat", "--trials", "4",
+                "--out", str(out_file)]
+        for p in params:
+            argv += ["--param", p]
+        if resume:
+            argv.append("--resume")
+        return main(argv)
+
+    def test_resume_appends_only_missing_grid_points(self, tmp_path, capsys):
+        import json
+
+        out_file = tmp_path / "rows.jsonl"
+        assert self._sweep(out_file, ["n=8,12", "target=2"]) == 0
+        capsys.readouterr()
+        first = [json.loads(l) for l in out_file.read_text().splitlines()]
+        assert len(first) == 2
+
+        # Re-run with a larger grid: the two existing points are skipped,
+        # their rows preserved verbatim, and only n=16 is appended.
+        assert self._sweep(out_file, ["n=8,12,16", "target=2"], resume=True) == 0
+        err = capsys.readouterr().err
+        assert "ran 1 of 3 grid points" in err
+        rows = [json.loads(l) for l in out_file.read_text().splitlines()]
+        assert rows[:2] == first
+        assert len(rows) == 3
+        assert rows[2]["params"]["n"] == 16
+
+    def test_resume_with_complete_file_is_a_no_op(self, tmp_path, capsys):
+        out_file = tmp_path / "rows.jsonl"
+        assert self._sweep(out_file, ["n=8"]) == 0
+        before = out_file.read_text()
+        capsys.readouterr()
+        assert self._sweep(out_file, ["n=8"], resume=True) == 0
+        assert "ran 0 of 1 grid points" in capsys.readouterr().err
+        assert out_file.read_text() == before
+
+    def test_resume_without_out_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--scenario", "attack/basic-cheat",
+                  "--trials", "2", "--resume"])
+
+    def test_resume_with_missing_out_file_runs_everything(self, tmp_path, capsys):
+        out_file = tmp_path / "fresh.jsonl"
+        assert self._sweep(out_file, ["n=8"], resume=True) == 0
+        capsys.readouterr()
+        assert out_file.exists()
+
+    def test_resume_salvages_rows_from_an_interrupted_run(self, tmp_path, capsys):
+        """A hard interrupt leaves finished rows in the .tmp staging file
+        (--out is only replaced on full success). --resume must count
+        those rows as done and carry them into the final file instead of
+        re-running them and truncating the staging file."""
+        import json
+
+        out_file = tmp_path / "rows.jsonl"
+        # Simulate the interrupt: a full run whose output we move to .tmp.
+        assert self._sweep(out_file, ["n=8", "target=2"]) == 0
+        capsys.readouterr()
+        interrupted = out_file.read_text()
+        out_file.rename(tmp_path / "rows.jsonl.tmp")
+        # Torn final write from the crash must be ignored, not trusted.
+        with open(tmp_path / "rows.jsonl.tmp", "a") as f:
+            f.write('{"scenario": "attack/basic-cheat", "par')
+
+        assert self._sweep(out_file, ["n=8,12", "target=2"], resume=True) == 0
+        assert "ran 1 of 2 grid points" in capsys.readouterr().err
+        rows = [json.loads(l) for l in out_file.read_text().splitlines()]
+        assert [r["params"]["n"] for r in rows] == [8, 12]
+        assert json.dumps(rows[0], sort_keys=True) + "\n" == interrupted
+
+    def test_resume_repairs_missing_trailing_newline(self, tmp_path, capsys):
+        """A previous file whose last line lacks '\\n' (external tools,
+        truncating editors) must not get a new row concatenated onto it."""
+        import json
+
+        out_file = tmp_path / "rows.jsonl"
+        assert self._sweep(out_file, ["n=8"]) == 0
+        capsys.readouterr()
+        out_file.write_text(out_file.read_text().rstrip("\n"))
+        assert self._sweep(out_file, ["n=8,12"], resume=True) == 0
+        capsys.readouterr()
+        rows = [json.loads(l) for l in out_file.read_text().splitlines()]
+        assert [r["params"]["n"] for r in rows] == [8, 12]
+
+    def test_resume_ignores_rows_from_other_scenarios(self, tmp_path, capsys):
+        import json
+
+        out_file = tmp_path / "rows.jsonl"
+        rc = main(["sweep", "--scenario", "honest/basic-lead", "--trials", "4",
+                   "--param", "n=8", "--out", str(out_file)])
+        assert rc == 0
+        capsys.readouterr()
+        assert self._sweep(out_file, ["n=8"], resume=True) == 0
+        assert "ran 1 of 1" in capsys.readouterr().err
+        rows = [json.loads(l) for l in out_file.read_text().splitlines()]
+        assert [r["scenario"] for r in rows] == [
+            "honest/basic-lead", "attack/basic-cheat"
+        ]
+
+
+class TestScenariosCommand:
+    def test_lists_every_registered_scenario(self, capsys):
+        from repro.experiments import scenario_names
+
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        for name in scenario_names():
+            assert name in out
+
+    def test_tag_filter(self, capsys):
+        assert main(["scenarios", "--tag", "sync"]) == 0
+        out = capsys.readouterr().out
+        assert "sync/broadcast" in out
+        assert "honest/alead-uni" not in out
+
+    def test_markdown_table(self, capsys):
+        assert main(["scenarios", "--markdown"]) == 0
+        out = capsys.readouterr().out.splitlines()
+        assert out[0].startswith("| Scenario |")
+        assert any(line.startswith("| `sync/ring` |") for line in out)

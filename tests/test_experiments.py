@@ -35,6 +35,7 @@ BUILTIN_SCENARIOS = {
     "honest/alead-uni",
     "honest/phase-async",
     "honest/async-complete",
+    "honest/wakeup-alead",
     "attack/basic-cheat",
     "attack/equal-spacing",
     "attack/random-location",
@@ -42,6 +43,23 @@ BUILTIN_SCENARIOS = {
     "attack/partial-sum",
     "attack/phase-rushing",
     "attack/shamir-pool",
+    "sync/broadcast",
+    "sync/ring",
+    "sync/last-round-cheat",
+    "tree/xor-coin",
+    "tree/xor-chain",
+    "tree/clique-caterpillar",
+    "cointoss/fle-coin",
+    "cointoss/biased-coin",
+    "cointoss/coin-fle",
+    "fullinfo/baton",
+    "fullinfo/sequential-coin",
+    "blocks/fair-consensus",
+    "blocks/fair-renaming",
+    "fuzz/random-deviation",
+    "frontier/cubic",
+    "frontier/rushing",
+    "placement/random-segments",
 }
 
 
@@ -49,9 +67,27 @@ class TestRegistry:
     def test_builtin_catalog_registered(self):
         assert BUILTIN_SCENARIOS <= set(scenario_names())
 
+    def test_every_subsystem_has_scenarios(self):
+        """The acceptance bar: the registry reaches the whole paper."""
+        prefixes = {name.split("/", 1)[0] for name in scenario_names()}
+        assert {
+            "honest", "attack", "sync", "tree", "cointoss", "fullinfo",
+            "blocks", "fuzz", "frontier", "placement",
+        } <= prefixes
+
     def test_tags_partition_protocols_and_attacks(self):
-        assert len(scenario_names(tag="honest")) == 4
-        assert len(scenario_names(tag="attack")) == 7
+        honest = set(scenario_names(tag="honest"))
+        attacks = set(scenario_names(tag="attack"))
+        assert not honest & attacks
+        assert {n for n in honest if n.startswith("honest/")} == {
+            n for n in BUILTIN_SCENARIOS if n.startswith("honest/")
+        }
+        assert {n for n in attacks if n.startswith("attack/")} == {
+            n for n in BUILTIN_SCENARIOS if n.startswith("attack/")
+        }
+        # Punishment demos and forcing families count as attacks too.
+        assert "sync/last-round-cheat" in attacks
+        assert "fuzz/random-deviation" in attacks
 
     def test_unknown_scenario_raises(self):
         with pytest.raises(ConfigurationError):

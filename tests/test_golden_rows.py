@@ -1,0 +1,87 @@
+"""Golden-row regression: sweep output pinned per subsystem.
+
+``tests/data/golden_rows.json`` holds the exact ``to_row()`` output of a
+small experiment for one scenario per subsystem, produced at a fixed
+``(trials, base_seed)``. Byte-identical reproduction is asserted here,
+so a refactor of the executor, the RNG derivation, a protocol, or the
+row serialisation cannot silently shift published estimates — it either
+reproduces history exactly or fails this test and must say so.
+
+To *intentionally* change the numbers (e.g. a new seed derivation),
+regenerate the fixture with the snippet in this file's docstring and
+call the change out in the PR::
+
+    PYTHONPATH=src python - <<'EOF'
+    import json
+    from repro.experiments import run_scenario
+    from tests.test_golden_rows import CASES, TRIALS, BASE_SEED
+    rows = [
+        run_scenario(n, trials=TRIALS, base_seed=BASE_SEED, params=p).to_row()
+        for n, p in CASES
+    ]
+    with open("tests/data/golden_rows.json", "w") as f:
+        json.dump(rows, f, indent=2, sort_keys=True); f.write("\\n")
+    EOF
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.experiments import run_scenario
+
+#: One scenario per subsystem, small enough to re-run in milliseconds.
+CASES = [
+    ("honest/alead-uni", {"n": 8}),
+    ("attack/cubic", {"n": 34, "k": 4}),
+    ("sync/broadcast", {"n": 6}),
+    ("tree/xor-chain", {}),
+    ("cointoss/coin-fle", {"n": 8}),
+    ("fullinfo/baton", {"n": 16, "k": 3}),
+    ("blocks/fair-renaming", {"n": 6}),
+    ("fuzz/random-deviation", {"n": 16, "k": 2}),
+    ("placement/random-segments", {"n": 64}),
+]
+TRIALS = 6
+BASE_SEED = 42
+
+FIXTURE = os.path.join(os.path.dirname(__file__), "data", "golden_rows.json")
+
+
+def _golden_rows():
+    with open(FIXTURE) as f:
+        return json.load(f)
+
+
+def test_fixture_covers_every_subsystem():
+    prefixes = {row["scenario"].split("/", 1)[0] for row in _golden_rows()}
+    assert {
+        "honest", "attack", "sync", "tree", "cointoss", "fullinfo",
+        "blocks", "fuzz", "placement",
+    } <= prefixes
+
+
+@pytest.mark.parametrize(
+    "case, golden",
+    list(zip(CASES, _golden_rows())),
+    ids=[name for name, _ in CASES],
+)
+def test_rows_reproduce_byte_identically(case, golden):
+    name, params = case
+    assert golden["scenario"] == name, "fixture order drifted from CASES"
+    row = run_scenario(
+        name, trials=TRIALS, base_seed=BASE_SEED, params=params
+    ).to_row()
+    assert json.dumps(row, sort_keys=True) == json.dumps(golden, sort_keys=True)
+
+
+def test_workers_reproduce_the_same_golden_rows():
+    """The fixture is also the parallel path's contract."""
+    name, params = CASES[0]
+    row = run_scenario(
+        name, trials=TRIALS, base_seed=BASE_SEED, params=params, workers=3
+    ).to_row()
+    assert json.dumps(row, sort_keys=True) == json.dumps(
+        _golden_rows()[0], sort_keys=True
+    )

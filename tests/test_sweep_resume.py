@@ -1,0 +1,213 @@
+"""Property tests for grid expansion and the sweep resume machinery."""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.experiments import (
+    expand_grid,
+    load_completed_keys,
+    resume_key,
+    row_resume_key,
+    run_scenario,
+    sweep_scenario,
+)
+from repro.util.errors import ConfigurationError
+
+# Hypothesis building blocks: JSON-ish scalar values and identifier keys.
+scalars = st.one_of(
+    st.integers(-100, 100),
+    st.booleans(),
+    st.none(),
+    st.text("abcxyz", min_size=0, max_size=4),
+)
+keys = st.text("abcdefgh", min_size=1, max_size=6)
+
+
+class TestExpandGrid:
+    def test_empty_and_none_yield_the_defaults_point(self):
+        assert expand_grid(None) == [{}]
+        assert expand_grid({}) == [{}]
+
+    @given(grid=st.dictionaries(keys, st.lists(scalars, min_size=1, max_size=4), max_size=4))
+    @settings(max_examples=60, deadline=None)
+    def test_point_count_is_product_of_axis_lengths(self, grid):
+        expected = 1
+        for values in grid.values():
+            expected *= len(values)
+        points = expand_grid(grid)
+        assert len(points) == expected
+        assert all(set(p) == set(grid) for p in points)
+
+    @given(
+        values=st.lists(st.integers(-50, 50), min_size=1, max_size=5),
+        pinned=scalars,
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_scalar_axis_equals_singleton_list_axis(self, values, pinned):
+        as_scalar = expand_grid({"a": values, "b": pinned})
+        as_list = expand_grid({"a": values, "b": [pinned]})
+        assert as_scalar == as_list
+
+    def test_axis_order_controls_row_order(self):
+        fast_inner = expand_grid({"a": [1, 2], "b": [10, 20]})
+        assert fast_inner == [
+            {"a": 1, "b": 10},
+            {"a": 1, "b": 20},
+            {"a": 2, "b": 10},
+            {"a": 2, "b": 20},
+        ]
+        fast_outer = expand_grid({"b": [10, 20], "a": [1, 2]})
+        # Same set of points, different enumeration order.
+        canonical = lambda points: [json.dumps(p, sort_keys=True) for p in points]
+        assert canonical(fast_outer) != canonical(fast_inner)
+        assert sorted(canonical(fast_outer)) == sorted(canonical(fast_inner))
+
+
+class TestResumeKey:
+    @given(params=st.dictionaries(keys, scalars, max_size=6))
+    @settings(max_examples=60, deadline=None)
+    def test_param_insertion_order_is_irrelevant(self, params):
+        forward = dict(sorted(params.items()))
+        backward = dict(sorted(params.items(), reverse=True))
+        assert resume_key("s", forward, 10, 0) == resume_key("s", backward, 10, 0)
+
+    @given(params=st.dictionaries(keys, scalars, max_size=4))
+    @settings(max_examples=40, deadline=None)
+    def test_key_is_json_and_roundtrips_the_identity(self, params):
+        key = resume_key("attack/x", params, 7, 3)
+        identity = json.loads(key)
+        assert identity["scenario"] == "attack/x"
+        assert identity["trials"] == 7
+        assert identity["base_seed"] == 3
+        assert identity["params"] == {
+            k: params[k] for k in sorted(params)
+        }
+
+    def test_any_identity_field_change_changes_the_key(self):
+        base = resume_key("a", {"n": 8}, 10, 0)
+        assert resume_key("b", {"n": 8}, 10, 0) != base
+        assert resume_key("a", {"n": 9}, 10, 0) != base
+        assert resume_key("a", {"n": 8}, 11, 0) != base
+        assert resume_key("a", {"n": 8}, 10, 1) != base
+        # max_steps changes trial outcomes, so it is part of the identity:
+        # rows run under a different delivery budget must not be skipped.
+        assert resume_key("a", {"n": 8}, 10, 0, max_steps=5) != base
+
+    def test_rows_written_before_max_steps_field_count_as_default_budget(self):
+        legacy_row = {
+            "scenario": "a", "params": {"n": 8}, "trials": 10, "base_seed": 0,
+        }
+        assert row_resume_key(legacy_row) == resume_key("a", {"n": 8}, 10, 0)
+
+    def test_row_key_matches_grid_point_key(self):
+        """The key of a written row equals the key of its grid point —
+        the exact equation --resume relies on."""
+        result = run_scenario(
+            "attack/basic-cheat", trials=3, base_seed=5, params={"n": 8}
+        )
+        assert row_resume_key(result.to_row()) == resume_key(
+            "attack/basic-cheat", result.params, 3, 5
+        )
+
+
+class TestLoadCompletedKeys:
+    def test_ignores_foreign_and_malformed_lines(self):
+        row = run_scenario("honest/basic-lead", trials=2, params={"n": 6}).to_row()
+        lines = [
+            "",
+            "not json at all {",
+            json.dumps({"unrelated": True}),
+            json.dumps(row, sort_keys=True),
+            "[1, 2, 3]",
+        ]
+        keys = load_completed_keys(lines)
+        assert keys == {row_resume_key(row)}
+
+    def test_empty_input_completes_nothing(self):
+        assert load_completed_keys([]) == set()
+
+
+class TestSweepScenarioValidation:
+    def test_unknown_grid_key_raises_eagerly_with_known_params(self):
+        """The error must fire at call time (before any trial runs) and
+        name the scenario's real parameters."""
+        with pytest.raises(ConfigurationError) as excinfo:
+            sweep_scenario(
+                "attack/cubic", trials=2, grid={"coalition_size": [4, 5]}
+            )
+        message = str(excinfo.value)
+        assert "coalition_size" in message
+        assert "k" in message and "n" in message and "target" in message
+
+    def test_unknown_scenario_raises_eagerly(self):
+        with pytest.raises(ConfigurationError):
+            sweep_scenario("no/such", trials=1)
+
+
+class TestSweepResume:
+    def _rows(self, grid, completed=None):
+        return [
+            r.to_row()
+            for r in sweep_scenario(
+                "attack/basic-cheat",
+                trials=4,
+                grid=grid,
+                base_seed=2,
+                completed=completed,
+            )
+        ]
+
+    def test_completed_points_are_skipped(self):
+        full = self._rows({"n": [8, 12, 16], "target": [2]})
+        done = {row_resume_key(full[0]), row_resume_key(full[2])}
+        remaining = self._rows({"n": [8, 12, 16], "target": [2]}, completed=done)
+        assert remaining == [full[1]]
+
+    def test_resume_with_everything_done_runs_nothing(self):
+        full = self._rows({"n": [8, 12]})
+        done = {row_resume_key(r) for r in full}
+        assert self._rows({"n": [8, 12]}, completed=done) == []
+
+    def test_resumed_rows_equal_fresh_rows(self):
+        """Skipping points never changes the rows that do run."""
+        full = self._rows({"n": [8, 12]})
+        resumed = self._rows(
+            {"n": [8, 12]}, completed={row_resume_key(full[0])}
+        )
+        assert resumed == full[1:]
+
+    def test_rows_from_a_different_step_budget_are_not_skipped(self):
+        """A budget-truncated run must not satisfy a default-budget
+        resume (its rows are all-FAIL artifacts of the budget)."""
+        truncated = [
+            r.to_row()
+            for r in sweep_scenario(
+                "attack/basic-cheat",
+                trials=4,
+                grid={"n": [8]},
+                base_seed=2,
+                max_steps=5,
+            )
+        ]
+        assert truncated[0]["fail_rate"] == 1.0
+        done = {row_resume_key(r) for r in truncated}
+        fresh = self._rows({"n": [8]}, completed=done)
+        assert len(fresh) == 1
+        assert fresh[0]["fail_rate"] == 0.0
+
+    def test_different_base_seed_does_not_match_completed(self):
+        full = self._rows({"n": [8]})
+        done = {row_resume_key(r) for r in full}
+        other_seed = [
+            r.to_row()
+            for r in sweep_scenario(
+                "attack/basic-cheat",
+                trials=4,
+                grid={"n": [8]},
+                base_seed=3,
+                completed=done,
+            )
+        ]
+        assert len(other_seed) == 1  # not skipped: different identity
