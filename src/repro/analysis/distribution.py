@@ -87,6 +87,7 @@ def estimate_distribution(
     base_seed: int = 0,
     workers: int = 1,
     max_steps: Optional[int] = None,
+    pool=None,
 ) -> OutcomeDistribution:
     """Run ``factory`` ``trials`` times with derived seeds and histogram.
 
@@ -95,7 +96,10 @@ def estimate_distribution(
     the histogram is reproducible however the work is distributed.
     ``workers > 1`` requires ``topology`` and ``factory`` to be picklable
     (module-level factories such as ``alead_uni_protocol`` are; ad-hoc
-    lambdas should stay at ``workers=1``).
+    lambdas should stay at ``workers=1``). Only the histogram is wanted
+    here, so chunks fold inside the workers and IPC carries counters,
+    not per-trial outcomes; a shared ``pool`` amortises worker spawn
+    across repeated estimates.
     """
     from repro.experiments.runner import ExperimentRunner
     from repro.experiments.scenario import ScenarioSpec
@@ -106,8 +110,10 @@ def estimate_distribution(
         build_topology=_FixedTopology(topology),
         build_protocol=_FactoryProtocol(factory),
     )
-    runner = ExperimentRunner(workers=workers, max_steps=max_steps)
-    return runner.run(spec, trials, base_seed=base_seed).distribution
+    with ExperimentRunner(workers=workers, max_steps=max_steps, pool=pool) as runner:
+        return runner.run(
+            spec, trials, base_seed=base_seed, keep_outcomes=False
+        ).distribution
 
 
 def chi_square_uniformity(dist: OutcomeDistribution) -> float:

@@ -11,9 +11,12 @@ The per-``(family, k)`` estimation runs through the shared
 :class:`~repro.experiments.runner.ExperimentRunner` over the registered
 ``frontier/*`` scenarios (:mod:`repro.analysis.scenarios`), so the scan
 inherits deterministic trial seeding and optional multiprocessing
-fan-out; infeasible placements surface as
-:class:`~repro.util.errors.ConfigurationError` from the scenario builder
-and simply exclude that family at that ``k``.
+fan-out — every probe of a scan (all families, all ``k``, all ring
+sizes) dispatches through **one** persistent
+:class:`~repro.experiments.pool.WorkerPool`, so worker processes spawn
+once per scan instead of once per probe. Infeasible placements surface
+as :class:`~repro.util.errors.ConfigurationError` from the scenario
+builder and simply exclude that family at that ``k``.
 """
 
 import math
@@ -75,36 +78,56 @@ def smallest_forcing_coalition(
     seeds: int = 2,
     k_max: Optional[int] = None,
     workers: int = 1,
+    pool=None,
 ) -> FrontierPoint:
     """Scan k upward until some family forces the target on all seeds.
 
     ``seeds`` is the trial count per probe (one experiment of ``seeds``
     trials through the runner); a family forces at ``k`` when every
-    trial ends on the target.
+    trial ends on the target. All probes of the scan share one worker
+    pool — ``pool`` (caller-owned, e.g. one pool for a whole frontier
+    table), or a pool the scan's runner creates once and closes at the
+    end.
     """
     from repro.experiments.runner import ExperimentRunner
     from repro.experiments.scenario import get_scenario
 
     if k_max is None:
         k_max = math.isqrt(n) + 2
-    runner = ExperimentRunner(workers=workers)
-    for k in range(2, k_max + 1):
-        for family, scenario in FAMILIES.items():
-            spec = get_scenario(scenario)
-            params = spec.resolve_params({"n": n, "k": k, "target": TARGET})
-            if not _placement_feasible(spec, params):
-                continue
-            result = runner.run(spec, trials=seeds, params=params)
-            if result.trials and result.success_rate == 1.0:
-                return FrontierPoint(n=n, k_min=k, family=family, **_bounds(n))
+    with ExperimentRunner(workers=workers, pool=pool) as runner:
+        for k in range(2, k_max + 1):
+            for family, scenario in FAMILIES.items():
+                spec = get_scenario(scenario)
+                params = spec.resolve_params({"n": n, "k": k, "target": TARGET})
+                if not _placement_feasible(spec, params):
+                    continue
+                result = runner.run(
+                    spec, trials=seeds, params=params, keep_outcomes=False
+                )
+                if result.trials and result.success_rate == 1.0:
+                    return FrontierPoint(
+                        n=n, k_min=k, family=family, **_bounds(n)
+                    )
     return FrontierPoint(n=n, k_min=k_max + 1, family="none", **_bounds(n))
 
 
 def forcing_frontier(
-    sizes: List[int], seeds: int = 2, workers: int = 1
+    sizes: List[int], seeds: int = 2, workers: int = 1, pool=None
 ) -> List[FrontierPoint]:
-    """The frontier table across ring sizes (the Conjecture 4.7 series)."""
-    return [
-        smallest_forcing_coalition(n, seeds=seeds, workers=workers)
-        for n in sizes
-    ]
+    """The frontier table across ring sizes (the Conjecture 4.7 series).
+
+    One shared worker pool serves every probe of every ring size.
+    """
+    from repro.experiments.pool import WorkerPool
+
+    own = pool is None
+    if own:
+        pool = WorkerPool(workers)
+    try:
+        return [
+            smallest_forcing_coalition(n, seeds=seeds, pool=pool)
+            for n in sizes
+        ]
+    finally:
+        if own:
+            pool.close()

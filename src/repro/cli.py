@@ -7,6 +7,7 @@ Examples::
     python -m repro bias --protocol alead-uni --n 8 --trials 500
     python -m repro sweep --scenario attack/cubic --trials 200 --workers 4
     python -m repro sweep --list
+    python -m repro campaign manifest.json --out rows.jsonl --resume --workers auto
     python -m repro certificate --graph ring --n 12
 
 Everything printed is derived from the same public API the examples and
@@ -28,11 +29,15 @@ from repro.analysis.distribution import (
     estimate_distribution,
 )
 from repro.experiments import (
+    BudgetPolicy,
     all_scenarios,
     expand_grid,
     get_scenario,
     load_completed_keys,
+    load_manifest,
+    resolve_workers,
     row_resume_key,
+    run_campaign,
     sweep_scenario,
 )
 from repro.protocols import (
@@ -65,6 +70,10 @@ ATTACK_SCENARIOS = {
     "phase-rushing": "attack/phase-rushing",
     "shamir-pool": "attack/shamir-pool",
 }
+
+
+#: Implicit adaptive-budget floor when --min-trials is not given.
+DEFAULT_MIN_TRIALS = 32
 
 
 def _topology(kind: str, n: int):
@@ -118,7 +127,7 @@ def _cmd_bias(args) -> int:
         maker,
         trials=args.trials,
         base_seed=args.seed,
-        workers=args.workers,
+        workers=resolve_workers(args.workers),
         max_steps=args.max_steps,
     )
     report = empirical_bias(topo, maker, args.trials, distribution=dist)
@@ -130,6 +139,19 @@ def _cmd_bias(args) -> int:
     # Every single trial failing means the estimate is vacuous (e.g. the
     # step budget was set below what the protocol needs).
     return 1 if dist.trials and dist.fail_count == dist.trials else 0
+
+
+def _workers_arg(text: str):
+    """``--workers`` value: a positive integer, or ``auto`` to derive a
+    clamped count from ``os.cpu_count()`` (see ``resolve_workers``)."""
+    if text == "auto":
+        return "auto"
+    try:
+        return int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer or 'auto', got {text!r}"
+        ) from None
 
 
 def _coerce_param(text: str):
@@ -177,15 +199,15 @@ def _read_rows_file(path: str):
 def _salvageable_rows(tmp_path: str, completed):
     """Well-formed sweep rows stranded in an interrupted run's staging
     file, minus those already in ``completed``. Malformed lines (torn
-    final write) and foreign content are dropped — they can only cause a
-    re-run, never a skip."""
+    final write, corrupt budget objects) and foreign content are dropped
+    — they can only cause a re-run, never a skip."""
     rows = []
     seen = set(completed)
     for line in _read_rows_file(tmp_path):
         try:
             row = json.loads(line)
             key = row_resume_key(row)
-        except (ValueError, KeyError, TypeError):
+        except (ValueError, KeyError, TypeError, ConfigurationError):
             continue
         if key not in seen:
             seen.add(key)
@@ -193,24 +215,18 @@ def _salvageable_rows(tmp_path: str, completed):
     return rows
 
 
-def _cmd_sweep(args) -> int:
-    if args.list:
-        for name, desc, _tags, defaults in _scenario_rows():
-            print(f"{name:<26} {desc}  [{defaults}]")
-        return 0
-    if not args.scenario:
-        raise SystemExit("sweep requires --scenario NAME (or --list)")
-    if args.trials < 0:
-        raise SystemExit(f"--trials must be >= 0, got {args.trials}")
+def _load_resume_state(args):
+    """The ``--resume`` bookkeeping shared by ``sweep`` and ``campaign``.
+
+    Rows already present in a previous run's --out file: their grid
+    points are skipped entirely, so an interrupted overnight run
+    re-executes only what is missing. A hard interrupt (Ctrl-C, crash)
+    leaves the finished rows in the .tmp staging file instead of --out
+    — salvage those too, or resuming would both re-run them and then
+    truncate the only copy when reopening the staging file.
+    """
     if args.resume and not args.out:
         raise SystemExit("--resume requires --out (the file to resume into)")
-    grid = _parse_grid(args.param)
-    # Rows already present in a previous run's --out file: their grid
-    # points are skipped entirely, so an interrupted overnight sweep
-    # re-runs only what is missing. A hard interrupt (Ctrl-C, crash)
-    # leaves the finished rows in the .tmp staging file instead of --out
-    # — salvage those too, or resuming would both re-run them and then
-    # truncate the only copy when reopening the staging file.
     completed = set()
     existing_lines = []
     if args.resume:
@@ -219,27 +235,19 @@ def _cmd_sweep(args) -> int:
         for row in _salvageable_rows(f"{args.out}.tmp", completed):
             existing_lines.append(json.dumps(row, sort_keys=True) + "\n")
             completed.add(row_resume_key(row))
-    # sweep_scenario validates the scenario and the whole grid eagerly —
-    # a typo'd re-run fails here, before touching a previous --out file.
-    try:
-        total_points = len(expand_grid(grid))
-        results = sweep_scenario(
-            args.scenario,
-            trials=args.trials,
-            grid=grid,
-            base_seed=args.seed,
-            workers=args.workers,
-            max_steps=args.max_steps,
-            completed=completed,
-        )
-    except ConfigurationError as exc:
-        raise SystemExit(str(exc)) from None
-    # Parameter *values* can still be infeasible (e.g. a placement that
-    # does not fit the ring), and that only surfaces when the grid point
-    # runs — so rows stream to a temp file that replaces --out atomically
-    # on success, never clobbering earlier results on a failed run. Under
-    # --resume the temp file starts as a copy of the previous rows and
-    # missing rows are appended.
+    return completed, existing_lines
+
+
+def _emit_rows(results, args, existing_lines, what: str) -> int:
+    """Stream result rows to stdout and (atomically) to ``--out``.
+
+    Parameter *values* can still be infeasible (e.g. a placement that
+    does not fit the ring), and that only surfaces when the grid point
+    runs — so rows stream to a temp file that replaces --out atomically
+    on success, never clobbering earlier results on a failed run. Under
+    --resume the temp file starts as a copy of the previous rows and
+    missing rows are appended. Returns the number of rows run.
+    """
     tmp_path = f"{args.out}.tmp" if args.out else None
     try:
         out = open(tmp_path, "w") if tmp_path else None
@@ -270,15 +278,103 @@ def _cmd_sweep(args) -> int:
     if failure is not None:
         if tmp_path:
             os.remove(tmp_path)
-        raise SystemExit(f"sweep failed: {failure}")
+        raise SystemExit(f"{what} failed: {failure}")
     if tmp_path:
         os.replace(tmp_path, args.out)
+    return ran
+
+
+def _budget_from_args(args):
+    """``--ci-width``/``--min-trials``/``--max-trials`` -> BudgetPolicy.
+
+    ``--max-trials`` defaults to ``--trials``: the adaptive budget is
+    early stopping of the fixed budget you would otherwise burn, with
+    ``--min-trials`` as the floor before the stop rule may fire. Only
+    the *implicit* floor (32) is capped at the ceiling; an explicit
+    ``--min-trials`` above ``--max-trials`` is rejected by the policy
+    itself, exactly as the same budget object would be in a manifest.
+    """
+    if args.ci_width is None:
+        if args.max_trials is not None:
+            raise SystemExit("--max-trials requires --ci-width")
+        if args.min_trials is not None:
+            raise SystemExit("--min-trials requires --ci-width")
+        return None
+    max_trials = args.max_trials if args.max_trials is not None else args.trials
+    if args.min_trials is None:
+        min_trials = min(DEFAULT_MIN_TRIALS, max_trials)
+    else:
+        min_trials = args.min_trials
+    try:
+        return BudgetPolicy(
+            ci_width=args.ci_width,
+            min_trials=min_trials,
+            max_trials=max_trials,
+        )
+    except ConfigurationError as exc:
+        raise SystemExit(str(exc)) from None
+
+
+def _cmd_sweep(args) -> int:
+    if args.list:
+        for name, desc, _tags, defaults in _scenario_rows():
+            print(f"{name:<26} {desc}  [{defaults}]")
+        return 0
+    if not args.scenario:
+        raise SystemExit("sweep requires --scenario NAME (or --list)")
+    if args.trials < 0:
+        raise SystemExit(f"--trials must be >= 0, got {args.trials}")
+    budget = _budget_from_args(args)
+    grid = _parse_grid(args.param)
+    completed, existing_lines = _load_resume_state(args)
+    # sweep_scenario validates the scenario and the whole grid eagerly —
+    # a typo'd re-run fails here, before touching a previous --out file.
+    try:
+        total_points = len(expand_grid(grid))
+        results = sweep_scenario(
+            args.scenario,
+            trials=None if budget else args.trials,
+            grid=grid,
+            base_seed=args.seed,
+            workers=resolve_workers(args.workers),
+            max_steps=args.max_steps,
+            completed=completed,
+            budget=budget,
+        )
+    except ConfigurationError as exc:
+        raise SystemExit(str(exc)) from None
+    ran = _emit_rows(results, args, existing_lines, "sweep")
     if args.resume:
         print(
             f"  [resume: ran {ran} of {total_points} grid points; "
             f"{total_points - ran} already in {args.out}]",
             file=sys.stderr,
         )
+    return 0
+
+
+def _cmd_campaign(args) -> int:
+    completed, existing_lines = _load_resume_state(args)
+    # Manifest expansion validates everything eagerly — unknown
+    # scenarios/tags/grid keys/budgets fail before any trial runs and
+    # before a previous --out file is touched.
+    try:
+        points = load_manifest(args.manifest)
+        results = run_campaign(
+            points,
+            workers=resolve_workers(args.workers),
+            completed=completed,
+        )
+    except ConfigurationError as exc:
+        raise SystemExit(str(exc)) from None
+    ran = _emit_rows(results, args, existing_lines, "campaign")
+    skipped = len(points) - ran
+    print(
+        f"  [campaign: ran {ran} of {len(points)} points"
+        + (f"; {skipped} already in {args.out}" if args.resume else "")
+        + "]",
+        file=sys.stderr,
+    )
     return 0
 
 
@@ -339,7 +435,9 @@ def _cmd_certificate(args) -> int:
 def _cmd_frontier(args) -> int:
     from repro.analysis.frontier import forcing_frontier
 
-    for point in forcing_frontier(args.sizes, seeds=1, workers=args.workers):
+    for point in forcing_frontier(
+        args.sizes, seeds=1, workers=resolve_workers(args.workers)
+    ):
         print(
             f"n={point.n:<5} smallest forcing k={point.k_min:<3} "
             f"({point.family}); proven gap "
@@ -358,7 +456,7 @@ def _cmd_fuzz(args) -> int:
         args.k,
         samples=args.samples,
         master_seed=args.seed,
-        workers=args.workers,
+        workers=resolve_workers(args.workers),
     )
     print(f"sampled deviations : {report.samples} (n={args.n}, k={args.k})")
     print(f"punished (FAIL)    : {report.punished} "
@@ -406,7 +504,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--n", type=int, default=8)
     p.add_argument("--trials", type=int, default=400)
     p.add_argument("--seed", type=int, default=0)
-    p.add_argument("--workers", type=int, default=1)
+    p.add_argument(
+        "--workers", type=_workers_arg, default=1, metavar="N|auto",
+        help="worker processes (auto = derive from the machine)",
+    )
     p.add_argument(
         "--max-steps", type=int, default=None,
         help="per-trial delivery budget",
@@ -421,7 +522,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--list", action="store_true", help="list registered scenarios")
     p.add_argument("--trials", type=int, default=200)
     p.add_argument("--seed", type=int, default=0)
-    p.add_argument("--workers", type=int, default=1)
+    p.add_argument(
+        "--workers", type=_workers_arg, default=1, metavar="N|auto",
+        help="worker processes (auto = derive from the machine)",
+    )
     p.add_argument(
         "--param",
         action="append",
@@ -433,6 +537,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-steps", type=int, default=None,
         help="per-trial delivery budget",
     )
+    p.add_argument(
+        "--ci-width", type=float, default=None, metavar="W",
+        help="adaptive budget: stop a grid point once its Wilson interval "
+             "is narrower than W (see also --min-trials/--max-trials)",
+    )
+    p.add_argument(
+        "--min-trials", type=int, default=None,
+        help="adaptive budget: never stop before this many trials "
+             f"(default {DEFAULT_MIN_TRIALS}, capped at the ceiling)",
+    )
+    p.add_argument(
+        "--max-trials", type=int, default=None,
+        help="adaptive budget: hard trial ceiling (default: --trials)",
+    )
     p.add_argument("--out", default=None, help="also write JSON rows to this file")
     p.add_argument(
         "--resume",
@@ -440,6 +558,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip grid points whose rows are already in --out; append the rest",
     )
     p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser(
+        "campaign",
+        help="run a JSON manifest of scenario grids against one resume store",
+    )
+    p.add_argument(
+        "manifest",
+        help="JSON file of (scenario|tag, grid, trials, base_seed) entries",
+    )
+    p.add_argument(
+        "--workers", type=_workers_arg, default=1, metavar="N|auto",
+        help="worker processes shared by all grid points "
+             "(auto = derive from the machine)",
+    )
+    p.add_argument("--out", default=None, help="also write JSON rows to this file")
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip points whose rows are already in --out; append the rest",
+    )
+    p.set_defaults(func=_cmd_campaign)
 
     p = sub.add_parser(
         "scenarios",
@@ -463,7 +602,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="Conjecture 4.7: smallest forcing coalition per ring size",
     )
     p.add_argument("--sizes", type=int, nargs="+", default=[64, 144, 256])
-    p.add_argument("--workers", type=int, default=1)
+    p.add_argument(
+        "--workers", type=_workers_arg, default=1, metavar="N|auto",
+        help="worker processes (auto = derive from the machine)",
+    )
     p.set_defaults(func=_cmd_frontier)
 
     p = sub.add_parser(
@@ -473,7 +615,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--k", type=int, default=3)
     p.add_argument("--samples", type=int, default=100)
     p.add_argument("--seed", type=int, default=0)
-    p.add_argument("--workers", type=int, default=1)
+    p.add_argument(
+        "--workers", type=_workers_arg, default=1, metavar="N|auto",
+        help="worker processes (auto = derive from the machine)",
+    )
     p.set_defaults(func=_cmd_fuzz)
     return parser
 

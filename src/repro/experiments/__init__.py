@@ -1,6 +1,6 @@
 """Unified Monte-Carlo experiment engine.
 
-Three layers, each usable on its own:
+Five layers, each usable on its own:
 
 - **Scenarios** (:mod:`~repro.experiments.scenario`): a
   :class:`ScenarioSpec` names a (topology, protocol/attack, scheduler,
@@ -8,16 +8,29 @@ Three layers, each usable on its own:
   ``"attack/cubic"`` to specs. The builtin catalog
   (:mod:`~repro.experiments.catalog`) registers every protocol and
   attack from the paper at import time.
+- **Worker pool** (:mod:`~repro.experiments.pool`): a persistent,
+  context-managed :class:`WorkerPool` shared by consecutive experiments
+  — grid points, frontier probes, fuzz campaigns — so worker processes
+  spawn once, not once per experiment; ``resolve_workers("auto")``
+  derives a clamped count from the machine.
 - **Runner** (:mod:`~repro.experiments.runner`): an
-  :class:`ExperimentRunner` fans a trial budget out over
-  ``multiprocessing`` workers — trial ``i`` always derives its seed from
-  ``(base_seed, i)`` alone, so results are identical at any worker count
-  — and folds outcomes into distributions and Wilson-interval
-  proportions as they stream back. Trials run with trace recording off,
-  the executor's Monte-Carlo fast path.
+  :class:`ExperimentRunner` fans a trial budget out over the pool —
+  trial ``i`` always derives its seed from ``(base_seed, i)`` alone, so
+  results are identical at any worker count — and folds outcomes into
+  distributions and Wilson-interval proportions as they stream back.
+  Trials run with trace recording off (the executor's Monte-Carlo fast
+  path); when per-trial outcomes aren't requested, workers fold their
+  own chunks and ship only counters. An adaptive
+  :class:`~repro.experiments.budget.BudgetPolicy` can replace the fixed
+  trial count with a deterministic Wilson-interval stop.
 - **Sweeps** (:mod:`~repro.experiments.sweep`): cartesian parameter
   grids over a scenario, one JSON-stable row per grid point; surfaced on
   the command line as ``python -m repro sweep``.
+- **Campaigns** (:mod:`~repro.experiments.campaign`): a JSON manifest of
+  ``(scenario | tag, grid, trials, base_seed)`` entries run against one
+  resume store with grid-level parallelism — chunks from many grid
+  points interleave in the shared pool; surfaced as ``python -m repro
+  campaign``.
 
 Quick taste::
 
@@ -30,6 +43,14 @@ Quick taste::
     print(result.distribution.counts)
 """
 
+from repro.experiments.budget import BudgetPolicy, as_policy
+from repro.experiments.campaign import (
+    CampaignPoint,
+    expand_manifest,
+    load_manifest,
+    run_campaign,
+)
+from repro.experiments.pool import WorkerPool, resolve_workers
 from repro.experiments.scenario import (
     Params,
     ScenarioSpec,
@@ -64,6 +85,14 @@ from repro.experiments.sweep import (
 from repro.experiments import catalog  # noqa: F401  (import for effect)
 
 __all__ = [
+    "BudgetPolicy",
+    "CampaignPoint",
+    "WorkerPool",
+    "as_policy",
+    "expand_manifest",
+    "load_manifest",
+    "resolve_workers",
+    "run_campaign",
     "Params",
     "ScenarioSpec",
     "all_scenarios",

@@ -1,0 +1,148 @@
+"""Adaptive trial budgets: stop when the Wilson interval is tight enough.
+
+A fixed trial budget wastes work in both directions: an attack that
+forces its target 500 times out of 500 had a conclusive answer hundreds
+of trials earlier, while a borderline scenario may need far more than
+the default to separate from chance. A :class:`BudgetPolicy` replaces
+the fixed count with a convergence criterion — run until the Wilson
+interval of the success proportion is narrower than ``ci_width`` —
+bounded below by ``min_trials`` (don't trust five lucky trials) and
+above by ``max_trials`` (always terminate).
+
+Determinism is the load-bearing property. Trials are consumed in
+*batches* whose boundaries are a pure function of the policy alone
+(:meth:`BudgetPolicy.batch_ends` — ``min_trials`` doubling up to
+``max_trials``), and the stop rule is evaluated only at batch
+boundaries, on the cumulative ``(successes, trials)`` counters. Since
+trial ``i``'s outcome depends only on ``(base_seed, i)`` and counter
+folding is commutative, the realized trial count — and therefore the
+row — is identical whatever the worker count or chunk interleaving.
+Evaluating mid-batch would break this: *which* trials had finished at
+evaluation time would depend on scheduling.
+"""
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, Mapping, Optional, Union
+
+from repro.analysis.stats import wilson_interval
+from repro.util.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class BudgetPolicy:
+    """An adaptive trial budget for one experiment (one grid point).
+
+    Attributes
+    ----------
+    ci_width:
+        Stop once ``high - low`` of the Wilson interval on the success
+        proportion is ``<=`` this width (evaluated at batch boundaries).
+    min_trials:
+        Never stop before this many trials — also the first batch size.
+    max_trials:
+        Hard ceiling; the experiment stops here even if unconverged.
+    z:
+        Wilson critical value (1.96 = 95%); part of the identity because
+        it changes where the stop rule fires.
+    """
+
+    ci_width: float
+    min_trials: int
+    max_trials: int
+    z: float = 1.96
+
+    def __post_init__(self):
+        if not 0.0 < self.ci_width <= 1.0:
+            raise ConfigurationError(
+                f"ci_width must be in (0, 1], got {self.ci_width}"
+            )
+        if self.min_trials < 1:
+            raise ConfigurationError(
+                f"min_trials must be >= 1, got {self.min_trials}"
+            )
+        if self.max_trials < self.min_trials:
+            raise ConfigurationError(
+                f"max_trials ({self.max_trials}) must be >= "
+                f"min_trials ({self.min_trials})"
+            )
+        if self.z <= 0:
+            raise ConfigurationError(f"z must be > 0, got {self.z}")
+
+    # -- identity ------------------------------------------------------
+
+    def to_key(self) -> Dict[str, Any]:
+        """JSON-stable identity dict — embedded in rows and resume keys.
+
+        Everything that changes where the stop rule fires is here, so
+        fixed-budget rows (no budget) and adaptive rows with different
+        policies can never satisfy each other's resume lookups.
+        """
+        return {
+            "ci_width": self.ci_width,
+            "min_trials": self.min_trials,
+            "max_trials": self.max_trials,
+            "z": self.z,
+        }
+
+    @classmethod
+    def from_mapping(cls, raw: Mapping[str, Any]) -> "BudgetPolicy":
+        """Build a policy from manifest/row JSON, rejecting unknown keys."""
+        if not isinstance(raw, Mapping):
+            raise ConfigurationError(
+                f"budget must be an object, got {type(raw).__name__}"
+            )
+        unknown = sorted(set(raw) - {"ci_width", "min_trials", "max_trials", "z"})
+        if unknown:
+            raise ConfigurationError(
+                f"budget has unknown keys {unknown}; "
+                "known: ci_width, min_trials, max_trials, z"
+            )
+        for required in ("ci_width", "min_trials", "max_trials"):
+            if required not in raw:
+                raise ConfigurationError(f"budget requires {required!r}")
+        try:
+            return cls(
+                ci_width=float(raw["ci_width"]),
+                min_trials=int(raw["min_trials"]),
+                max_trials=int(raw["max_trials"]),
+                z=float(raw.get("z", 1.96)),
+            )
+        except (TypeError, ValueError) as exc:
+            raise ConfigurationError(f"bad budget value: {exc}") from None
+
+    # -- the schedule --------------------------------------------------
+
+    def batch_ends(self) -> Iterator[int]:
+        """Cumulative trial counts at which the stop rule is evaluated.
+
+        ``min_trials`` doubling up to ``max_trials`` — e.g. for
+        ``(32, 1000)``: 32, 64, 128, 256, 512, 1000. A pure function of
+        the policy, never of outcomes or worker layout: that is what
+        makes the realized trial count worker-invariant.
+        """
+        end = self.min_trials
+        while True:
+            end = min(end, self.max_trials)
+            yield end
+            if end >= self.max_trials:
+                return
+            end *= 2
+
+    def satisfied(self, successes: int, trials: int) -> bool:
+        """The stop rule: is the Wilson interval narrow enough yet?"""
+        if trials < self.min_trials:
+            return False
+        low, high = wilson_interval(successes, trials, self.z)
+        return (high - low) <= self.ci_width
+
+
+#: A budget argument as APIs accept it: a policy, raw manifest JSON, or
+#: ``None`` for the classic fixed trial count.
+BudgetRef = Union[BudgetPolicy, Mapping[str, Any], None]
+
+
+def as_policy(budget: BudgetRef) -> Optional[BudgetPolicy]:
+    """Normalise a budget argument to a :class:`BudgetPolicy` (or None)."""
+    if budget is None or isinstance(budget, BudgetPolicy):
+        return budget
+    return BudgetPolicy.from_mapping(budget)

@@ -1,0 +1,488 @@
+"""Campaigns: a manifest of scenario grids run against one resume store.
+
+A *campaign* is the unit above a sweep: a JSON manifest of ``(scenario |
+tag, grid, trials, base_seed)`` entries — the whole experimental section
+of the paper as one file — expanded into concrete
+:class:`CampaignPoint`\\ s and run through one shared
+:class:`~repro.experiments.pool.WorkerPool` with **grid-level
+parallelism**: chunks from *different* grid points interleave in the
+pool, so a wide, shallow grid (many points, few trials each) keeps every
+worker busy instead of serialising point-by-point. Exposed on the
+command line as ``python -m repro campaign manifest.json --out
+rows.jsonl --resume --workers N``.
+
+Manifest format (top-level defaults overlaid by per-entry values; a bare
+JSON list is accepted as ``entries`` with no defaults)::
+
+    {
+      "trials": 400,
+      "base_seed": 0,
+      "entries": [
+        {"scenario": "attack/cubic", "grid": {"n": [66, 111], "target": 7}},
+        {"tag": "sync", "trials": 100, "grid": {"n": [4, 8]}},
+        {"scenario": "fuzz/random-deviation",
+         "budget": {"ci_width": 0.1, "min_trials": 32, "max_trials": 2000}}
+      ]
+    }
+
+``tag`` entries expand to every registered scenario carrying that tag.
+An entry (or the campaign) may replace its fixed ``trials`` with an
+adaptive ``budget`` (see :class:`~repro.experiments.budget.BudgetPolicy`).
+Everything is validated eagerly at expansion time — unknown scenarios,
+empty tags, grid keys a scenario does not declare, and malformed budgets
+all raise before any trial runs.
+
+Determinism contract: every row a campaign emits is identical to the row
+a lone ``run_scenario``/``sweep`` call with the same identity would emit,
+whatever the worker count or chunk interleaving — chunk folds are
+commutative counters, and adaptive stop decisions happen only at batch
+boundaries whose schedule is a pure function of the policy. Only the
+*order* rows complete in is scheduling-dependent, which is why resume
+keys, not file order, identify finished points.
+"""
+
+import json
+import queue
+import time
+from collections import Counter, deque
+from dataclasses import dataclass, replace
+from typing import (
+    Any,
+    Collection,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.analysis.distribution import OutcomeDistribution
+from repro.analysis.stats import proportion
+from repro.experiments.budget import BudgetPolicy, as_policy
+from repro.experiments.pool import WorkerCount, WorkerPool
+from repro.experiments.runner import (
+    ExperimentResult,
+    ExperimentRunner,
+    _run_chunk_folded,
+    chunk_payloads,
+)
+from repro.experiments.scenario import Params, ScenarioSpec, get_scenario, scenario_names
+from repro.experiments.sweep import expand_grid, resume_key
+from repro.util.errors import ConfigurationError
+
+#: Keys a manifest entry may carry.
+_ENTRY_KEYS = {"scenario", "tag", "grid", "trials", "base_seed", "max_steps", "budget"}
+#: Keys the manifest's top level may carry (campaign-wide defaults).
+_TOP_KEYS = {"entries", "trials", "base_seed", "max_steps", "budget"}
+
+
+@dataclass(frozen=True)
+class CampaignPoint:
+    """One fully-resolved experiment a campaign will run.
+
+    ``params`` are resolved (defaults overlaid); exactly one of
+    ``trials`` (fixed budget) and ``budget`` (adaptive) is set.
+    """
+
+    scenario: str
+    params: Params
+    trials: Optional[int]
+    base_seed: int
+    max_steps: Optional[int]
+    budget: Optional[BudgetPolicy]
+
+    def key(self) -> str:
+        """The point's resume key — same function sweep rows use, so one
+        output file can be shared by sweeps and campaigns."""
+        return resume_key(
+            self.scenario,
+            self.params,
+            self.trials,
+            self.base_seed,
+            self.max_steps,
+            self.budget,
+        )
+
+
+def load_manifest(source: Union[str, Mapping, Sequence]) -> List[CampaignPoint]:
+    """Load and expand a campaign manifest into concrete points.
+
+    ``source`` is a JSON file path, an already-parsed manifest mapping,
+    or a bare entry list. Expansion validates everything eagerly and
+    deduplicates points by resume key (tag overlaps, repeated entries),
+    preserving first-occurrence order.
+    """
+    if isinstance(source, str):
+        try:
+            with open(source) as f:
+                raw = json.load(f)
+        except OSError as exc:
+            raise ConfigurationError(f"cannot read manifest: {exc}") from None
+        except ValueError as exc:
+            raise ConfigurationError(
+                f"manifest {source!r} is not valid JSON: {exc}"
+            ) from None
+    else:
+        raw = source
+    return expand_manifest(raw)
+
+
+def expand_manifest(raw: Union[Mapping, Sequence]) -> List[CampaignPoint]:
+    """Expand a parsed manifest into validated, deduplicated points."""
+    if isinstance(raw, Mapping):
+        unknown = sorted(set(raw) - _TOP_KEYS)
+        if unknown:
+            raise ConfigurationError(
+                f"manifest has unknown top-level keys {unknown}; "
+                f"known: {sorted(_TOP_KEYS)}"
+            )
+        entries = raw.get("entries")
+        defaults = raw
+    elif isinstance(raw, Sequence) and not isinstance(raw, (str, bytes)):
+        entries, defaults = raw, {}
+    else:
+        raise ConfigurationError(
+            "manifest must be an object with 'entries' or a list of entries"
+        )
+    if not isinstance(entries, Sequence) or isinstance(entries, (str, bytes)):
+        raise ConfigurationError("manifest 'entries' must be a list")
+    if not entries:
+        raise ConfigurationError("manifest has no entries")
+
+    points: List[CampaignPoint] = []
+    seen_keys = set()
+    for position, entry in enumerate(entries):
+        if not isinstance(entry, Mapping):
+            raise ConfigurationError(
+                f"manifest entry #{position} must be an object"
+            )
+        unknown = sorted(set(entry) - _ENTRY_KEYS)
+        if unknown:
+            raise ConfigurationError(
+                f"manifest entry #{position} has unknown keys {unknown}; "
+                f"known: {sorted(_ENTRY_KEYS)}"
+            )
+        for point in _expand_entry(position, entry, defaults):
+            key = point.key()
+            if key not in seen_keys:
+                seen_keys.add(key)
+                points.append(point)
+    return points
+
+
+def _expand_entry(
+    position: int, entry: Mapping[str, Any], defaults: Mapping[str, Any]
+) -> Iterator[CampaignPoint]:
+    where = f"manifest entry #{position}"
+    has_scenario = "scenario" in entry
+    has_tag = "tag" in entry
+    if has_scenario == has_tag:
+        raise ConfigurationError(
+            f"{where} needs exactly one of 'scenario' or 'tag'"
+        )
+    if has_tag:
+        names = scenario_names(tag=entry["tag"])
+        if not names:
+            raise ConfigurationError(
+                f"{where}: no registered scenario has tag {entry['tag']!r}"
+            )
+    else:
+        names = [get_scenario(entry["scenario"]).name]
+
+    def _setting(key: str) -> Any:
+        return entry[key] if key in entry else defaults.get(key)
+
+    if "budget" in entry and "trials" in entry:
+        raise ConfigurationError(
+            f"{where} sets both 'trials' and 'budget'; pick one"
+        )
+    budget = as_policy(_setting("budget")) if "budget" in entry else None
+    trials = None
+    if budget is None:
+        # No entry-level budget: an entry-level trials wins, then the
+        # campaign default trials, then the campaign default budget.
+        if entry.get("trials") is not None:
+            trials = entry["trials"]
+        elif defaults.get("trials") is not None:
+            trials = defaults["trials"]
+        elif defaults.get("budget") is not None:
+            budget = as_policy(defaults["budget"])
+        else:
+            raise ConfigurationError(
+                f"{where} has no 'trials' or 'budget' "
+                "(own or campaign-level)"
+            )
+    if trials is not None:
+        if not isinstance(trials, int) or isinstance(trials, bool) or trials < 0:
+            raise ConfigurationError(
+                f"{where}: trials must be a non-negative integer, got {trials!r}"
+            )
+    base_seed = _setting("base_seed") or 0
+    max_steps = _setting("max_steps")
+    grid = entry.get("grid")
+    if grid is not None and not isinstance(grid, Mapping):
+        raise ConfigurationError(f"{where}: 'grid' must be an object")
+    for name in names:
+        spec = get_scenario(name)
+        for grid_point in expand_grid(grid):
+            yield CampaignPoint(
+                scenario=name,
+                params=spec.resolve_params(grid_point),
+                trials=trials,
+                base_seed=base_seed,
+                max_steps=max_steps,
+                budget=budget,
+            )
+
+
+# ----------------------------------------------------------------------
+# The orchestrator
+# ----------------------------------------------------------------------
+
+
+def _campaign_chunk(tagged: Tuple[int, Any]) -> Tuple[int, Any]:
+    """Worker entry point: a point-tagged folded chunk, so results from
+    interleaved grid points find their way back to the right fold."""
+    point_id, payload = tagged
+    return (point_id, _run_chunk_folded(payload))
+
+
+class _PointState:
+    """Master-side fold state of one in-flight campaign point."""
+
+    def __init__(self, point_id: int, point: CampaignPoint, spec: ScenarioSpec):
+        self.point_id = point_id
+        self.point = point
+        self.spec = spec
+        self.counts: Counter = Counter()
+        self.successes = 0
+        self.steps_total = 0
+        self.ran = 0
+        self.dispatched = 0  # trial indices handed to workers so far
+        self.pending = 0  # chunks of the current batch still out
+        self.started = time.perf_counter()
+        self._batch_ends = (
+            point.budget.batch_ends()
+            if point.budget is not None
+            else iter([point.trials])
+        )
+
+    def next_batch(self) -> Optional[Tuple[int, int]]:
+        """The next ``[start, end)`` trial range to dispatch, or None."""
+        for end in self._batch_ends:
+            if end > self.dispatched:
+                start, self.dispatched = self.dispatched, end
+                return (start, end)
+        return None
+
+    def fold(self, chunk_fold) -> None:
+        counts, successes, steps_total, trials = chunk_fold
+        self.counts.update(counts)
+        self.successes += successes
+        self.steps_total += steps_total
+        self.ran += trials
+
+    def converged(self) -> bool:
+        """Whether the stop rule fires at the current batch boundary."""
+        budget = self.point.budget
+        return budget is not None and budget.satisfied(self.successes, self.ran)
+
+    def finalize(self) -> ExperimentResult:
+        point = self.point
+        return ExperimentResult(
+            scenario=point.scenario,
+            params=point.params,
+            trials=self.ran,
+            base_seed=point.base_seed,
+            outcomes=[],
+            distribution=OutcomeDistribution(
+                n=self.spec.size(point.params), trials=self.ran, counts=self.counts
+            ),
+            successes=proportion(
+                self.successes,
+                self.ran,
+                z=point.budget.z if point.budget else 1.96,
+            ),
+            max_steps=point.max_steps,
+            elapsed=time.perf_counter() - self.started,
+            steps_total=self.steps_total,
+            budget=point.budget,
+        )
+
+
+def run_campaign(
+    points: Sequence[CampaignPoint],
+    workers: WorkerCount = 1,
+    pool: Optional[WorkerPool] = None,
+    completed: Optional[Collection[str]] = None,
+    chunk_size: Optional[int] = None,
+) -> Iterator[ExperimentResult]:
+    """Run campaign points against one shared pool, yielding results.
+
+    Points whose resume key is in ``completed`` are skipped. With a
+    parallel pool, chunks from up to ``2 × workers`` points are
+    interleaved so shallow grids keep the workers saturated; results
+    then arrive in *completion* order. Serial pools (``workers == 1``)
+    run points in manifest order — the rows are identical either way.
+
+    The iterator is lazy; closing it (or exhausting it) closes a
+    self-created pool, while an injected ``pool`` stays open for the
+    caller's next campaign.
+    """
+    done = frozenset(completed) if completed else frozenset()
+    # Resolve scenarios and parameters eagerly: a stale manifest or an
+    # unknown parameter fails before work starts, hand-built points with
+    # partial params behave identically at every worker count (workers
+    # ship fully-resolved params), and resume keys are computed on
+    # resolved params — the same normalisation sweep rows get.
+    specs: Dict[str, ScenarioSpec] = {}
+    normalized: List[CampaignPoint] = []
+    for point in points:
+        spec = specs.get(point.scenario)
+        if spec is None:
+            spec = specs[point.scenario] = get_scenario(point.scenario)
+        resolved = spec.resolve_params(point.params)
+        if resolved != point.params:
+            point = replace(point, params=resolved)
+        normalized.append(point)
+    todo = [p for p in normalized if p.key() not in done]
+
+    def _run() -> Iterator[ExperimentResult]:
+        own_pool = pool is None
+        active_pool = pool if pool is not None else WorkerPool(workers)
+        try:
+            if not active_pool.parallel:
+                yield from _run_serial(todo, specs, active_pool, chunk_size)
+            else:
+                yield from _run_interleaved(todo, specs, active_pool, chunk_size)
+        finally:
+            if own_pool:
+                active_pool.close()
+
+    return _run()
+
+
+def _run_serial(
+    todo: Sequence[CampaignPoint],
+    specs: Mapping[str, ScenarioSpec],
+    pool: WorkerPool,
+    chunk_size: Optional[int],
+) -> Iterator[ExperimentResult]:
+    for point in todo:
+        runner = ExperimentRunner(
+            pool=pool, max_steps=point.max_steps, chunk_size=chunk_size
+        )
+        yield runner.run(
+            specs[point.scenario],
+            point.trials,
+            base_seed=point.base_seed,
+            params=point.params,
+            keep_outcomes=False,
+            budget=point.budget,
+        )
+
+
+def _run_interleaved(
+    todo: Sequence[CampaignPoint],
+    specs: Mapping[str, ScenarioSpec],
+    pool: WorkerPool,
+    chunk_size: Optional[int],
+) -> Iterator[ExperimentResult]:
+    """Grid-level parallelism: many points' chunks share the pool.
+
+    The master keeps up to ``2 × workers`` points *active* — enough that
+    the payload queue never drains while points with tiny budgets finish
+    — dispatching each point batch-by-batch (a barrier per batch is what
+    keeps adaptive stop decisions worker-invariant) and folding tagged
+    chunk results as the pool's callback thread hands them over. Chunks
+    are trickled into the pool at most
+    :attr:`~repro.experiments.pool.WorkerPool.dispatch_window` at a time
+    — the same no-oversubscription cap the runner's streaming path
+    enforces — with the surplus buffered master-side.
+    """
+    results: "queue.Queue" = queue.Queue()
+    waiting = deque(enumerate(todo))
+    active: Dict[int, _PointState] = {}
+    payload_queue: deque = deque()  # (point_id, chunk payload)
+    max_active = max(2 * pool.workers, 4)
+    # In-flight cap: the pool's oversubscription window when workers
+    # exceed cores; otherwise 2x the worker count, so every worker has a
+    # spare chunk queued and never waits a master round-trip.
+    window = pool.dispatch_window
+    if window >= pool.workers:
+        window = 2 * pool.workers
+    inflight = 0
+
+    def _pump() -> None:
+        """Top the pool up to the dispatch window from the payload queue."""
+        nonlocal inflight
+        while payload_queue and inflight < window:
+            point_id, payload = payload_queue.popleft()
+            pool.submit(
+                _campaign_chunk,
+                (point_id, payload),
+                callback=lambda result: results.put(("ok",) + result),
+                error_callback=lambda exc, pid=point_id: results.put(
+                    ("err", pid, exc)
+                ),
+            )
+            inflight += 1
+
+    def _enqueue_batch(state: _PointState) -> bool:
+        """Queue the point's next batch; False when no work is left to
+        send (zero-trial points, exhausted schedules)."""
+        batch = state.next_batch()
+        if batch is None:
+            return False
+        start, end = batch
+        payloads = chunk_payloads(
+            state.spec,
+            state.point.params,
+            state.point.base_seed,
+            range(start, end),
+            False,
+            state.point.max_steps,
+            workers=pool.workers,
+            chunk_size=chunk_size,
+        )
+        if not payloads:
+            return False
+        state.pending = len(payloads)
+        for payload in payloads:
+            payload_queue.append((state.point_id, payload))
+        return True
+
+    def _activate() -> Iterator[ExperimentResult]:
+        """Admit waiting points until the active window is full; points
+        with no trials to run complete synchronously right here."""
+        while waiting and len(active) < max_active:
+            point_id, point = waiting.popleft()
+            state = _PointState(point_id, point, specs[point.scenario])
+            if _enqueue_batch(state):
+                active[point_id] = state
+            else:
+                yield state.finalize()
+
+    yield from _activate()
+    _pump()
+    while active:
+        kind, point_id, payload = results.get()
+        inflight -= 1
+        if kind == "err":
+            raise ConfigurationError(
+                f"campaign point {active[point_id].point.scenario!r} "
+                f"{active[point_id].point.params} failed: {payload}"
+            ) from payload
+        state = active[point_id]
+        state.fold(payload)
+        state.pending -= 1
+        if state.pending == 0:
+            # Batch boundary: the only place stop decisions may happen.
+            if state.converged() or not _enqueue_batch(state):
+                del active[point_id]
+                yield state.finalize()
+                yield from _activate()
+        _pump()

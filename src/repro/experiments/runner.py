@@ -1,6 +1,6 @@
 """The Monte-Carlo trial runner: deterministic fan-out over workers.
 
-One *experiment* is ``trials`` independent executions of a scenario, each
+One *experiment* is a set of independent executions of a scenario, each
 with its own derived seed. The runner owns the loop every caller used to
 hand-roll:
 
@@ -16,10 +16,23 @@ hand-roll:
 - **Lean hot path.** Trials run with ``record_trace=False`` by default:
   Monte-Carlo estimation reads only outcomes, so the executor skips all
   event-object allocation.
-- **Streaming fold.** Worker chunks come back via ``imap_unordered`` and
-  are folded into an :class:`~repro.analysis.distribution.OutcomeDistribution`
-  and a success counter as they arrive; per-trial outcomes are re-sorted
-  by index at the end, so the fold order never shows in the result.
+- **Pool reuse.** The runner dispatches through a persistent
+  :class:`~repro.experiments.pool.WorkerPool` — injected by the caller
+  (sweeps, campaigns, frontier/fuzz loops share one pool across every
+  experiment), or created lazily on first parallel use and kept for the
+  runner's lifetime. Worker processes are never re-spawned between
+  experiments.
+- **Folded aggregates.** When the caller doesn't ask for per-trial
+  outcomes (``keep_outcomes=False`` and no ``on_outcome``), worker
+  chunks come back as outcome-count dicts plus success/step counters
+  instead of pickled per-trial lists — counter addition is commutative,
+  so the fold order never shows in the result and IPC volume stops
+  scaling with the trial count.
+- **Adaptive budgets.** ``run(budget=BudgetPolicy(...))`` replaces the
+  fixed trial count with a Wilson-interval convergence stop, evaluated
+  on a deterministic batch schedule (see
+  :mod:`~repro.experiments.budget`) so the realized trial count is
+  identical at any worker count.
 
 The in-process mode (``parallel=False`` or one worker) runs the same
 per-trial function with no multiprocessing at all — the mode tests use,
@@ -27,13 +40,15 @@ and the fallback for ad-hoc scenario specs built from closures that
 cannot cross process boundaries.
 """
 
-import multiprocessing
 import time
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Tuple, Union
+from collections import Counter
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.analysis.distribution import OutcomeDistribution
 from repro.analysis.stats import Proportion, proportion
+from repro.experiments.budget import BudgetPolicy, BudgetRef, as_policy
+from repro.experiments.pool import WorkerCount, WorkerPool, resolve_workers
 from repro.experiments.scenario import Params, ScenarioSpec, get_scenario
 from repro.sim.execution import run_protocol
 from repro.util.errors import ConfigurationError
@@ -74,6 +89,8 @@ class ExperimentResult:
     successes: Proportion
     max_steps: Optional[int] = None  # per-trial budget the rows ran under
     elapsed: float = 0.0  # wall-clock; excluded from to_row() determinism
+    steps_total: int = 0  # summed delivery steps across all trials
+    budget: Optional[BudgetPolicy] = None  # adaptive policy, if one ran
 
     @property
     def success_rate(self) -> float:
@@ -84,8 +101,14 @@ class ExperimentResult:
         return self.distribution.fail_rate
 
     def to_row(self) -> Dict[str, Any]:
-        """A JSON-stable summary row (identical across worker counts)."""
-        return {
+        """A JSON-stable summary row (identical across worker counts).
+
+        Fixed-budget rows keep the exact PR-2 schema; adaptive rows add
+        one ``"budget"`` object (the policy identity) on top — their
+        ``"trials"`` field records the *realized* count the stop rule
+        settled on, which is itself deterministic.
+        """
+        row = {
             "scenario": self.scenario,
             "params": {k: self.params[k] for k in sorted(self.params)},
             "trials": self.trials,
@@ -103,6 +126,9 @@ class ExperimentResult:
                 )
             },
         }
+        if self.budget is not None:
+            row["budget"] = self.budget.to_key()
+        return row
 
 
 def run_one_trial(
@@ -189,20 +215,90 @@ def run_traced_trial(
     )
 
 
-def _run_chunk(
-    payload: Tuple[ScenarioRef, Params, int, Tuple[int, ...], bool, Optional[int]]
-) -> List[TrialOutcome]:
-    """Worker entry point: run a contiguous chunk of trial indices."""
-    scenario, params, base_seed, indices, record_trace, max_steps = payload
+#: One chunk's work order, shipped to a worker. ``scenario`` is a builtin
+#: name (resolved from the worker's own catalog) or a full spec by value.
+ChunkPayload = Tuple[ScenarioRef, Params, int, Tuple[int, ...], bool, Optional[int]]
+
+#: A worker-side folded chunk: (outcome -> count, successes, steps total,
+#: trial count). Plain tuples pickle small and fold commutatively.
+ChunkFold = Tuple[Dict[Any, int], int, int, int]
+
+
+def _resolve_chunk_spec(scenario: ScenarioRef) -> ScenarioSpec:
     if isinstance(scenario, str):
         import repro.experiments  # noqa: F401 - registers the builtin catalog
 
-        spec = get_scenario(scenario)
-    else:
-        spec = scenario
+        return get_scenario(scenario)
+    return scenario
+
+
+def _run_chunk(payload: ChunkPayload) -> List[TrialOutcome]:
+    """Worker entry point: run a chunk, returning per-trial outcomes."""
+    scenario, params, base_seed, indices, record_trace, max_steps = payload
+    spec = _resolve_chunk_spec(scenario)
     return [
         run_one_trial(spec, params, base_seed, i, record_trace, max_steps)
         for i in indices
+    ]
+
+
+def _run_chunk_folded(payload: ChunkPayload) -> ChunkFold:
+    """Worker entry point: run a chunk, returning only folded aggregates.
+
+    The worker folds its own trials into an outcome histogram and
+    success/step counters, so what crosses the process boundary is a
+    handful of counts however many trials the chunk held. Addition is
+    commutative, so the master can fold chunk results in arrival order.
+    """
+    scenario, params, base_seed, indices, record_trace, max_steps = payload
+    spec = _resolve_chunk_spec(scenario)
+    counts: Dict[Any, int] = {}
+    successes = 0
+    steps_total = 0
+    for i in indices:
+        trial = run_one_trial(spec, params, base_seed, i, record_trace, max_steps)
+        counts[trial.outcome] = counts.get(trial.outcome, 0) + 1
+        successes += int(trial.success)
+        steps_total += trial.steps
+    return (counts, successes, steps_total, len(indices))
+
+
+def chunk_payloads(
+    spec: ScenarioSpec,
+    params: Params,
+    base_seed: int,
+    indices: Sequence[int],
+    record_trace: bool = False,
+    max_steps: Optional[int] = None,
+    workers: int = 1,
+    chunk_size: Optional[int] = None,
+) -> List[ChunkPayload]:
+    """Slice a trial-index range into worker chunk payloads.
+
+    Shared by the runner and the campaign orchestrator so both ship the
+    exact same work orders. Builtin scenarios go by *name* (workers
+    resolve them from their own catalog import instead of unpickling
+    arbitrary callables); user-registered and ad-hoc specs go by value —
+    a worker under the spawn/forkserver start methods rebuilds only the
+    builtin catalog, so a bare name would not resolve there. Chunking
+    never affects results, only scheduling.
+    """
+    count = len(indices)
+    if chunk_size is not None:
+        size = chunk_size
+    else:
+        size = max(1, count // (workers * 4) or 1)
+    ship = spec.name if _is_builtin(spec) else spec
+    return [
+        (
+            ship,
+            params,
+            base_seed,
+            tuple(indices[start : start + size]),
+            record_trace,
+            max_steps,
+        )
+        for start in range(0, count, size)
     ]
 
 
@@ -212,7 +308,10 @@ class ExperimentRunner:
     Parameters
     ----------
     workers:
-        Worker-process count. ``1`` (the default) runs in-process.
+        Worker-process count; ``1`` (the default) runs in-process and
+        ``"auto"`` derives a clamped count from the machine (see
+        :func:`~repro.experiments.pool.resolve_workers`). Ignored when
+        ``pool`` is given — the pool's size wins.
     parallel:
         Force (``True``) or forbid (``False``) multiprocessing; ``None``
         derives it from ``workers > 1``. ``parallel=False`` with many
@@ -225,114 +324,185 @@ class ExperimentRunner:
         fast path.
     max_steps:
         Per-trial delivery budget override (``None`` = executor default).
+    pool:
+        A shared :class:`~repro.experiments.pool.WorkerPool` to dispatch
+        through — the caller keeps ownership (the runner never closes
+        it), so many runners and many experiments reuse one set of warm
+        workers. Without one, the runner lazily creates its own pool on
+        first parallel use and keeps it until :meth:`close` (or GC), so
+        even a single runner amortises spawn cost across its ``run()``
+        calls.
     """
 
     def __init__(
         self,
-        workers: int = 1,
+        workers: WorkerCount = 1,
         parallel: Optional[bool] = None,
         chunk_size: Optional[int] = None,
         record_trace: bool = False,
         max_steps: Optional[int] = None,
+        pool: Optional[WorkerPool] = None,
     ):
-        if workers < 1:
-            raise ConfigurationError(f"workers must be >= 1, got {workers}")
         if chunk_size is not None and chunk_size < 1:
             raise ConfigurationError(f"chunk_size must be >= 1, got {chunk_size}")
-        self.workers = workers
-        self.parallel = parallel if parallel is not None else workers > 1
+        if pool is not None:
+            self.workers = pool.workers
+        else:
+            self.workers = resolve_workers(workers)
+        self.parallel = parallel if parallel is not None else self.workers > 1
         self.chunk_size = chunk_size
         self.record_trace = record_trace
         self.max_steps = max_steps
+        self._pool = pool
+        self._owns_pool = pool is None
+
+    # -- pool lifecycle ------------------------------------------------
+
+    @property
+    def pool(self) -> Optional[WorkerPool]:
+        """The pool this runner dispatches through (None until first use
+        when self-owned)."""
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down a self-owned pool; injected pools are left alone."""
+        if self._owns_pool and self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "ExperimentRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _shared_pool(self) -> WorkerPool:
+        if self._pool is None:
+            self._pool = WorkerPool(self.workers)
+        return self._pool
 
     # -- internals -----------------------------------------------------
 
-    def _chunks(self, trials: int) -> List[Tuple[int, ...]]:
-        if self.chunk_size is not None:
-            size = self.chunk_size
-        else:
-            size = max(1, trials // (self.workers * 4) or 1)
-        return [
-            tuple(range(start, min(start + size, trials)))
-            for start in range(0, trials, size)
-        ]
-
-    def _iter_chunk_results(
-        self, spec: ScenarioSpec, params: Params, trials: int, base_seed: int
-    ) -> Iterable[List[TrialOutcome]]:
-        chunks = self._chunks(trials)
-        payloads = [
-            (
-                # Ship *builtin* scenarios by name so workers resolve them
-                # from their own catalog import instead of unpickling
-                # arbitrary callables. User-registered and ad-hoc specs go
-                # by value — a worker under the spawn/forkserver start
-                # methods rebuilds only the builtin catalog, so a bare name
-                # would not resolve there; shipping the spec just requires
-                # its factories to be picklable when run in parallel.
-                spec.name if _is_builtin(spec) else spec,
-                params,
-                base_seed,
-                chunk,
-                self.record_trace,
-                self.max_steps,
-            )
-            for chunk in chunks
-        ]
-        if not self.parallel or self.workers == 1 or trials <= 1:
+    def _dispatch(
+        self,
+        spec: ScenarioSpec,
+        params: Params,
+        base_seed: int,
+        indices: Sequence[int],
+        fold: bool,
+    ) -> Iterable[Union[List[TrialOutcome], ChunkFold]]:
+        payloads = chunk_payloads(
+            spec,
+            params,
+            base_seed,
+            indices,
+            self.record_trace,
+            self.max_steps,
+            workers=self.workers,
+            chunk_size=self.chunk_size,
+        )
+        fn = _run_chunk_folded if fold else _run_chunk
+        if not self.parallel or self.workers == 1 or len(indices) <= 1:
             for payload in payloads:
-                yield _run_chunk(payload)
+                yield fn(payload)
             return
-        processes = min(self.workers, len(payloads))
-        with multiprocessing.Pool(processes=processes) as pool:
-            for chunk_result in pool.imap_unordered(_run_chunk, payloads):
-                yield chunk_result
+        yield from self._shared_pool().imap_unordered(fn, payloads)
 
     # -- public API ----------------------------------------------------
 
     def run(
         self,
         scenario: ScenarioRef,
-        trials: int,
+        trials: Optional[int] = None,
         base_seed: int = 0,
         params: Optional[Mapping[str, Any]] = None,
         on_outcome: Optional[Callable[[TrialOutcome], None]] = None,
+        keep_outcomes: bool = True,
+        budget: BudgetRef = None,
     ) -> ExperimentResult:
-        """Run ``trials`` independent executions and fold the outcomes.
+        """Run one experiment and fold the outcomes.
+
+        Exactly one of ``trials`` (classic fixed budget) and ``budget``
+        (adaptive Wilson stop, see
+        :class:`~repro.experiments.budget.BudgetPolicy`) must be given.
 
         ``on_outcome`` (if given) observes every trial as its chunk
         arrives — arrival order is nondeterministic under parallelism,
         but the folded result and the final ``outcomes`` list (sorted by
-        trial index) are not.
+        trial index) are not. With ``keep_outcomes=False`` and no
+        ``on_outcome``, chunks are folded *inside the workers* and only
+        aggregate counters cross the process boundary; the result's
+        ``outcomes`` list is then empty (the distribution, success
+        proportion, and row are identical either way).
         """
         spec = get_scenario(scenario) if isinstance(scenario, str) else scenario
         resolved = spec.resolve_params(params)
-        if trials < 0:
-            raise ConfigurationError(f"trials must be >= 0, got {trials}")
+        policy = as_policy(budget)
+        if policy is not None and trials is not None:
+            raise ConfigurationError(
+                "pass either a fixed trials count or an adaptive budget, not both"
+            )
+        if policy is None:
+            if trials is None:
+                raise ConfigurationError("trials is required without a budget")
+            if trials < 0:
+                raise ConfigurationError(f"trials must be >= 0, got {trials}")
         started = time.perf_counter()
-        distribution = OutcomeDistribution(n=spec.size(resolved), trials=trials)
+        fold = not keep_outcomes and on_outcome is None
+        counts: Counter = Counter()
         outcomes: List[TrialOutcome] = []
         success_count = 0
-        for chunk_result in self._iter_chunk_results(
-            spec, resolved, trials, base_seed
-        ):
-            for trial in chunk_result:
-                distribution.counts[trial.outcome] += 1
-                success_count += int(trial.success)
-                outcomes.append(trial)
-                if on_outcome is not None:
-                    on_outcome(trial)
+        steps_total = 0
+        ran = 0
+
+        def _consume(start: int, end: int) -> None:
+            nonlocal success_count, steps_total, ran
+            for chunk_result in self._dispatch(
+                spec, resolved, base_seed, range(start, end), fold
+            ):
+                if fold:
+                    fold_counts, fold_successes, fold_steps, fold_trials = chunk_result
+                    counts.update(fold_counts)
+                    success_count += fold_successes
+                    steps_total += fold_steps
+                    ran += fold_trials
+                else:
+                    for trial in chunk_result:
+                        counts[trial.outcome] += 1
+                        success_count += int(trial.success)
+                        steps_total += trial.steps
+                        ran += 1
+                        if keep_outcomes:
+                            outcomes.append(trial)
+                        if on_outcome is not None:
+                            on_outcome(trial)
+
+        if policy is None:
+            _consume(0, trials)
+        else:
+            done = 0
+            for end in policy.batch_ends():
+                if end > done:
+                    _consume(done, end)
+                    done = end
+                if policy.satisfied(success_count, done):
+                    break
         outcomes.sort(key=lambda t: t.index)
+        distribution = OutcomeDistribution(
+            n=spec.size(resolved), trials=ran, counts=counts
+        )
         return ExperimentResult(
             scenario=spec.name,
             params=resolved,
-            trials=trials,
+            trials=ran,
             base_seed=base_seed,
             outcomes=outcomes,
             distribution=distribution,
-            successes=proportion(success_count, trials),
+            successes=proportion(success_count, ran, z=policy.z if policy else 1.96),
             max_steps=self.max_steps,
             elapsed=time.perf_counter() - started,
+            steps_total=steps_total,
+            budget=policy,
         )
 
 
@@ -345,12 +515,27 @@ def _is_builtin(spec: ScenarioSpec) -> bool:
 
 def run_scenario(
     scenario: ScenarioRef,
-    trials: int,
+    trials: Optional[int] = None,
     base_seed: int = 0,
     params: Optional[Mapping[str, Any]] = None,
-    workers: int = 1,
+    workers: WorkerCount = 1,
+    keep_outcomes: bool = True,
+    budget: BudgetRef = None,
+    pool: Optional[WorkerPool] = None,
+    on_outcome: Optional[Callable[[TrialOutcome], None]] = None,
     **runner_kwargs: Any,
 ) -> ExperimentResult:
     """One-shot convenience: build a runner and run one experiment."""
-    runner = ExperimentRunner(workers=workers, **runner_kwargs)
-    return runner.run(scenario, trials, base_seed=base_seed, params=params)
+    runner = ExperimentRunner(workers=workers, pool=pool, **runner_kwargs)
+    try:
+        return runner.run(
+            scenario,
+            trials,
+            base_seed=base_seed,
+            params=params,
+            on_outcome=on_outcome,
+            keep_outcomes=keep_outcomes,
+            budget=budget,
+        )
+    finally:
+        runner.close()

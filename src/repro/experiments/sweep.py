@@ -8,13 +8,23 @@ JSON-stable dicts (see :meth:`ExperimentResult.to_row`), so the ``python
 tooling can diff runs — the rows are identical whatever the worker
 count.
 
+Every grid point of one sweep dispatches through one shared
+:class:`~repro.experiments.pool.WorkerPool` (injected, or owned by the
+sweep's runner), so worker processes spawn once per sweep, not once per
+grid point.
+
 Long grids are resumable: every grid point has a canonical *resume key*
-— a pure function of ``(scenario, resolved params, trials, base_seed)``
-— and :func:`sweep_scenario` skips points whose key appears in the
-``completed`` set, which :func:`load_completed_keys` reconstructs from a
-previous run's ``--out`` file. Because the key is computed on *resolved*
-parameters (defaults overlaid), it is independent of which subset of
-parameters the grid happened to pin and of their order.
+— a pure function of ``(scenario, resolved params, trials, base_seed,
+max_steps, budget)`` — and :func:`sweep_scenario` skips points whose key
+appears in the ``completed`` set, which :func:`load_completed_keys`
+reconstructs from a previous run's ``--out`` file. Because the key is
+computed on *resolved* parameters (defaults overlaid), it is independent
+of which subset of parameters the grid happened to pin and of their
+order. Adaptive-budget runs key on the *policy* (their realized trial
+count is an outcome, not an input), and fixed-budget keys carry no
+budget field at all — so fixed and adaptive rows can never satisfy each
+other's resume lookups, and pre-budget output files keep resuming
+byte-for-byte.
 """
 
 import itertools
@@ -33,8 +43,11 @@ from typing import (
     Union,
 )
 
+from repro.experiments.budget import BudgetRef, as_policy
+from repro.experiments.pool import WorkerCount, WorkerPool
 from repro.experiments.runner import ExperimentRunner, ExperimentResult
 from repro.experiments.scenario import Params, get_scenario
+from repro.util.errors import ConfigurationError
 
 #: A grid: parameter name -> single value or list of values to sweep.
 Grid = Mapping[str, Union[Any, Sequence[Any]]]
@@ -62,32 +75,40 @@ def expand_grid(grid: Optional[Grid]) -> List[Dict[str, Any]]:
 def resume_key(
     scenario: str,
     params: Mapping[str, Any],
-    trials: int,
+    trials: Optional[int],
     base_seed: int,
     max_steps: Optional[int] = None,
+    budget: BudgetRef = None,
 ) -> str:
     """Canonical identity of one grid point's experiment.
 
     A pure function of ``(scenario, params, trials, base_seed,
-    max_steps)`` — the exact tuple that determines an experiment's rows
-    — serialised with sorted keys so two parameter dicts with equal
-    contents always collide, whatever their insertion order.
-    ``max_steps`` is part of the identity because the per-trial delivery
-    budget changes outcomes: a resume run must not treat rows produced
-    under a different budget as done. Pass *resolved* parameters
-    (defaults overlaid) so a pinned-at-default grid and an unpinned one
-    produce the same key.
+    max_steps[, budget])`` — the exact tuple that determines an
+    experiment's rows — serialised with sorted keys so two parameter
+    dicts with equal contents always collide, whatever their insertion
+    order. ``max_steps`` is part of the identity because the per-trial
+    delivery budget changes outcomes: a resume run must not treat rows
+    produced under a different budget as done. Pass *resolved*
+    parameters (defaults overlaid) so a pinned-at-default grid and an
+    unpinned one produce the same key.
+
+    For adaptive runs pass ``trials=None`` and the budget policy: the
+    realized trial count is determined *by* the run, so the request is
+    identified by the policy instead. The ``budget`` field joins the key
+    only when present, keeping every fixed-budget key byte-identical to
+    the pre-budget format (old output files resume unchanged).
     """
-    return json.dumps(
-        {
-            "scenario": scenario,
-            "params": {key: params[key] for key in sorted(params)},
-            "trials": trials,
-            "base_seed": base_seed,
-            "max_steps": max_steps,
-        },
-        sort_keys=True,
-    )
+    identity: Dict[str, Any] = {
+        "scenario": scenario,
+        "params": {key: params[key] for key in sorted(params)},
+        "trials": trials,
+        "base_seed": base_seed,
+        "max_steps": max_steps,
+    }
+    policy = as_policy(budget)
+    if policy is not None:
+        identity["budget"] = policy.to_key()
+    return json.dumps(identity, sort_keys=True)
 
 
 def row_resume_key(row: Mapping[str, Any]) -> str:
@@ -95,22 +116,30 @@ def row_resume_key(row: Mapping[str, Any]) -> str:
 
     Rows written before ``max_steps`` joined the row format count as
     default-budget rows (``max_steps=None``), matching how they ran.
+    Rows carrying a ``"budget"`` object were adaptive: their ``trials``
+    field is the realized count, so the key is rebuilt from the policy
+    (``trials=None``) — exactly what a resuming adaptive sweep asks for.
     """
+    # Membership tests (not .get) so foreign JSON shapes — lists, strings
+    # — fall through to the KeyError/TypeError the loaders tolerate.
+    budget = row["budget"] if "budget" in row else None
     return resume_key(
         row["scenario"],
         row["params"],
-        row["trials"],
+        None if budget is not None else row["trials"],
         row["base_seed"],
-        row.get("max_steps"),
+        row["max_steps"] if "max_steps" in row else None,
+        budget,
     )
 
 
 def load_completed_keys(lines: Iterable[str]) -> Set[str]:
     """Resume keys of every well-formed sweep row in ``lines``.
 
-    Lines that are not JSON objects carrying the four identity fields
-    (foreign content, partial writes) are ignored: an unparseable line
-    can only cause a grid point to *re-run*, never to be skipped.
+    Lines that are not JSON objects carrying the identity fields
+    (foreign content, partial writes, malformed budget objects) are
+    ignored: an unparseable line can only cause a grid point to
+    *re-run*, never to be skipped.
     """
     keys: Set[str] = set()
     for line in lines:
@@ -120,25 +149,27 @@ def load_completed_keys(lines: Iterable[str]) -> Set[str]:
         try:
             row = json.loads(line)
             keys.add(row_resume_key(row))
-        except (ValueError, KeyError, TypeError):
+        except (ValueError, KeyError, TypeError, ConfigurationError):
             continue
     return keys
 
 
 def sweep_scenario(
     scenario: str,
-    trials: int,
+    trials: Optional[int] = None,
     grid: Optional[Grid] = None,
     base_seed: int = 0,
-    workers: int = 1,
+    workers: WorkerCount = 1,
     max_steps: Optional[int] = None,
     completed: Optional[Collection[str]] = None,
+    budget: BudgetRef = None,
+    pool: Optional[WorkerPool] = None,
 ) -> Iterator[ExperimentResult]:
     """Run ``scenario`` at every grid point, yielding results lazily.
 
-    The scenario and the whole grid are validated *eagerly*, before the
-    first experiment runs: an unknown scenario or a grid key the
-    scenario does not declare raises
+    The scenario, the whole grid, and the budget are validated *eagerly*,
+    before the first experiment runs: an unknown scenario or a grid key
+    the scenario does not declare raises
     :class:`~repro.util.errors.ConfigurationError` (listing the known
     parameters) from this call itself, not from deep inside iteration —
     so a typo'd overnight grid dies immediately instead of after the
@@ -147,25 +178,47 @@ def sweep_scenario(
     Grid points whose :func:`resume_key` appears in ``completed`` are
     skipped entirely; pass :func:`load_completed_keys` of a previous
     run's output to resume a partial sweep. Remaining points run
-    sequentially (each one parallelises internally over ``workers``), so
-    memory stays flat however large the grid is and callers can stream
-    rows as they complete.
+    sequentially — each one parallelises internally over one *shared*
+    worker pool (``pool``, or a pool the sweep's runner owns and closes
+    when the iterator finishes), so memory stays flat however large the
+    grid is, callers can stream rows as they complete, and worker
+    processes spawn once for the whole sweep. ``budget`` switches every
+    grid point from the fixed ``trials`` count to an adaptive Wilson
+    stop (see :class:`~repro.experiments.budget.BudgetPolicy`).
     """
     spec = get_scenario(scenario)
+    policy = as_policy(budget)
+    if policy is not None and trials is not None:
+        raise ConfigurationError(
+            "pass either a fixed trials count or an adaptive budget, not both"
+        )
     resolved_points: List[Params] = [
         spec.resolve_params(point) for point in expand_grid(grid)
     ]
-    runner = ExperimentRunner(workers=workers, max_steps=max_steps)
+    runner = ExperimentRunner(workers=workers, max_steps=max_steps, pool=pool)
     done = frozenset(completed) if completed else frozenset()
+    key_trials = None if policy is not None else trials
 
     def _run() -> Iterator[ExperimentResult]:
-        for params in resolved_points:
-            if (
-                done
-                and resume_key(spec.name, params, trials, base_seed, max_steps)
-                in done
-            ):
-                continue
-            yield runner.run(spec, trials, base_seed=base_seed, params=params)
+        try:
+            for params in resolved_points:
+                if (
+                    done
+                    and resume_key(
+                        spec.name, params, key_trials, base_seed, max_steps, policy
+                    )
+                    in done
+                ):
+                    continue
+                yield runner.run(
+                    spec,
+                    trials,
+                    base_seed=base_seed,
+                    params=params,
+                    keep_outcomes=False,
+                    budget=policy,
+                )
+        finally:
+            runner.close()
 
     return _run()

@@ -149,6 +149,7 @@ def deviation_search(
     samples: int,
     master_seed: int = 0,
     workers: int = 1,
+    pool=None,
 ) -> DeviationSearchReport:
     """Sample ``samples`` random k-coalition deviations and score them.
 
@@ -157,15 +158,20 @@ def deviation_search(
     are drawn from that trial's private stream, so sample ``i`` is a pure
     function of ``(master_seed, i)`` — reproducible at any ``workers``
     count, and campaigns parallelise over worker processes for free.
+    Repeated searches (parameter scans, CI fuzz loops) can pass a shared
+    ``pool`` so worker processes spawn once; trial outcomes come back as
+    worker-side folded counters, never per-sample lists.
     """
     from repro.experiments.runner import ExperimentRunner
 
-    result = ExperimentRunner(workers=workers).run(
-        "fuzz/random-deviation",
-        trials=samples,
-        base_seed=master_seed,
-        params={"n": n, "k": k},
-    )
+    with ExperimentRunner(workers=workers, pool=pool) as runner:
+        result = runner.run(
+            "fuzz/random-deviation",
+            trials=samples,
+            base_seed=master_seed,
+            params={"n": n, "k": k},
+            keep_outcomes=False,
+        )
     histogram: Dict[int, int] = {
         outcome: count
         for outcome, count in result.distribution.counts.items()

@@ -1,0 +1,263 @@
+"""Tests for the persistent worker pool and adaptive trial budgets."""
+
+import pytest
+
+from repro.experiments import (
+    BudgetPolicy,
+    ExperimentRunner,
+    WorkerPool,
+    resolve_workers,
+    run_scenario,
+)
+from repro.experiments.pool import MAX_AUTO_WORKERS
+from repro.util.errors import ConfigurationError
+
+
+class TestResolveWorkers:
+    def test_integers_pass_through(self):
+        assert resolve_workers(1) == 1
+        assert resolve_workers(7) == 7
+        assert resolve_workers(64) == 64  # explicit counts are not clamped
+
+    def test_auto_derives_a_clamped_machine_count(self):
+        resolved = resolve_workers("auto")
+        assert 1 <= resolved <= MAX_AUTO_WORKERS
+        assert resolve_workers(None) == resolved
+
+    def test_invalid_counts_rejected(self):
+        for bad in (0, -1, 1.5, "four", True):
+            with pytest.raises(ConfigurationError):
+                resolve_workers(bad)
+
+
+class TestWorkerPool:
+    def test_serial_pool_runs_in_process_and_lazily(self):
+        with WorkerPool(1) as pool:
+            assert not pool.parallel
+            seen = []
+            results = pool.imap_unordered(lambda x: seen.append(x) or x * 2, [1, 2, 3])
+            assert seen == []  # lazy until consumed
+            assert list(results) == [2, 4, 6]
+            assert not pool.started  # no processes were ever spawned
+
+    def test_serial_pool_rejects_submit(self):
+        with WorkerPool(1) as pool:
+            with pytest.raises(ConfigurationError):
+                pool.submit(str, 1, callback=print, error_callback=print)
+
+    def test_parallel_pool_spawns_once_and_is_reused(self):
+        with WorkerPool(2) as pool:
+            assert pool.parallel and not pool.started
+            first = run_scenario(
+                "honest/alead-uni", trials=8, params={"n": 6}, pool=pool
+            )
+            assert pool.started
+            backing = pool._pool
+            second = run_scenario(
+                "honest/alead-uni", trials=8, params={"n": 6}, pool=pool
+            )
+            assert pool._pool is backing  # same worker processes
+            assert first.to_row() == second.to_row()
+
+    def test_closed_pool_refuses_work(self):
+        pool = WorkerPool(2)
+        pool.warm_up()
+        pool.close()
+        with pytest.raises(ConfigurationError):
+            list(pool.imap_unordered(str, [(1,)]))
+
+    def test_dispatch_window_is_bounded_by_pool_size(self):
+        assert 1 <= WorkerPool(4).dispatch_window <= 4
+        assert WorkerPool(1).dispatch_window == 1
+
+    def test_none_payloads_survive_windowed_dispatch(self):
+        """None is a legal payload value, not an end-of-queue marker —
+        every payload must come back exactly once (the window path is
+        exercised whenever the machine has fewer cores than workers;
+        the pre-loaded path trivially holds)."""
+        with WorkerPool(2) as pool:
+            results = list(pool.imap_unordered(str, [1, None, 2, None, 3, 4]))
+        assert sorted(results) == ["1", "2", "3", "4", "None", "None"]
+
+    def test_windowed_dispatch_preserves_results(self):
+        """Many more chunks than the dispatch window (always true here:
+        window <= workers < chunk count) must still yield every chunk's
+        result exactly once."""
+        serial = run_scenario(
+            "honest/alead-uni", trials=24, base_seed=3, params={"n": 8}
+        )
+        with WorkerPool(3) as pool:
+            windowed = run_scenario(
+                "honest/alead-uni",
+                trials=24,
+                base_seed=3,
+                params={"n": 8},
+                pool=pool,
+                chunk_size=2,  # 12 chunks > window
+            )
+        assert windowed.to_row() == serial.to_row()
+
+
+class TestRunnerPoolWiring:
+    def test_injected_pool_sets_worker_count_and_survives_close(self):
+        with WorkerPool(3) as pool:
+            runner = ExperimentRunner(pool=pool)
+            assert runner.workers == 3
+            runner.run("honest/alead-uni", 6, params={"n": 6})
+            runner.close()  # injected pools are the caller's to close
+            assert pool.started
+            assert (
+                run_scenario(
+                    "honest/alead-uni", trials=6, params={"n": 6}, pool=pool
+                ).trials
+                == 6
+            )
+
+    def test_self_owned_pool_persists_across_runs_then_closes(self):
+        runner = ExperimentRunner(workers=2)
+        assert runner.pool is None  # lazy until first parallel run
+        runner.run("honest/alead-uni", 8, params={"n": 6})
+        owned = runner.pool
+        assert owned is not None and owned.started
+        runner.run("honest/alead-uni", 8, params={"n": 6})
+        assert runner.pool is owned
+        runner.close()
+        with pytest.raises(ConfigurationError):
+            owned.warm_up()
+
+    def test_parallel_false_never_touches_a_pool(self):
+        runner = ExperimentRunner(workers=4, parallel=False)
+        runner.run("honest/alead-uni", 8, params={"n": 6})
+        assert runner.pool is None
+
+
+class TestFoldedAggregates:
+    def test_fold_matches_per_trial_rows_and_counters(self):
+        kept = run_scenario(
+            "attack/basic-cheat", trials=12, params={"n": 16, "target": 5}
+        )
+        folded = run_scenario(
+            "attack/basic-cheat",
+            trials=12,
+            params={"n": 16, "target": 5},
+            keep_outcomes=False,
+        )
+        assert folded.outcomes == []
+        assert len(kept.outcomes) == 12
+        assert folded.to_row() == kept.to_row()
+        assert folded.steps_total == sum(t.steps for t in kept.outcomes)
+
+    def test_fold_matches_under_parallelism(self):
+        with WorkerPool(4) as pool:
+            folded = run_scenario(
+                "sync/broadcast",
+                trials=15,
+                base_seed=7,
+                params={"n": 6},
+                pool=pool,
+                keep_outcomes=False,
+            )
+        serial = run_scenario(
+            "sync/broadcast", trials=15, base_seed=7, params={"n": 6}
+        )
+        assert folded.to_row() == serial.to_row()
+
+    def test_on_outcome_disables_the_fold_but_not_the_row(self):
+        seen = []
+        result = run_scenario(
+            "honest/basic-lead",
+            trials=7,
+            params={"n": 6},
+            keep_outcomes=False,
+            on_outcome=seen.append,
+        )
+        assert sorted(t.index for t in seen) == list(range(7))
+        assert result.outcomes == []  # still not retained
+
+
+class TestBudgetPolicy:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BudgetPolicy(ci_width=0.0, min_trials=1, max_trials=10)
+        with pytest.raises(ConfigurationError):
+            BudgetPolicy(ci_width=0.1, min_trials=0, max_trials=10)
+        with pytest.raises(ConfigurationError):
+            BudgetPolicy(ci_width=0.1, min_trials=20, max_trials=10)
+        with pytest.raises(ConfigurationError):
+            BudgetPolicy(ci_width=0.1, min_trials=1, max_trials=10, z=0)
+
+    def test_batch_schedule_doubles_to_the_ceiling(self):
+        policy = BudgetPolicy(ci_width=0.01, min_trials=32, max_trials=1000)
+        assert list(policy.batch_ends()) == [32, 64, 128, 256, 512, 1000]
+        tight = BudgetPolicy(ci_width=0.01, min_trials=10, max_trials=10)
+        assert list(tight.batch_ends()) == [10]
+
+    def test_from_mapping_rejects_unknown_and_missing_keys(self):
+        with pytest.raises(ConfigurationError):
+            BudgetPolicy.from_mapping({"ci_width": 0.1, "min_trials": 1})
+        with pytest.raises(ConfigurationError):
+            BudgetPolicy.from_mapping(
+                {"ci_width": 0.1, "min_trials": 1, "max_trials": 5, "zz": 2}
+            )
+        policy = BudgetPolicy.from_mapping(
+            {"ci_width": 0.1, "min_trials": 1, "max_trials": 5}
+        )
+        assert policy.z == 1.96
+
+    def test_key_roundtrips_through_json(self):
+        import json
+
+        policy = BudgetPolicy(ci_width=0.05, min_trials=16, max_trials=400)
+        assert (
+            BudgetPolicy.from_mapping(json.loads(json.dumps(policy.to_key())))
+            == policy
+        )
+
+
+class TestAdaptiveRuns:
+    POLICY = BudgetPolicy(ci_width=0.05, min_trials=32, max_trials=1000)
+
+    def test_converged_point_stops_early(self):
+        """A deterministic 100%-success attack converges as soon as the
+        Wilson width at p=1 crosses the threshold (here: 128 trials),
+        far below the 1000-trial ceiling."""
+        result = run_scenario(
+            "attack/basic-cheat",
+            params={"n": 16, "target": 5},
+            budget=self.POLICY,
+            keep_outcomes=False,
+        )
+        assert result.trials == 128
+        assert result.success_rate == 1.0
+        assert self.POLICY.satisfied(result.trials, result.trials)
+
+    def test_realized_trials_identical_across_worker_counts(self):
+        def row(workers):
+            return run_scenario(
+                "fuzz/random-deviation",
+                params={"n": 16, "k": 2},
+                budget=BudgetPolicy(ci_width=0.25, min_trials=8, max_trials=256),
+                workers=workers,
+                keep_outcomes=False,
+            ).to_row()
+
+        serial = row(1)
+        assert serial == row(4)
+        assert 8 <= serial["trials"] <= 256
+        assert serial["budget"]["ci_width"] == 0.25
+
+    def test_unconverged_point_runs_to_the_ceiling(self):
+        policy = BudgetPolicy(ci_width=0.01, min_trials=4, max_trials=20)
+        result = run_scenario(
+            "honest/alead-uni", params={"n": 8}, budget=policy
+        )
+        assert result.trials == 20  # 1% width is unreachable at 20 trials
+
+    def test_trials_and_budget_are_mutually_exclusive(self):
+        with pytest.raises(ConfigurationError):
+            run_scenario(
+                "honest/alead-uni", trials=10, params={"n": 8},
+                budget=self.POLICY,
+            )
+        with pytest.raises(ConfigurationError):
+            run_scenario("honest/alead-uni", params={"n": 8})  # neither

@@ -111,6 +111,53 @@ class TestResumeKey:
             "attack/basic-cheat", result.params, 3, 5
         )
 
+    def test_fixed_budget_key_format_is_frozen(self):
+        """Fixed-budget keys must stay byte-identical to the pre-budget
+        format, or every existing --out file stops resuming."""
+        assert resume_key("a", {"n": 8}, 10, 0) == json.dumps(
+            {
+                "scenario": "a",
+                "params": {"n": 8},
+                "trials": 10,
+                "base_seed": 0,
+                "max_steps": None,
+            },
+            sort_keys=True,
+        )
+
+    def test_budget_policy_is_part_of_the_identity(self):
+        """Fixed and adaptive requests — and different policies — must
+        never satisfy each other's resume lookups."""
+        from repro.experiments import BudgetPolicy
+
+        fixed = resume_key("a", {"n": 8}, 10, 0)
+        loose = BudgetPolicy(ci_width=0.2, min_trials=4, max_trials=10)
+        tight = BudgetPolicy(ci_width=0.1, min_trials=4, max_trials=10)
+        assert resume_key("a", {"n": 8}, None, 0, budget=loose) != fixed
+        assert resume_key("a", {"n": 8}, None, 0, budget=loose) != resume_key(
+            "a", {"n": 8}, None, 0, budget=tight
+        )
+
+    def test_adaptive_row_keys_back_to_its_policy_not_realized_trials(self):
+        """An adaptive row records the realized trial count, but its key
+        is the *request* identity: (scenario, params, policy, seed)."""
+        from repro.experiments import BudgetPolicy
+
+        policy = BudgetPolicy(ci_width=0.2, min_trials=8, max_trials=64)
+        row = run_scenario(
+            "attack/basic-cheat",
+            base_seed=5,
+            params={"n": 8},
+            budget=policy,
+            keep_outcomes=False,
+        ).to_row()
+        assert row["trials"] < 64  # converged early: realized != ceiling
+        assert row_resume_key(row) == resume_key(
+            "attack/basic-cheat", row["params"], None, 5, budget=policy
+        )
+        # And the policy round-trips through the row's JSON form.
+        assert row_resume_key(json.loads(json.dumps(row))) == row_resume_key(row)
+
 
 class TestLoadCompletedKeys:
     def test_ignores_foreign_and_malformed_lines(self):
@@ -127,6 +174,17 @@ class TestLoadCompletedKeys:
 
     def test_empty_input_completes_nothing(self):
         assert load_completed_keys([]) == set()
+
+    def test_malformed_budget_fields_are_ignored_not_fatal(self):
+        """A corrupt 'budget' object in a previous --out file must cause
+        a re-run of that point, never a crash of the resume itself."""
+        good = run_scenario("honest/basic-lead", trials=2, params={"n": 6}).to_row()
+        corrupt = dict(good, budget={"ci_width": 5, "min_trials": 1, "max_trials": 2})
+        foreign = dict(good, budget=[1, 2, 3])
+        keys = load_completed_keys(
+            [json.dumps(r, sort_keys=True) for r in (corrupt, foreign, good)]
+        )
+        assert keys == {row_resume_key(good)}
 
 
 class TestSweepScenarioValidation:
