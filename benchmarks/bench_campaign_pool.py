@@ -15,6 +15,12 @@ and after:
   points sequentially, each paying its own pool spawn. The campaign
   orchestrator interleaves chunks from many points into one shared pool
   and must beat the sequential/cold-pool shape.
+- **Streamed per-trial outcomes** (8000 cheap baton trials with an
+  ``on_outcome`` consumer): PR 3 shipped one pickled ``TrialOutcome``
+  list per dispatch whenever per-trial outcomes were requested. The
+  streamed path caps dispatches at ``STREAM_CHUNK_TRIALS`` and returns
+  columnar packed tuples; at 4 workers it must be no slower than the
+  pickled-list shape while bounding every IPC message.
 
 Both comparisons assert bit-identical outcomes across every mode — the
 engine's core contract — and ``measure()`` (run as a script) records the
@@ -31,6 +37,7 @@ import json
 import os
 import platform
 import time
+from collections import Counter
 
 import pytest
 
@@ -38,9 +45,11 @@ from repro.experiments import (
     CampaignPoint,
     ExperimentRunner,
     WorkerPool,
+    get_scenario,
     run_campaign,
     run_scenario,
 )
+from repro.experiments.runner import _run_chunk, chunk_payloads
 
 SCENARIO = "attack/basic-cheat"
 E1_PARAMS = {"n": 64, "target": 40}
@@ -50,6 +59,13 @@ GRID_TARGETS = list(range(1, 13))  # 12 shallow points
 GRID_TRIALS = 120
 BASE_SEED = 0
 REPS = 6  # min-of-REPS per timed mode (alternated to spread machine noise)
+
+# The streamed-outcome workload is deliberately IPC-heavy: baton trials
+# are microseconds of work each, so the cost of shipping their outcomes
+# back dominates and the encoding difference is what gets measured.
+STREAM_SCENARIO = "fullinfo/baton"
+STREAM_PARAMS = {"n": 16, "k": 3}
+STREAM_TRIALS = 8000
 
 
 def _grid_points():
@@ -112,6 +128,53 @@ def grid_campaign_shared_pool(pool):
     return [r.to_row() for r in run_campaign(_grid_points(), pool=pool)]
 
 
+def _stream_payloads(pool, max_chunk=None):
+    spec = get_scenario(STREAM_SCENARIO)
+    params = spec.resolve_params(STREAM_PARAMS)
+    return chunk_payloads(
+        spec, params, BASE_SEED, range(STREAM_TRIALS), False, None,
+        workers=pool.workers, max_chunk=max_chunk,
+    )
+
+
+def _consume_trials(trials):
+    """The shared consumer loop — identical in both transport modes, so
+    the timed difference is the transport encoding, not the consumer."""
+    counts = Counter()
+    for trial in trials:
+        counts[trial.outcome] += 1
+    return counts
+
+
+def outcomes_pickled_lists(pool):
+    """PR-3 transport for ``on_outcome`` consumers: every dispatch
+    returns its whole chunk as one pickled ``TrialOutcome`` list
+    (default chunking: trials / (workers x 4) per dispatch)."""
+    return _consume_trials(
+        trial
+        for chunk in pool.imap_unordered(_run_chunk, _stream_payloads(pool))
+        for trial in chunk
+    )
+
+
+def outcomes_streamed(pool):
+    """The streamed transport: dispatches capped at
+    ``STREAM_CHUNK_TRIALS``, columnar packed tuples over IPC, trial
+    objects rebuilt master-side — exactly what the runner's outcome
+    path ships since PR 4."""
+    from repro.experiments.pool import STREAM_CHUNK_TRIALS
+    from repro.experiments.runner import _run_chunk_packed, _unpack_chunk
+
+    return _consume_trials(
+        trial
+        for packed in pool.imap_unordered(
+            _run_chunk_packed,
+            _stream_payloads(pool, max_chunk=STREAM_CHUNK_TRIALS),
+        )
+        for trial in _unpack_chunk(packed)
+    )
+
+
 # -- measurement harness ----------------------------------------------
 
 
@@ -169,6 +232,34 @@ def measure() -> dict:
         grid_after_s = min(grid_after_s, s)
     canonical = lambda rows: sorted(json.dumps(r, sort_keys=True) for r in rows)
     assert canonical(grid_before_rows) == canonical(grid_after_rows)
+
+    # Streamed per-trial outcomes vs the pickled-list shape, alternated
+    # pairs and median-of-ratios like the E1 comparison above.
+    ground_truth = dict(
+        run_scenario(
+            STREAM_SCENARIO,
+            STREAM_TRIALS,
+            base_seed=BASE_SEED,
+            params=STREAM_PARAMS,
+            keep_outcomes=False,
+        ).distribution.counts
+    )
+    pickled_s = streamed_s = float("inf")
+    pickled_counts = streamed_counts = None
+    stream_ratios = []
+    for pair in range(REPS):
+        if pair % 2 == 0:
+            pickled_counts, b = _timed(lambda: outcomes_pickled_lists(pool))
+            streamed_counts, a = _timed(lambda: outcomes_streamed(pool))
+        else:
+            streamed_counts, a = _timed(lambda: outcomes_streamed(pool))
+            pickled_counts, b = _timed(lambda: outcomes_pickled_lists(pool))
+        pickled_s = min(pickled_s, b)
+        streamed_s = min(streamed_s, a)
+        stream_ratios.append(a / b)
+    stream_ratios.sort()
+    stream_median = stream_ratios[len(stream_ratios) // 2]
+    assert dict(pickled_counts) == dict(streamed_counts) == ground_truth
     pool.close()
 
     return {
@@ -209,6 +300,21 @@ def measure() -> dict:
             },
             "campaign_faster_than_sequential": grid_after_s < grid_before_s,
             "speedup_vs_sequential": round(grid_before_s / grid_after_s, 2),
+        },
+        "streamed_outcomes": {
+            "scenario": STREAM_SCENARIO,
+            "params": STREAM_PARAMS,
+            "trials": STREAM_TRIALS,
+            "workers": 4,
+            "seconds": {
+                "pickled_trialoutcome_lists": round(pickled_s, 3),
+                "streamed_packed_chunks": round(streamed_s, 3),
+            },
+            "streamed_over_pickled_pair_ratios": [
+                round(r, 4) for r in stream_ratios
+            ],
+            "streamed_no_slower_than_pickled": stream_median <= 1.0,
+            "speedup_streamed_vs_pickled": round(pickled_s / streamed_s, 2),
         },
         "outcomes_identical_across_modes": True,
     }
@@ -299,6 +405,69 @@ def test_campaign_interleaving_preserves_rows(benchmark, experiment_report):
         "campaign interleaving: row identity",
         [f"{len(points)} points x {SMOKE_TRIALS} trials: campaign rows == "
          "sequential rows"],
+    )
+
+
+@pytest.mark.smoke
+def test_packed_chunks_pickle_smaller_than_trialoutcome_lists(
+    benchmark, experiment_report
+):
+    """The streamed transport's byte claim, pinned: a packed chunk must
+    pickle to well under half the bytes of the same chunk as a
+    ``TrialOutcome`` list (observed ~3.4x smaller on the reference
+    chunk), and stay that way if the packing format changes."""
+    import pickle
+
+    from repro.experiments.runner import _run_chunk, _run_chunk_packed
+
+    spec = get_scenario(STREAM_SCENARIO)
+    params = spec.resolve_params(STREAM_PARAMS)
+    (payload,) = chunk_payloads(
+        spec, params, BASE_SEED, range(500), False, None, chunk_size=500
+    )
+
+    def sizes():
+        return (
+            len(pickle.dumps(_run_chunk(payload))),
+            len(pickle.dumps(_run_chunk_packed(payload))),
+        )
+
+    list_bytes, packed_bytes = benchmark(sizes)
+    assert packed_bytes * 2 < list_bytes
+    experiment_report(
+        "streamed outcomes: IPC bytes",
+        [
+            f"500-trial chunk: {list_bytes} B as TrialOutcome list, "
+            f"{packed_bytes} B packed "
+            f"({list_bytes / packed_bytes:.1f}x smaller)"
+        ],
+    )
+
+
+@pytest.mark.smoke
+def test_streamed_outcomes_identity(benchmark, experiment_report):
+    """Streamed bounded-chunk outcomes == serial per-trial outcomes."""
+    serial = run_scenario(
+        STREAM_SCENARIO, SMOKE_TRIALS * 5, params=STREAM_PARAMS
+    ).to_row()
+
+    def streamed():
+        seen = Counter()
+        with WorkerPool(2) as pool:
+            row = ExperimentRunner(pool=pool).run(
+                STREAM_SCENARIO,
+                SMOKE_TRIALS * 5,
+                params=STREAM_PARAMS,
+                keep_outcomes=False,
+                on_outcome=lambda trial: seen.update((trial.outcome,)),
+            ).to_row()
+        assert {str(k): v for k, v in seen.items()} == row["outcomes"]
+        return row
+
+    assert benchmark(streamed) == serial
+    experiment_report(
+        "streamed outcomes: identity",
+        [f"{SMOKE_TRIALS * 5} trials: streamed on_outcome row == serial row"],
     )
 
 

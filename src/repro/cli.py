@@ -29,7 +29,10 @@ from repro.analysis.distribution import (
     estimate_distribution,
 )
 from repro.experiments import (
-    BudgetPolicy,
+    FailRateTargetPolicy,
+    PointScheduler,
+    RelativePrecisionPolicy,
+    WilsonWidthPolicy,
     all_scenarios,
     expand_grid,
     get_scenario,
@@ -38,6 +41,7 @@ from repro.experiments import (
     resolve_workers,
     row_resume_key,
     run_campaign,
+    schedule_names,
     sweep_scenario,
 )
 from repro.protocols import (
@@ -285,31 +289,46 @@ def _emit_rows(results, args, existing_lines, what: str) -> int:
 
 
 def _budget_from_args(args):
-    """``--ci-width``/``--min-trials``/``--max-trials`` -> BudgetPolicy.
+    """The adaptive-budget flags -> a registered budget policy.
 
-    ``--max-trials`` defaults to ``--trials``: the adaptive budget is
-    early stopping of the fixed budget you would otherwise burn, with
-    ``--min-trials`` as the floor before the stop rule may fire. Only
-    the *implicit* floor (32) is capped at the ceiling; an explicit
-    ``--min-trials`` above ``--max-trials`` is rejected by the policy
-    itself, exactly as the same budget object would be in a manifest.
+    Exactly one stop criterion may be given: ``--ci-width W``
+    (wilson-width), ``--rel-precision R`` (relative-precision), or
+    ``--fail-rate-target T`` (fail-rate-target). ``--max-trials``
+    defaults to ``--trials``: the adaptive budget is early stopping of
+    the fixed budget you would otherwise burn, with ``--min-trials`` as
+    the floor before the stop rule may fire. Only the *implicit* floor
+    (32) is capped at the ceiling; an explicit ``--min-trials`` above
+    ``--max-trials`` is rejected by the policy itself, exactly as the
+    same budget object would be in a manifest.
     """
-    if args.ci_width is None:
-        if args.max_trials is not None:
-            raise SystemExit("--max-trials requires --ci-width")
-        if args.min_trials is not None:
-            raise SystemExit("--min-trials requires --ci-width")
+    criteria = [
+        ("--ci-width", args.ci_width, WilsonWidthPolicy, "ci_width"),
+        ("--rel-precision", args.rel_precision, RelativePrecisionPolicy, "rel_precision"),
+        ("--fail-rate-target", args.fail_rate_target, FailRateTargetPolicy, "target"),
+    ]
+    given = [entry for entry in criteria if entry[1] is not None]
+    if len(given) > 1:
+        raise SystemExit(
+            "pick one stop criterion: "
+            + " / ".join(flag for flag, *_ in criteria)
+        )
+    if not given:
+        for flag in ("--max-trials", "--min-trials"):
+            if getattr(args, flag[2:].replace("-", "_")) is not None:
+                raise SystemExit(
+                    f"{flag} requires a stop criterion "
+                    "(--ci-width / --rel-precision / --fail-rate-target)"
+                )
         return None
+    flag, value, policy_class, field = given[0]
     max_trials = args.max_trials if args.max_trials is not None else args.trials
     if args.min_trials is None:
         min_trials = min(DEFAULT_MIN_TRIALS, max_trials)
     else:
         min_trials = args.min_trials
     try:
-        return BudgetPolicy(
-            ci_width=args.ci_width,
-            min_trials=min_trials,
-            max_trials=max_trials,
+        return policy_class(
+            **{field: value, "min_trials": min_trials, "max_trials": max_trials}
         )
     except ConfigurationError as exc:
         raise SystemExit(str(exc)) from None
@@ -353,17 +372,77 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _campaign_dry_run(args, points, scheduler, completed) -> int:
+    """``campaign --dry-run``: the plan, not the trials.
+
+    One stdout line per point in *admission* order — status
+    (``done`` = its resume key already has a row in ``--out``,
+    ``pending`` = it would run), scheduled cost, and the point's full
+    identity — then a stderr summary matching the real run's footer.
+    Nothing is executed and the ``--out`` store is never opened for
+    writing.
+    """
+    done = 0
+    for point, cost in scheduler.plan(points):
+        status = "done" if point.key() in completed else "pending"
+        done += status == "done"
+        if point.budget is None:
+            budget = f"trials={point.trials}"
+        else:
+            budget = (
+                f"budget={point.budget.policy}"
+                f"[max_trials={point.budget.max_trials}]"
+            )
+        params = json.dumps(
+            {k: point.params[k] for k in sorted(point.params)}, sort_keys=True
+        )
+        print(
+            f"{status:<8} cost={cost:<10} "
+            f"{point.scenario} {params} {budget} seed={point.base_seed}"
+        )
+    # 'done' statuses describe what --resume would skip; without it the
+    # real run recomputes everything, so say so instead of printing a
+    # plan the actual invocation would contradict.
+    hint = (
+        "; add --resume to skip them"
+        if done and not args.resume
+        else ""
+    )
+    print(
+        f"  [campaign dry run: {len(points)} points, "
+        f"schedule={scheduler.name}; {done} already in "
+        f"{args.out or '<no --out>'}{hint}, {len(points) - done} to run]",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def _cmd_campaign(args) -> int:
-    completed, existing_lines = _load_resume_state(args)
     # Manifest expansion validates everything eagerly — unknown
-    # scenarios/tags/grid keys/budgets fail before any trial runs and
-    # before a previous --out file is touched.
+    # scenarios/tags/grid keys/budgets/schedules fail before any trial
+    # runs and before a previous --out file is touched.
     try:
         points = load_manifest(args.manifest)
+        scheduler = PointScheduler(args.schedule)
+    except ConfigurationError as exc:
+        raise SystemExit(str(exc)) from None
+    if args.dry_run:
+        # The dry run answers "what is left?" whenever --out exists,
+        # without requiring --resume (nothing is written either way).
+        if args.resume:
+            completed, _ = _load_resume_state(args)
+        elif args.out:
+            completed = load_completed_keys(_read_rows_file(args.out))
+        else:
+            completed = set()
+        return _campaign_dry_run(args, points, scheduler, completed)
+    completed, existing_lines = _load_resume_state(args)
+    try:
         results = run_campaign(
             points,
             workers=resolve_workers(args.workers),
             completed=completed,
+            schedule=scheduler,
         )
     except ConfigurationError as exc:
         raise SystemExit(str(exc)) from None
@@ -539,8 +618,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--ci-width", type=float, default=None, metavar="W",
-        help="adaptive budget: stop a grid point once its Wilson interval "
-             "is narrower than W (see also --min-trials/--max-trials)",
+        help="adaptive budget (wilson-width policy): stop a grid point "
+             "once its Wilson interval is narrower than W "
+             "(see also --min-trials/--max-trials)",
+    )
+    p.add_argument(
+        "--rel-precision", type=float, default=None, metavar="R",
+        help="adaptive budget (relative-precision policy): stop once the "
+             "Wilson half-width is at most R times the estimate",
+    )
+    p.add_argument(
+        "--fail-rate-target", type=float, default=None, metavar="T",
+        help="adaptive budget (fail-rate-target policy): stop once the "
+             "Wilson interval lies entirely above or below T",
     )
     p.add_argument(
         "--min-trials", type=int, default=None,
@@ -577,6 +667,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume",
         action="store_true",
         help="skip points whose rows are already in --out; append the rest",
+    )
+    p.add_argument(
+        "--schedule",
+        default="manifest-order",
+        choices=schedule_names(),
+        help="admission order of the expanded points (longest-first "
+             "shaves stragglers on wide grids; rows are identical "
+             "either way)",
+    )
+    p.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="print the expanded point list with scheduled costs and "
+             "resume status instead of running anything",
     )
     p.set_defaults(func=_cmd_campaign)
 

@@ -20,17 +20,21 @@ Five layers, each usable on its own:
   distributions and Wilson-interval proportions as they stream back.
   Trials run with trace recording off (the executor's Monte-Carlo fast
   path); when per-trial outcomes aren't requested, workers fold their
-  own chunks and ship only counters. An adaptive
-  :class:`~repro.experiments.budget.BudgetPolicy` can replace the fixed
-  trial count with a deterministic Wilson-interval stop.
+  own chunks and ship only counters — and when they are, outcomes
+  stream back in bounded packed chunks. An adaptive budget from the
+  :mod:`~repro.experiments.budget` policy registry (``wilson-width``,
+  ``relative-precision``, ``fail-rate-target``) can replace the fixed
+  trial count with a deterministic batch-boundary stop.
 - **Sweeps** (:mod:`~repro.experiments.sweep`): cartesian parameter
   grids over a scenario, one JSON-stable row per grid point; surfaced on
   the command line as ``python -m repro sweep``.
 - **Campaigns** (:mod:`~repro.experiments.campaign`): a JSON manifest of
   ``(scenario | tag, grid, trials, base_seed)`` entries run against one
   resume store with grid-level parallelism — chunks from many grid
-  points interleave in the shared pool; surfaced as ``python -m repro
-  campaign``.
+  points interleave in the shared pool, admitted in the order a
+  :class:`PointScheduler` dictates (``longest-first`` shaves stragglers;
+  the row set is schedule-invariant); surfaced as ``python -m repro
+  campaign`` with ``--schedule`` and a ``--dry-run`` plan listing.
 
 Quick taste::
 
@@ -43,12 +47,23 @@ Quick taste::
     print(result.distribution.counts)
 """
 
-from repro.experiments.budget import BudgetPolicy, as_policy
+from repro.experiments.budget import (
+    BudgetPolicy,
+    FailRateTargetPolicy,
+    RelativePrecisionPolicy,
+    WilsonWidthPolicy,
+    as_policy,
+    policy_names,
+    register_policy,
+)
 from repro.experiments.campaign import (
     CampaignPoint,
+    PointScheduler,
     expand_manifest,
     load_manifest,
     run_campaign,
+    schedule_names,
+    scheduled_cost,
 )
 from repro.experiments.pool import WorkerPool, resolve_workers
 from repro.experiments.scenario import (
@@ -57,6 +72,7 @@ from repro.experiments.scenario import (
     all_scenarios,
     forced_target,
     get_scenario,
+    known_tags,
     no_valid_ids,
     punished,
     register_scenario,
@@ -87,17 +103,26 @@ from repro.experiments import catalog  # noqa: F401  (import for effect)
 __all__ = [
     "BudgetPolicy",
     "CampaignPoint",
+    "FailRateTargetPolicy",
+    "PointScheduler",
+    "RelativePrecisionPolicy",
+    "WilsonWidthPolicy",
     "WorkerPool",
     "as_policy",
     "expand_manifest",
     "load_manifest",
+    "policy_names",
+    "register_policy",
     "resolve_workers",
     "run_campaign",
+    "schedule_names",
+    "scheduled_cost",
     "Params",
     "ScenarioSpec",
     "all_scenarios",
     "forced_target",
     "get_scenario",
+    "known_tags",
     "no_valid_ids",
     "punished",
     "register_scenario",

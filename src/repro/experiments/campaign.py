@@ -7,9 +7,12 @@ of the paper as one file — expanded into concrete
 :class:`~repro.experiments.pool.WorkerPool` with **grid-level
 parallelism**: chunks from *different* grid points interleave in the
 pool, so a wide, shallow grid (many points, few trials each) keeps every
-worker busy instead of serialising point-by-point. Exposed on the
-command line as ``python -m repro campaign manifest.json --out
-rows.jsonl --resume --workers N``.
+worker busy instead of serialising point-by-point. A
+:class:`PointScheduler` decides the admission order (``manifest-order``
+default, ``longest-first`` to start expensive stragglers early); the
+row set is schedule-invariant. Exposed on the command line as ``python
+-m repro campaign manifest.json --out rows.jsonl --resume --workers N
+[--schedule longest-first] [--dry-run]``.
 
 Manifest format (top-level defaults overlaid by per-entry values; a bare
 JSON list is accepted as ``entries`` with no defaults)::
@@ -69,7 +72,13 @@ from repro.experiments.runner import (
     _run_chunk_folded,
     chunk_payloads,
 )
-from repro.experiments.scenario import Params, ScenarioSpec, get_scenario, scenario_names
+from repro.experiments.scenario import (
+    Params,
+    ScenarioSpec,
+    get_scenario,
+    known_tags,
+    scenario_names,
+)
 from repro.experiments.sweep import expand_grid, resume_key
 from repro.util.errors import ConfigurationError
 
@@ -186,8 +195,10 @@ def _expand_entry(
     if has_tag:
         names = scenario_names(tag=entry["tag"])
         if not names:
+            tags = ", ".join(known_tags()) or "<none>"
             raise ConfigurationError(
-                f"{where}: no registered scenario has tag {entry['tag']!r}"
+                f"{where}: no registered scenario has tag {entry['tag']!r}; "
+                f"known tags: {tags}"
             )
     else:
         names = [get_scenario(entry["scenario"]).name]
@@ -236,6 +247,128 @@ def _expand_entry(
                 max_steps=max_steps,
                 budget=budget,
             )
+
+
+# ----------------------------------------------------------------------
+# Point scheduling
+# ----------------------------------------------------------------------
+
+
+def scheduled_cost(point: CampaignPoint, spec: Optional[ScenarioSpec] = None) -> int:
+    """Rough units of work one campaign point is expected to cost.
+
+    ``trials × outcome-space size`` — the trial count is the dominant
+    axis and the scenario's outcome-space size (usually the network size
+    ``n``) is the cheap, always-available proxy for per-trial work.
+    Adaptive points are costed at their budget's ``max_trials``: the
+    scheduler plans for the worst case, since the realized count is only
+    known after the point runs. The estimate feeds the ``longest-first``
+    strategy and the ``--dry-run`` listing; it never affects rows.
+    """
+    if spec is None:
+        spec = get_scenario(point.scenario)
+    trials = point.trials if point.budget is None else point.budget.max_trials
+    return (trials or 0) * max(spec.size(point.params), 1)
+
+
+#: An admission plan: (point, scheduled cost) pairs in admission order.
+CostedPoints = List[Tuple[CampaignPoint, int]]
+
+
+def _order_manifest(costed: CostedPoints) -> CostedPoints:
+    return list(costed)
+
+
+def _order_longest_first(costed: CostedPoints) -> CostedPoints:
+    # Stable sort on descending cost: equal-cost points keep manifest
+    # order, so the schedule is a pure function of the point list.
+    return [
+        pair
+        for _, pair in sorted(
+            enumerate(costed), key=lambda entry: (-entry[1][1], entry[0])
+        )
+    ]
+
+
+#: Strategy name -> ordering function over a point sequence.
+_SCHEDULES = {
+    "manifest-order": _order_manifest,
+    "longest-first": _order_longest_first,
+}
+
+
+def schedule_names() -> List[str]:
+    """Sorted names of the registered scheduling strategies."""
+    return sorted(_SCHEDULES)
+
+
+class PointScheduler:
+    """Decides the order campaign points are admitted to the pool.
+
+    Two strategies:
+
+    - ``manifest-order`` (default): points run in manifest order — the
+      byte-compatible behaviour every earlier campaign had.
+    - ``longest-first``: points are admitted by descending
+      :func:`scheduled_cost`, so the expensive stragglers start while
+      the pool still has company and the tail of the campaign is made of
+      short points — the classic LPT heuristic for shaving makespan on
+      wide grids.
+
+    Scheduling is pure admission metadata: the same rows with the same
+    resume keys are emitted under every strategy (each point's trials
+    depend only on its own ``(base_seed, index)`` derivation), so
+    ``--schedule`` can be changed between a run and its ``--resume``
+    without invalidating anything. Only completion order — and
+    wall-clock on multicore hosts — changes.
+    """
+
+    def __init__(self, name: str = "manifest-order"):
+        try:
+            self._order = _SCHEDULES[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown schedule {name!r}; "
+                f"known: {', '.join(schedule_names())}"
+            ) from None
+        self.name = name
+
+    def plan(self, points: Sequence[CampaignPoint]) -> CostedPoints:
+        """Admission-ordered ``(point, scheduled cost)`` pairs.
+
+        Costs are computed once per point (specs resolved once per
+        scenario) and carried through the ordering — the ``--dry-run``
+        listing reads them straight off the plan instead of re-deriving
+        them per line.
+        """
+        specs: Dict[str, ScenarioSpec] = {}
+        costed = []
+        for point in points:
+            spec = specs.get(point.scenario)
+            if spec is None:
+                spec = specs[point.scenario] = get_scenario(point.scenario)
+            costed.append((point, scheduled_cost(point, spec)))
+        return self._order(costed)
+
+    def order(self, points: Sequence[CampaignPoint]) -> List[CampaignPoint]:
+        """The admission order of ``points`` under this strategy."""
+        if self._order is _order_manifest:
+            # Admission order needs no costs here — don't pay a topology
+            # build per point for the default schedule.
+            return list(points)
+        return [point for point, _ in self.plan(points)]
+
+
+#: A schedule argument as APIs accept it: a scheduler, a strategy name,
+#: or ``None`` for the default (manifest order).
+ScheduleRef = Union[str, PointScheduler, None]
+
+
+def as_scheduler(schedule: ScheduleRef) -> PointScheduler:
+    """Normalise a schedule argument to a :class:`PointScheduler`."""
+    if isinstance(schedule, PointScheduler):
+        return schedule
+    return PointScheduler(schedule if schedule is not None else "manifest-order")
 
 
 # ----------------------------------------------------------------------
@@ -319,19 +452,25 @@ def run_campaign(
     pool: Optional[WorkerPool] = None,
     completed: Optional[Collection[str]] = None,
     chunk_size: Optional[int] = None,
+    schedule: ScheduleRef = None,
 ) -> Iterator[ExperimentResult]:
     """Run campaign points against one shared pool, yielding results.
 
-    Points whose resume key is in ``completed`` are skipped. With a
-    parallel pool, chunks from up to ``2 × workers`` points are
-    interleaved so shallow grids keep the workers saturated; results
-    then arrive in *completion* order. Serial pools (``workers == 1``)
-    run points in manifest order — the rows are identical either way.
+    Points whose resume key is in ``completed`` are skipped; the
+    remainder are admitted in the order ``schedule`` dictates (a
+    :class:`PointScheduler`, a strategy name, or ``None`` for manifest
+    order). With a parallel pool, chunks from up to ``2 × workers``
+    points are interleaved so shallow grids keep the workers saturated;
+    results then arrive in *completion* order. Serial pools
+    (``workers == 1``) run points in admission order. The emitted row
+    *set* is identical whatever the schedule and worker count — only
+    ordering differs.
 
     The iterator is lazy; closing it (or exhausting it) closes a
     self-created pool, while an injected ``pool`` stays open for the
     caller's next campaign.
     """
+    scheduler = as_scheduler(schedule)
     done = frozenset(completed) if completed else frozenset()
     # Resolve scenarios and parameters eagerly: a stale manifest or an
     # unknown parameter fails before work starts, hand-built points with
@@ -348,7 +487,7 @@ def run_campaign(
         if resolved != point.params:
             point = replace(point, params=resolved)
         normalized.append(point)
-    todo = [p for p in normalized if p.key() not in done]
+    todo = scheduler.order([p for p in normalized if p.key() not in done])
 
     def _run() -> Iterator[ExperimentResult]:
         own_pool = pool is None

@@ -45,6 +45,20 @@ WorkerCount = Union[int, str, None]
 #: on the kinds of trial loads we run outweighs extra parallelism.
 MAX_AUTO_WORKERS = 8
 
+#: Per-dispatch trial cap for the streamed per-trial-outcome path. When a
+#: consumer asks for every trial (``on_outcome``/``keep_outcomes``), the
+#: worker's result is a pickled batch of outcomes; without a cap its size
+#: scales with the chunk size, so a coarse-chunked 50k-trial experiment
+#: would ship 12.5k-outcome pickles through the result pipe in one gulp.
+#: Capping the chunk bounds every IPC message at a fixed number of trials
+#: — consumers receive outcomes in bounded chunks however large the
+#: experiment — while staying coarse enough that dispatch overhead stays
+#: invisible next to real trial work (at 128 the extra dispatch
+#: round-trips on cheap trials ate the encoding win; 256 keeps both).
+#: Folded dispatches (counters over IPC) don't need it: their result
+#: size is already independent of the chunk size.
+STREAM_CHUNK_TRIALS = 256
+
 
 def resolve_workers(workers: WorkerCount) -> int:
     """Resolve a worker-count argument to a concrete process count.

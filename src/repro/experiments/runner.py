@@ -28,10 +28,17 @@ hand-roll:
   instead of pickled per-trial lists — counter addition is commutative,
   so the fold order never shows in the result and IPC volume stops
   scaling with the trial count.
-- **Adaptive budgets.** ``run(budget=BudgetPolicy(...))`` replaces the
-  fixed trial count with a Wilson-interval convergence stop, evaluated
-  on a deterministic batch schedule (see
-  :mod:`~repro.experiments.budget`) so the realized trial count is
+- **Streamed per-trial outcomes.** When a consumer *does* ask for every
+  trial (``on_outcome`` or ``keep_outcomes=True``) under a parallel
+  pool, dispatches are capped at
+  :data:`~repro.experiments.pool.STREAM_CHUNK_TRIALS` trials and come
+  back as columnar packed tuples, so consumers receive outcomes in
+  bounded, cheap IPC messages instead of one arbitrarily large pickled
+  object list per dispatch.
+- **Adaptive budgets.** ``run(budget=...)`` replaces the fixed trial
+  count with a registered stop rule (Wilson width, relative precision,
+  fail-rate target — see :mod:`~repro.experiments.budget`), evaluated
+  on a deterministic batch schedule so the realized trial count is
   identical at any worker count.
 
 The in-process mode (``parallel=False`` or one worker) runs the same
@@ -48,7 +55,12 @@ from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Seque
 from repro.analysis.distribution import OutcomeDistribution
 from repro.analysis.stats import Proportion, proportion
 from repro.experiments.budget import BudgetPolicy, BudgetRef, as_policy
-from repro.experiments.pool import WorkerCount, WorkerPool, resolve_workers
+from repro.experiments.pool import (
+    STREAM_CHUNK_TRIALS,
+    WorkerCount,
+    WorkerPool,
+    resolve_workers,
+)
 from repro.experiments.scenario import Params, ScenarioSpec, get_scenario
 from repro.sim.execution import run_protocol
 from repro.util.errors import ConfigurationError
@@ -242,6 +254,47 @@ def _run_chunk(payload: ChunkPayload) -> List[TrialOutcome]:
     ]
 
 
+#: A worker-side *packed* chunk for the streamed outcome path: columnar
+#: ``(indices, outcomes, steps, successes)`` tuples. Per-trial
+#: :class:`TrialOutcome` objects pickle as one class reference plus four
+#: boxed fields *each*; four flat tuples carry the same data in a
+#: fraction of the bytes, and the master rebuilds the objects locally.
+PackedChunk = Tuple[
+    Tuple[int, ...], Tuple[Any, ...], Tuple[int, ...], Tuple[bool, ...]
+]
+
+
+def _run_chunk_packed(payload: ChunkPayload) -> PackedChunk:
+    """Worker entry point for the streamed outcome path: run a chunk and
+    return its trials as columnar tuples (see :data:`PackedChunk`).
+
+    Paired with the :data:`~repro.experiments.pool.STREAM_CHUNK_TRIALS`
+    chunk cap, this is what lets ``on_outcome`` consumers receive every
+    trial in bounded, cheap IPC messages instead of one arbitrarily
+    large pickled object list per dispatch.
+    """
+    scenario, params, base_seed, indices, record_trace, max_steps = payload
+    spec = _resolve_chunk_spec(scenario)
+    outcomes = []
+    steps = []
+    successes = []
+    for i in indices:
+        trial = run_one_trial(spec, params, base_seed, i, record_trace, max_steps)
+        outcomes.append(trial.outcome)
+        steps.append(trial.steps)
+        successes.append(trial.success)
+    return (tuple(indices), tuple(outcomes), tuple(steps), tuple(successes))
+
+
+def _unpack_chunk(packed: PackedChunk) -> List[TrialOutcome]:
+    """Rebuild a packed chunk's :class:`TrialOutcome` objects master-side."""
+    indices, outcomes, steps, successes = packed
+    return [
+        TrialOutcome(index=i, outcome=o, steps=s, success=w)
+        for i, o, s, w in zip(indices, outcomes, steps, successes)
+    ]
+
+
 def _run_chunk_folded(payload: ChunkPayload) -> ChunkFold:
     """Worker entry point: run a chunk, returning only folded aggregates.
 
@@ -272,6 +325,7 @@ def chunk_payloads(
     max_steps: Optional[int] = None,
     workers: int = 1,
     chunk_size: Optional[int] = None,
+    max_chunk: Optional[int] = None,
 ) -> List[ChunkPayload]:
     """Slice a trial-index range into worker chunk payloads.
 
@@ -280,14 +334,18 @@ def chunk_payloads(
     resolve them from their own catalog import instead of unpickling
     arbitrary callables); user-registered and ad-hoc specs go by value —
     a worker under the spawn/forkserver start methods rebuilds only the
-    builtin catalog, so a bare name would not resolve there. Chunking
-    never affects results, only scheduling.
+    builtin catalog, so a bare name would not resolve there.
+    ``max_chunk`` caps the chunk size whatever ``chunk_size`` asked for —
+    the streamed outcome path uses it to bound per-dispatch IPC message
+    size. Chunking never affects results, only scheduling.
     """
     count = len(indices)
     if chunk_size is not None:
         size = chunk_size
     else:
         size = max(1, count // (workers * 4) or 1)
+    if max_chunk is not None:
+        size = min(size, max_chunk)
     ship = spec.name if _is_builtin(spec) else spec
     return [
         (
@@ -391,6 +449,7 @@ class ExperimentRunner:
         indices: Sequence[int],
         fold: bool,
     ) -> Iterable[Union[List[TrialOutcome], ChunkFold]]:
+        use_pool = self.parallel and self.workers > 1 and len(indices) > 1
         payloads = chunk_payloads(
             spec,
             params,
@@ -400,13 +459,22 @@ class ExperimentRunner:
             self.max_steps,
             workers=self.workers,
             chunk_size=self.chunk_size,
+            # Streamed outcome path: per-trial results cross the process
+            # boundary, so bound every dispatch's pickled payload.
+            max_chunk=STREAM_CHUNK_TRIALS if use_pool and not fold else None,
         )
-        fn = _run_chunk_folded if fold else _run_chunk
-        if not self.parallel or self.workers == 1 or len(indices) <= 1:
+        if not use_pool:
+            # In-process: no pickling, so nothing to pack or bound.
+            fn = _run_chunk_folded if fold else _run_chunk
             for payload in payloads:
                 yield fn(payload)
             return
-        yield from self._shared_pool().imap_unordered(fn, payloads)
+        pool = self._shared_pool()
+        if fold:
+            yield from pool.imap_unordered(_run_chunk_folded, payloads)
+            return
+        for packed in pool.imap_unordered(_run_chunk_packed, payloads):
+            yield _unpack_chunk(packed)
 
     # -- public API ----------------------------------------------------
 

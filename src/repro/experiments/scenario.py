@@ -248,6 +248,12 @@ def scenario_names(tag: Optional[str] = None) -> List[str]:
     )
 
 
+def known_tags() -> List[str]:
+    """Sorted union of every registered scenario's tags — what an error
+    message should offer when a requested tag matches nothing."""
+    return sorted({tag for spec in _REGISTRY.values() for tag in spec.tags})
+
+
 def all_scenarios() -> List[ScenarioSpec]:
     """All registered specs, sorted by name."""
     return [_REGISTRY[name] for name in scenario_names()]

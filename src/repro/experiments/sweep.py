@@ -20,11 +20,14 @@ appears in the ``completed`` set, which :func:`load_completed_keys`
 reconstructs from a previous run's ``--out`` file. Because the key is
 computed on *resolved* parameters (defaults overlaid), it is independent
 of which subset of parameters the grid happened to pin and of their
-order. Adaptive-budget runs key on the *policy* (their realized trial
-count is an outcome, not an input), and fixed-budget keys carry no
-budget field at all — so fixed and adaptive rows can never satisfy each
-other's resume lookups, and pre-budget output files keep resuming
-byte-for-byte.
+order. Adaptive-budget runs key on the *policy* — its registry name and
+parameters, via :meth:`~repro.experiments.budget.BudgetPolicy.to_key`
+(their realized trial count is an outcome, not an input) — and
+fixed-budget keys carry no budget field at all. So fixed rows, adaptive
+rows, and adaptive rows under *different* policies can never satisfy
+each other's resume lookups, and pre-budget output files keep resuming
+byte-for-byte (the original ``wilson-width`` policy writes the
+pre-registry key format unchanged).
 """
 
 import itertools

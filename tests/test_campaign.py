@@ -9,12 +9,16 @@ from repro.cli import main
 from repro.experiments import (
     BudgetPolicy,
     CampaignPoint,
+    PointScheduler,
+    WilsonWidthPolicy,
     expand_manifest,
+    known_tags,
     load_manifest,
     row_resume_key,
     run_campaign,
     run_scenario,
     scenario_names,
+    scheduled_cost,
 )
 from repro.util.errors import ConfigurationError
 
@@ -139,7 +143,7 @@ class TestRunCampaign:
         CampaignPoint("sync/broadcast", {"n": 4}, 5, 0, None, None),
         CampaignPoint(
             "fuzz/random-deviation", {"n": 16, "k": 2}, None, 0, None,
-            BudgetPolicy(ci_width=0.3, min_trials=8, max_trials=64),
+            WilsonWidthPolicy(ci_width=0.3, min_trials=8, max_trials=64),
         ),
     ]
 
@@ -362,3 +366,245 @@ class TestAdaptiveSweepCli:
                      "--param", "n=8", "--param", "target=2"]) == 0
         row = json.loads(capsys.readouterr().out.splitlines()[0])
         assert row["budget"]["min_trials"] == 20  # default 32, capped
+
+
+class TestUnknownTagError:
+    def test_unknown_tag_error_lists_known_tags(self):
+        """Regression: a tag matching zero scenarios used to fail with a
+        bare 'no registered scenario has tag' — the fix names the tags
+        that do exist, so a typo is a one-glance diagnosis."""
+        with pytest.raises(ConfigurationError) as excinfo:
+            expand_manifest({"entries": [{"tag": "synk", "trials": 1}]})
+        message = str(excinfo.value)
+        assert "synk" in message
+        assert "known tags:" in message
+        for tag in ("sync", "cointoss", "attack", "honest"):
+            assert tag in known_tags() and tag in message
+
+
+class TestPointScheduler:
+    def _points(self):
+        return [
+            CampaignPoint("sync/broadcast", {"n": 4}, 5, 0, None, None),
+            CampaignPoint(
+                "attack/basic-cheat",
+                {"n": 16, "cheater": 2, "target": 2},
+                50, 0, None, None,
+            ),
+            CampaignPoint("sync/broadcast", {"n": 8}, 5, 0, None, None),
+            CampaignPoint(
+                "fuzz/random-deviation", {"n": 16, "k": 2}, None, 0, None,
+                WilsonWidthPolicy(ci_width=0.3, min_trials=8, max_trials=4000),
+            ),
+            CampaignPoint("sync/broadcast", {"n": 4}, 0, 0, None, None),
+        ]
+
+    def test_manifest_order_is_the_identity(self):
+        points = self._points()
+        assert PointScheduler("manifest-order").order(points) == points
+
+    def test_longest_first_is_a_deterministic_cost_sort(self):
+        points = self._points()
+        ordered = PointScheduler("longest-first").order(points)
+        assert ordered == PointScheduler("longest-first").order(points)
+        assert sorted(map(id, ordered)) == sorted(map(id, points))  # permutation
+        costs = [scheduled_cost(p) for p in ordered]
+        assert costs == sorted(costs, reverse=True)
+        # Adaptive points are costed at their ceiling: the fuzz point's
+        # 4000-trial budget outranks the 50-trial fixed point.
+        assert ordered[0].scenario == "fuzz/random-deviation"
+        # Zero-trial points cost nothing and sink to the tail.
+        assert ordered[-1].trials == 0
+
+    def test_equal_cost_points_keep_manifest_order(self):
+        a = CampaignPoint("sync/broadcast", {"n": 4}, 10, 0, None, None)
+        b = CampaignPoint("sync/broadcast", {"n": 4}, 10, 1, None, None)
+        assert PointScheduler("longest-first").order([a, b]) == [a, b]
+        assert PointScheduler("longest-first").order([b, a]) == [b, a]
+
+    def test_unknown_schedule_rejected_with_known_names(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            PointScheduler("shortest-first")
+        message = str(excinfo.value)
+        assert "manifest-order" in message and "longest-first" in message
+
+    def test_schedules_emit_identical_row_sets_on_the_smoke_manifest(self):
+        """The acceptance contract: longest-first produces byte-identical
+        sorted rows to manifest-order, serial and parallel."""
+        points = load_manifest(SMOKE_MANIFEST)
+        reference = _rows(run_campaign(points, workers=1))
+        for workers in (1, 2):
+            assert _rows(
+                run_campaign(points, workers=workers, schedule="longest-first")
+            ) == reference
+
+    def test_schedules_emit_identical_row_sets_on_random_manifests(self):
+        """Property-style: over seeded-random manifests, every schedule
+        emits the same row set at every worker count."""
+        import random
+
+        rng = random.Random(0xC0FFEE)
+        cheap = [
+            ("sync/broadcast", {"n": [3, 4]}),
+            ("sync/ring", {"n": [3, 4]}),
+            ("attack/basic-cheat", {"n": [8, 12], "target": [2, 3]}),
+            ("fullinfo/baton", {"n": [8, 10], "k": [2]}),
+        ]
+        for _ in range(4):
+            entries = []
+            for _ in range(rng.randint(1, 3)):
+                scenario, full_grid = rng.choice(cheap)
+                grid = {
+                    key: rng.sample(values, rng.randint(1, len(values)))
+                    for key, values in full_grid.items()
+                    if rng.random() < 0.8
+                }
+                entry = {"scenario": scenario, "grid": grid}
+                if rng.random() < 0.25:
+                    entry["budget"] = {
+                        "ci_width": 0.5,
+                        "min_trials": rng.randint(1, 3),
+                        "max_trials": 8,
+                    }
+                else:
+                    entry["trials"] = rng.randint(1, 4)
+                if rng.random() < 0.5:
+                    entry["base_seed"] = rng.randint(0, 3)
+                entries.append(entry)
+            points = expand_manifest(entries)
+            reference = _rows(run_campaign(points, workers=1))
+            for schedule in ("manifest-order", "longest-first"):
+                for workers in (1, 2):
+                    rows = _rows(
+                        run_campaign(points, workers=workers, schedule=schedule)
+                    )
+                    assert rows == reference, (schedule, workers, entries)
+
+    def test_resume_keys_survive_a_schedule_change(self):
+        """--schedule can change between a run and its --resume: the keys
+        are schedule-independent, so everything already done stays done."""
+        points = self._points()[:3]
+        done = {p.key() for p in points}
+        remaining = list(
+            run_campaign(points, workers=1, completed=done,
+                         schedule="longest-first")
+        )
+        assert remaining == []
+
+
+class TestCampaignDryRun:
+    def _manifest(self, tmp_path):
+        manifest = tmp_path / "m.json"
+        manifest.write_text(json.dumps({
+            "trials": 3,
+            "entries": [
+                {"scenario": "attack/basic-cheat",
+                 "grid": {"n": [8, 12], "target": 2}},
+                {"scenario": "sync/broadcast", "grid": {"n": 4},
+                 "budget": {"ci_width": 0.5, "min_trials": 2,
+                            "max_trials": 16}},
+            ],
+        }))
+        return manifest
+
+    def test_dry_run_lists_every_point_with_cost_and_status(
+        self, tmp_path, capsys
+    ):
+        manifest = self._manifest(tmp_path)
+        assert main(["campaign", str(manifest), "--dry-run"]) == 0
+        out, err = capsys.readouterr()
+        lines = out.splitlines()
+        assert len(lines) == 3
+        assert all(line.startswith("pending") for line in lines)
+        assert all("cost=" in line for line in lines)
+        assert "trials=3" in lines[0]
+        assert "budget=wilson-width[max_trials=16]" in lines[2]
+        assert "3 points" in err and "3 to run" in err
+
+    def test_dry_run_reports_satisfied_resume_keys(self, tmp_path, capsys):
+        manifest = self._manifest(tmp_path)
+        out_file = tmp_path / "rows.jsonl"
+        assert main(["campaign", str(manifest), "--out", str(out_file)]) == 0
+        capsys.readouterr()
+        # Drop one row: exactly one point must come back as pending.
+        lines = out_file.read_text().splitlines()
+        out_file.write_text("\n".join(lines[1:]) + "\n")
+        assert main(["campaign", str(manifest), "--dry-run",
+                     "--out", str(out_file)]) == 0
+        out, err = capsys.readouterr()
+        statuses = [line.split()[0] for line in out.splitlines()]
+        assert sorted(statuses) == ["done", "done", "pending"]
+        assert "2 already in" in err and "1 to run" in err
+        # Without --resume the real run would recompute the 'done'
+        # points — the summary must say how to make the plan real.
+        assert "add --resume to skip them" in err
+        assert main(["campaign", str(manifest), "--dry-run",
+                     "--out", str(out_file), "--resume"]) == 0
+        _, err = capsys.readouterr()
+        assert "add --resume" not in err
+
+    def test_dry_run_respects_the_schedule(self, tmp_path, capsys):
+        manifest = self._manifest(tmp_path)
+        assert main(["campaign", str(manifest), "--dry-run",
+                     "--schedule", "longest-first"]) == 0
+        out, err = capsys.readouterr()
+        costs = [
+            int(line.split("cost=")[1].split()[0])
+            for line in out.splitlines()
+        ]
+        assert costs == sorted(costs, reverse=True)
+        assert "schedule=longest-first" in err
+
+    def test_dry_run_runs_nothing_and_never_touches_out(
+        self, tmp_path, capsys
+    ):
+        manifest = self._manifest(tmp_path)
+        out_file = tmp_path / "rows.jsonl"
+        out_file.write_text('{"precious": "results"}\n')
+        assert main(["campaign", str(manifest), "--dry-run",
+                     "--out", str(out_file)]) == 0
+        capsys.readouterr()
+        assert out_file.read_text() == '{"precious": "results"}\n'
+        assert not (tmp_path / "rows.jsonl.tmp").exists()
+
+    def test_dry_run_still_validates_the_manifest_eagerly(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps(
+            {"entries": [{"scenario": "no/such", "trials": 1}]}
+        ))
+        with pytest.raises(SystemExit):
+            main(["campaign", str(bad), "--dry-run"])
+
+
+class TestManifestBudgetPolicies:
+    def test_named_policies_run_from_manifests_and_key_separately(self):
+        """All three registered policies are reachable from manifest JSON
+        and their rows resume only against their own policy."""
+        entries = [
+            {"scenario": "attack/basic-cheat", "grid": {"n": 8, "target": 2},
+             "budget": {"policy": "wilson-width", "ci_width": 0.4,
+                        "min_trials": 4, "max_trials": 32}},
+            {"scenario": "attack/basic-cheat", "grid": {"n": 8, "target": 2},
+             "budget": {"policy": "relative-precision", "rel_precision": 0.4,
+                        "min_trials": 4, "max_trials": 32}},
+            {"scenario": "attack/basic-cheat", "grid": {"n": 8, "target": 2},
+             "budget": {"policy": "fail-rate-target", "target": 0.5,
+                        "min_trials": 4, "max_trials": 32}},
+        ]
+        points = expand_manifest(entries)
+        assert len(points) == 3  # same numerics, three distinct keys
+        results = list(run_campaign(points, workers=2))
+        assert len(results) == 3
+        for result, point in zip(
+            sorted(results, key=lambda r: r.budget.policy),
+            sorted(points, key=lambda p: p.budget.policy),
+        ):
+            assert row_resume_key(result.to_row()) == point.key()
+
+    def test_unknown_policy_in_manifest_fails_eagerly(self):
+        with pytest.raises(ConfigurationError):
+            expand_manifest([{
+                "scenario": "sync/broadcast",
+                "budget": {"policy": "no-such", "min_trials": 1,
+                           "max_trials": 2},
+            }])

@@ -4,6 +4,7 @@ import pytest
 
 from repro.experiments import (
     BudgetPolicy,
+    WilsonWidthPolicy,
     ExperimentRunner,
     WorkerPool,
     resolve_workers,
@@ -178,18 +179,18 @@ class TestFoldedAggregates:
 class TestBudgetPolicy:
     def test_validation(self):
         with pytest.raises(ConfigurationError):
-            BudgetPolicy(ci_width=0.0, min_trials=1, max_trials=10)
+            WilsonWidthPolicy(ci_width=0.0, min_trials=1, max_trials=10)
         with pytest.raises(ConfigurationError):
-            BudgetPolicy(ci_width=0.1, min_trials=0, max_trials=10)
+            WilsonWidthPolicy(ci_width=0.1, min_trials=0, max_trials=10)
         with pytest.raises(ConfigurationError):
-            BudgetPolicy(ci_width=0.1, min_trials=20, max_trials=10)
+            WilsonWidthPolicy(ci_width=0.1, min_trials=20, max_trials=10)
         with pytest.raises(ConfigurationError):
-            BudgetPolicy(ci_width=0.1, min_trials=1, max_trials=10, z=0)
+            WilsonWidthPolicy(ci_width=0.1, min_trials=1, max_trials=10, z=0)
 
     def test_batch_schedule_doubles_to_the_ceiling(self):
-        policy = BudgetPolicy(ci_width=0.01, min_trials=32, max_trials=1000)
+        policy = WilsonWidthPolicy(ci_width=0.01, min_trials=32, max_trials=1000)
         assert list(policy.batch_ends()) == [32, 64, 128, 256, 512, 1000]
-        tight = BudgetPolicy(ci_width=0.01, min_trials=10, max_trials=10)
+        tight = WilsonWidthPolicy(ci_width=0.01, min_trials=10, max_trials=10)
         assert list(tight.batch_ends()) == [10]
 
     def test_from_mapping_rejects_unknown_and_missing_keys(self):
@@ -207,7 +208,7 @@ class TestBudgetPolicy:
     def test_key_roundtrips_through_json(self):
         import json
 
-        policy = BudgetPolicy(ci_width=0.05, min_trials=16, max_trials=400)
+        policy = WilsonWidthPolicy(ci_width=0.05, min_trials=16, max_trials=400)
         assert (
             BudgetPolicy.from_mapping(json.loads(json.dumps(policy.to_key())))
             == policy
@@ -215,7 +216,7 @@ class TestBudgetPolicy:
 
 
 class TestAdaptiveRuns:
-    POLICY = BudgetPolicy(ci_width=0.05, min_trials=32, max_trials=1000)
+    POLICY = WilsonWidthPolicy(ci_width=0.05, min_trials=32, max_trials=1000)
 
     def test_converged_point_stops_early(self):
         """A deterministic 100%-success attack converges as soon as the
@@ -236,7 +237,7 @@ class TestAdaptiveRuns:
             return run_scenario(
                 "fuzz/random-deviation",
                 params={"n": 16, "k": 2},
-                budget=BudgetPolicy(ci_width=0.25, min_trials=8, max_trials=256),
+                budget=WilsonWidthPolicy(ci_width=0.25, min_trials=8, max_trials=256),
                 workers=workers,
                 keep_outcomes=False,
             ).to_row()
@@ -247,7 +248,7 @@ class TestAdaptiveRuns:
         assert serial["budget"]["ci_width"] == 0.25
 
     def test_unconverged_point_runs_to_the_ceiling(self):
-        policy = BudgetPolicy(ci_width=0.01, min_trials=4, max_trials=20)
+        policy = WilsonWidthPolicy(ci_width=0.01, min_trials=4, max_trials=20)
         result = run_scenario(
             "honest/alead-uni", params={"n": 8}, budget=policy
         )
@@ -261,3 +262,161 @@ class TestAdaptiveRuns:
             )
         with pytest.raises(ConfigurationError):
             run_scenario("honest/alead-uni", params={"n": 8})  # neither
+
+
+class TestPolicyRegistry:
+    def test_registry_names_cover_the_three_builtin_policies(self):
+        from repro.experiments import policy_names
+
+        assert policy_names() == [
+            "fail-rate-target", "relative-precision", "wilson-width"
+        ]
+
+    def test_batch_schedule_is_shared_by_every_policy(self):
+        """Same bounds -> same batch boundaries, whatever the stop rule:
+        the worker-invariance argument only needs proving once."""
+        from repro.experiments import (
+            FailRateTargetPolicy,
+            RelativePrecisionPolicy,
+        )
+
+        bounds = {"min_trials": 8, "max_trials": 100}
+        schedules = [
+            list(policy.batch_ends())
+            for policy in (
+                WilsonWidthPolicy(ci_width=0.1, **bounds),
+                RelativePrecisionPolicy(rel_precision=0.1, **bounds),
+                FailRateTargetPolicy(target=0.1, **bounds),
+            )
+        ]
+        assert schedules[0] == schedules[1] == schedules[2] == [8, 16, 32, 64, 100]
+
+    def test_relative_precision_validation_and_stop_rule(self):
+        from repro.analysis.stats import wilson_interval
+        from repro.experiments import RelativePrecisionPolicy
+
+        with pytest.raises(ConfigurationError):
+            RelativePrecisionPolicy(rel_precision=0.0, min_trials=1, max_trials=10)
+        with pytest.raises(ConfigurationError):
+            RelativePrecisionPolicy(rel_precision=1.5, min_trials=1, max_trials=10)
+        policy = RelativePrecisionPolicy(
+            rel_precision=0.25, min_trials=8, max_trials=10000
+        )
+        assert not policy.satisfied(3, 4)  # below the floor
+        assert not policy.satisfied(0, 512)  # zero estimate: undefined
+        # High success rate: half-width shrinks below 25% of the estimate
+        # quickly; a rare event needs far more trials for the same claim.
+        assert policy.satisfied(512, 512)
+        low, high = wilson_interval(5, 512, policy.z)
+        assert (high - low) / 2 > 0.25 * (5 / 512)
+        assert not policy.satisfied(5, 512)
+
+    def test_fail_rate_target_validation_and_stop_rule(self):
+        from repro.experiments import FailRateTargetPolicy
+
+        with pytest.raises(ConfigurationError):
+            FailRateTargetPolicy(target=-0.1, min_trials=1, max_trials=10)
+        with pytest.raises(ConfigurationError):
+            FailRateTargetPolicy(target=1.1, min_trials=1, max_trials=10)
+        policy = FailRateTargetPolicy(target=0.5, min_trials=8, max_trials=10000)
+        assert not policy.satisfied(4, 8)  # interval straddles the target
+        assert policy.satisfied(8, 8)  # entirely above
+        assert policy.satisfied(0, 8)  # entirely below
+        # Boundary targets are legal; a matching true rate never decides.
+        zero = FailRateTargetPolicy(target=0.0, min_trials=8, max_trials=100)
+        assert not zero.satisfied(0, 100)
+
+    def test_adaptive_runs_converge_per_policy(self):
+        """End-to-end: each policy stops a deterministic 100%-success
+        attack at its own (deterministic) batch boundary."""
+        from repro.experiments import FailRateTargetPolicy, RelativePrecisionPolicy
+
+        args = dict(
+            params={"n": 16, "target": 5},
+            keep_outcomes=False,
+        )
+        relative = run_scenario(
+            "attack/basic-cheat",
+            budget=RelativePrecisionPolicy(
+                rel_precision=0.05, min_trials=8, max_trials=1000
+            ),
+            **args,
+        )
+        assert relative.trials < 1000 and relative.success_rate == 1.0
+        decided = run_scenario(
+            "attack/basic-cheat",
+            budget=FailRateTargetPolicy(target=0.5, min_trials=8, max_trials=1000),
+            **args,
+        )
+        assert decided.trials == 8  # decided at the first boundary
+        assert decided.to_row()["budget"]["policy"] == "fail-rate-target"
+
+    def test_policy_rows_are_worker_invariant(self):
+        from repro.experiments import FailRateTargetPolicy
+
+        def row(workers):
+            return run_scenario(
+                "fuzz/random-deviation",
+                params={"n": 16, "k": 2},
+                budget=FailRateTargetPolicy(
+                    target=0.9, min_trials=8, max_trials=128
+                ),
+                workers=workers,
+                keep_outcomes=False,
+            ).to_row()
+
+        assert row(1) == row(4)
+
+
+class TestStreamedOutcomes:
+    def test_stream_cap_bounds_every_payload(self):
+        from repro.experiments.pool import STREAM_CHUNK_TRIALS
+        from repro.experiments.runner import chunk_payloads
+        from repro.experiments.scenario import get_scenario
+
+        spec = get_scenario("sync/broadcast")
+        params = spec.resolve_params(None)
+        payloads = chunk_payloads(
+            spec, params, 0, range(10 * STREAM_CHUNK_TRIALS), False, None,
+            workers=2, chunk_size=10 * STREAM_CHUNK_TRIALS,
+            max_chunk=STREAM_CHUNK_TRIALS,
+        )
+        assert len(payloads) == 10
+        assert all(
+            len(indices) <= STREAM_CHUNK_TRIALS
+            for _, _, _, indices, _, _ in payloads
+        )
+
+    def test_packed_chunk_roundtrips_the_trial_list(self):
+        from repro.experiments.runner import (
+            _run_chunk,
+            _run_chunk_packed,
+            _unpack_chunk,
+            chunk_payloads,
+        )
+        from repro.experiments.scenario import get_scenario
+
+        spec = get_scenario("fullinfo/baton")
+        params = spec.resolve_params({"n": 8, "k": 2})
+        (payload,) = chunk_payloads(
+            spec, params, 3, range(12), False, None, chunk_size=12
+        )
+        assert _unpack_chunk(_run_chunk_packed(payload)) == _run_chunk(payload)
+
+    def test_parallel_on_outcome_sees_every_trial_once(self):
+        seen = []
+        with WorkerPool(4) as pool:
+            streamed = run_scenario(
+                "fullinfo/baton",
+                trials=300,
+                params={"n": 8, "k": 2},
+                pool=pool,
+                keep_outcomes=True,
+                on_outcome=seen.append,
+            )
+        serial = run_scenario(
+            "fullinfo/baton", trials=300, params={"n": 8, "k": 2}
+        )
+        assert sorted(t.index for t in seen) == list(range(300))
+        assert streamed.outcomes == serial.outcomes  # both index-sorted
+        assert streamed.to_row() == serial.to_row()

@@ -6,6 +6,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.experiments import (
+    WilsonWidthPolicy,
     expand_grid,
     load_completed_keys,
     resume_key,
@@ -128,11 +129,11 @@ class TestResumeKey:
     def test_budget_policy_is_part_of_the_identity(self):
         """Fixed and adaptive requests — and different policies — must
         never satisfy each other's resume lookups."""
-        from repro.experiments import BudgetPolicy
+        from repro.experiments import WilsonWidthPolicy
 
         fixed = resume_key("a", {"n": 8}, 10, 0)
-        loose = BudgetPolicy(ci_width=0.2, min_trials=4, max_trials=10)
-        tight = BudgetPolicy(ci_width=0.1, min_trials=4, max_trials=10)
+        loose = WilsonWidthPolicy(ci_width=0.2, min_trials=4, max_trials=10)
+        tight = WilsonWidthPolicy(ci_width=0.1, min_trials=4, max_trials=10)
         assert resume_key("a", {"n": 8}, None, 0, budget=loose) != fixed
         assert resume_key("a", {"n": 8}, None, 0, budget=loose) != resume_key(
             "a", {"n": 8}, None, 0, budget=tight
@@ -141,9 +142,9 @@ class TestResumeKey:
     def test_adaptive_row_keys_back_to_its_policy_not_realized_trials(self):
         """An adaptive row records the realized trial count, but its key
         is the *request* identity: (scenario, params, policy, seed)."""
-        from repro.experiments import BudgetPolicy
+        from repro.experiments import WilsonWidthPolicy
 
-        policy = BudgetPolicy(ci_width=0.2, min_trials=8, max_trials=64)
+        policy = WilsonWidthPolicy(ci_width=0.2, min_trials=8, max_trials=64)
         row = run_scenario(
             "attack/basic-cheat",
             base_seed=5,
@@ -157,6 +158,128 @@ class TestResumeKey:
         )
         # And the policy round-trips through the row's JSON form.
         assert row_resume_key(json.loads(json.dumps(row))) == row_resume_key(row)
+
+
+class TestBudgetPolicyKeyProperties:
+    """Seeded-random property tests over the budget-policy registry:
+    policy identity must be collision-free across the whole parameter
+    space, not just at hand-picked examples."""
+
+    def _policy_triple(self, rng):
+        """Three different policies sharing one random numeric profile —
+        the adversarial case for key separation, since the criterion
+        value and all bounds coincide."""
+        from repro.experiments import (
+            FailRateTargetPolicy,
+            RelativePrecisionPolicy,
+            WilsonWidthPolicy,
+        )
+
+        min_trials = rng.randint(1, 64)
+        shared = {
+            "min_trials": min_trials,
+            "max_trials": min_trials + rng.randint(0, 500),
+            "z": rng.choice([1.0, 1.645, 1.96, 2.576]),
+        }
+        x = rng.uniform(0.01, 1.0)
+        return [
+            WilsonWidthPolicy(ci_width=x, **shared),
+            RelativePrecisionPolicy(rel_precision=x, **shared),
+            FailRateTargetPolicy(target=x, **shared),
+        ]
+
+    def test_random_policy_params_never_collide_across_policies(self):
+        import random
+
+        rng = random.Random(20260729)
+        for _ in range(200):
+            policies = self._policy_triple(rng)
+            keys = {
+                resume_key("s", {"n": 8}, None, 0, budget=p) for p in policies
+            }
+            assert len(keys) == len(policies)
+            # ...and none of them collides with the fixed-budget key of
+            # any trial count, including the policies' own bounds.
+            for trials in {policies[0].min_trials, policies[0].max_trials}:
+                assert resume_key("s", {"n": 8}, trials, 0) not in keys
+
+    def test_random_policies_roundtrip_their_identity_dicts(self):
+        import random
+
+        from repro.experiments import as_policy
+
+        rng = random.Random(95)
+        for _ in range(100):
+            for policy in self._policy_triple(rng):
+                rehydrated = as_policy(json.loads(json.dumps(policy.to_key())))
+                assert rehydrated == policy
+                assert resume_key(
+                    "s", {}, None, 0, budget=rehydrated
+                ) == resume_key("s", {}, None, 0, budget=policy)
+
+    def test_wilson_key_format_is_frozen_without_policy_field(self):
+        """The pre-registry identity dict must stay byte-identical —
+        every adaptive row written before the registry resumes on it."""
+        policy = WilsonWidthPolicy(ci_width=0.1, min_trials=4, max_trials=64)
+        assert policy.to_key() == {
+            "ci_width": 0.1,
+            "min_trials": 4,
+            "max_trials": 64,
+            "z": 1.96,
+        }
+
+    def test_policyless_mapping_parses_as_wilson_width(self):
+        from repro.experiments import BudgetPolicy
+
+        legacy = {"ci_width": 0.1, "min_trials": 4, "max_trials": 64}
+        assert BudgetPolicy.from_mapping(legacy) == WilsonWidthPolicy(
+            ci_width=0.1, min_trials=4, max_trials=64
+        )
+
+    def test_unknown_policy_name_lists_known_policies(self):
+        from repro.experiments import BudgetPolicy, policy_names
+
+        with pytest.raises(ConfigurationError) as excinfo:
+            BudgetPolicy.from_mapping(
+                {"policy": "no-such", "min_trials": 1, "max_trials": 2}
+            )
+        message = str(excinfo.value)
+        for name in policy_names():
+            assert name in message
+
+    def test_base_class_construction_fails_eagerly_with_guidance(self):
+        """The pre-registry class took WilsonWidthPolicy's arguments; a
+        direct BudgetPolicy(...) — legacy or bare — must point at the
+        concrete policies instead of building a hollow instance that
+        only crashes deep inside a run."""
+        from repro.experiments import BudgetPolicy
+
+        for call in (
+            lambda: BudgetPolicy(),
+            lambda: BudgetPolicy(ci_width=0.1, min_trials=8, max_trials=100),
+        ):
+            with pytest.raises(ConfigurationError) as excinfo:
+                call()
+            assert "WilsonWidthPolicy" in str(excinfo.value)
+
+    def test_non_string_policy_values_fail_eagerly_not_with_typeerror(self):
+        """A foreign 'policy' value — even an unhashable one — must raise
+        the same eager ConfigurationError as every other malformed
+        budget, so resume loaders skip such rows instead of crashing."""
+        from repro.experiments import BudgetPolicy
+        from repro.experiments.sweep import load_completed_keys
+
+        for bad in (["wilson-width"], {"name": "x"}, 7, None):
+            with pytest.raises(ConfigurationError):
+                BudgetPolicy.from_mapping(
+                    {"policy": bad, "min_trials": 1, "max_trials": 2}
+                )
+        corrupt_row = json.dumps({
+            "scenario": "a", "params": {}, "trials": 4, "base_seed": 0,
+            "budget": {"policy": ["wilson-width"], "ci_width": 0.1,
+                       "min_trials": 2, "max_trials": 4},
+        })
+        assert load_completed_keys([corrupt_row]) == set()
 
 
 class TestLoadCompletedKeys:
