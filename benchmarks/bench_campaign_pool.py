@@ -21,6 +21,13 @@ and after:
   streamed path caps dispatches at ``STREAM_CHUNK_TRIALS`` and returns
   columnar packed tuples; at 4 workers it must be no slower than the
   pickled-list shape while bounding every IPC message.
+- **Deadline guard overhead** (the same 12-point shallow grid): the
+  campaign's cooperative-cancellation machinery (per-point clocks, the
+  per-arrival deadline sweep) runs on every chunk boundary even when no
+  deadline ever fires. Armed with far-away ``point_timeout`` /
+  ``max_wall_clock`` values, the guarded campaign must cost < 5% over
+  the unguarded one — "safe to leave running unattended" may not tax
+  the attended case.
 
 Both comparisons assert bit-identical outcomes across every mode — the
 engine's core contract — and ``measure()`` (run as a script) records the
@@ -128,6 +135,24 @@ def grid_campaign_shared_pool(pool):
     return [r.to_row() for r in run_campaign(_grid_points(), pool=pool)]
 
 
+# Far-away deadlines: the guard machinery runs on every chunk arrival,
+# but nothing ever times out — what's measured is pure bookkeeping.
+GUARD_POINT_TIMEOUT = 3600.0
+GUARD_WALL_CLOCK = 86400.0
+
+
+def grid_campaign_guarded(pool):
+    return [
+        r.to_row()
+        for r in run_campaign(
+            _grid_points(),
+            pool=pool,
+            point_timeout=GUARD_POINT_TIMEOUT,
+            max_wall_clock=GUARD_WALL_CLOCK,
+        )
+    ]
+
+
 def _stream_payloads(pool, max_chunk=None):
     spec = get_scenario(STREAM_SCENARIO)
     params = spec.resolve_params(STREAM_PARAMS)
@@ -233,6 +258,25 @@ def measure() -> dict:
     canonical = lambda rows: sorted(json.dumps(r, sort_keys=True) for r in rows)
     assert canonical(grid_before_rows) == canonical(grid_after_rows)
 
+    # Deadline-guard overhead on the same grid: alternated pairs scored
+    # by the median of per-pair ratios, like the E1 comparison above.
+    unguarded_s = guarded_s = float("inf")
+    guarded_rows = None
+    guard_ratios = []
+    for pair in range(REPS):
+        if pair % 2 == 0:
+            _, u = _timed(lambda: grid_campaign_shared_pool(pool))
+            guarded_rows, g = _timed(lambda: grid_campaign_guarded(pool))
+        else:
+            guarded_rows, g = _timed(lambda: grid_campaign_guarded(pool))
+            _, u = _timed(lambda: grid_campaign_shared_pool(pool))
+        unguarded_s = min(unguarded_s, u)
+        guarded_s = min(guarded_s, g)
+        guard_ratios.append(g / u)
+    guard_ratios.sort()
+    guard_median = guard_ratios[len(guard_ratios) // 2]
+    assert canonical(guarded_rows) == canonical(grid_after_rows)
+
     # Streamed per-trial outcomes vs the pickled-list shape, alternated
     # pairs and median-of-ratios like the E1 comparison above.
     ground_truth = dict(
@@ -300,6 +344,23 @@ def measure() -> dict:
             },
             "campaign_faster_than_sequential": grid_after_s < grid_before_s,
             "speedup_vs_sequential": round(grid_before_s / grid_after_s, 2),
+        },
+        "deadline_overhead": {
+            "scenario": SCENARIO,
+            "points": len(GRID_TARGETS),
+            "trials_per_point": GRID_TRIALS,
+            "point_timeout_s": GUARD_POINT_TIMEOUT,
+            "max_wall_clock_s": GUARD_WALL_CLOCK,
+            "seconds": {
+                "unguarded": round(unguarded_s, 3),
+                "guarded": round(guarded_s, 3),
+            },
+            "guarded_over_unguarded_pair_ratios": [
+                round(r, 4) for r in guard_ratios
+            ],
+            "overhead_pct_median": round((guard_median - 1.0) * 100, 2),
+            "guard_overhead_below_5pct": guard_median <= 1.05,
+            "rows_identical_to_unguarded": True,
         },
         "streamed_outcomes": {
             "scenario": STREAM_SCENARIO,
@@ -405,6 +466,45 @@ def test_campaign_interleaving_preserves_rows(benchmark, experiment_report):
         "campaign interleaving: row identity",
         [f"{len(points)} points x {SMOKE_TRIALS} trials: campaign rows == "
          "sequential rows"],
+    )
+
+
+@pytest.mark.smoke
+def test_deadline_guard_preserves_rows(benchmark, experiment_report):
+    """Armed-but-never-firing deadlines must not change a single byte:
+    the guard is bookkeeping, never part of any trial's identity."""
+    points = [
+        CampaignPoint(
+            scenario=SCENARIO,
+            params={"n": 16, "cheater": 2, "target": target},
+            trials=SMOKE_TRIALS,
+            base_seed=BASE_SEED,
+            max_steps=None,
+            budget=None,
+        )
+        for target in (1, 2, 3, 4)
+    ]
+    unguarded = sorted(
+        json.dumps(r.to_row(), sort_keys=True)
+        for r in run_campaign(points, workers=2)
+    )
+
+    def guarded():
+        return sorted(
+            json.dumps(r.to_row(), sort_keys=True)
+            for r in run_campaign(
+                points,
+                workers=2,
+                point_timeout=GUARD_POINT_TIMEOUT,
+                max_wall_clock=GUARD_WALL_CLOCK,
+            )
+        )
+
+    assert benchmark(guarded) == unguarded
+    experiment_report(
+        "deadline guard: row identity",
+        [f"{len(points)} points x {SMOKE_TRIALS} trials: guarded campaign "
+         "rows == unguarded rows"],
     )
 
 

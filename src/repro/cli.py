@@ -29,20 +29,26 @@ from repro.analysis.distribution import (
     estimate_distribution,
 )
 from repro.experiments import (
+    CampaignDeadline,
     FailRateTargetPolicy,
     PointScheduler,
     RelativePrecisionPolicy,
+    RowWriter,
     WilsonWidthPolicy,
     all_scenarios,
     expand_grid,
     get_scenario,
     load_completed_keys,
+    load_cost_model,
     load_manifest,
     resolve_workers,
+    resume_key,
     row_resume_key,
     run_campaign,
     schedule_names,
     sweep_scenario,
+    timing_record,
+    timings_path,
 )
 from repro.protocols import (
     alead_uni_protocol,
@@ -78,6 +84,11 @@ ATTACK_SCENARIOS = {
 
 #: Implicit adaptive-budget floor when --min-trials is not given.
 DEFAULT_MIN_TRIALS = 32
+
+#: Exit code when `campaign --max-wall-clock` expires: the run is neither
+#: a success (work remains) nor a failure (finished rows were
+#: checkpointed to --out) — overnight wrappers key a `--resume` off it.
+EXIT_DEADLINE = 3
 
 
 def _topology(kind: str, n: int):
@@ -184,30 +195,42 @@ def _parse_grid(pairs):
     return grid
 
 
-def _read_rows_file(path: str):
+def _read_rows_file(path: str, strict: bool = True):
     """Lines of ``path`` (empty if absent), final newline normalised so
     an externally written file whose last line lacks ``\\n`` cannot get
-    an appended row concatenated onto it."""
+    an appended row concatenated onto it.
+
+    ``strict=False`` turns an unreadable file into a warning plus an
+    empty result instead of death — what ``--dry-run`` wants, since it
+    only *reports* resume status and writes nothing.
+    """
     if not os.path.exists(path):
         return []
     try:
         with open(path) as f:
             lines = f.readlines()
     except OSError as exc:
+        if not strict:
+            print(
+                f"  [warning: cannot read {path}: {exc}; "
+                "treating every point as pending]",
+                file=sys.stderr,
+            )
+            return []
         raise SystemExit(f"cannot read --out file: {exc}") from None
     if lines and not lines[-1].endswith("\n"):
         lines[-1] += "\n"
     return lines
 
 
-def _salvageable_rows(tmp_path: str, completed):
+def _salvageable_rows(tmp_path: str, completed, strict: bool = True):
     """Well-formed sweep rows stranded in an interrupted run's staging
     file, minus those already in ``completed``. Malformed lines (torn
-    final write, corrupt budget objects) and foreign content are dropped
-    — they can only cause a re-run, never a skip."""
+    final write, corrupt budget objects), timed-out rows, and foreign
+    content are dropped — they can only cause a re-run, never a skip."""
     rows = []
     seen = set(completed)
-    for line in _read_rows_file(tmp_path):
+    for line in _read_rows_file(tmp_path, strict=strict):
         try:
             row = json.loads(line)
             key = row_resume_key(row)
@@ -217,6 +240,127 @@ def _salvageable_rows(tmp_path: str, completed):
             seen.add(key)
             rows.append(row)
     return rows
+
+
+def _completed_keys_reporting(lines, where: str):
+    """``load_completed_keys`` with the skip report printed to stderr.
+
+    A killed run's torn trailing line and a deadline's timed-out rows
+    both contribute no resume key — the difference is tone: torn lines
+    get a *warning* (data was lost mid-write; the affected point simply
+    re-runs), timed-out rows an informational note (their retry is the
+    contract working as designed).
+    """
+    skipped = {"malformed": 0, "timed-out": 0}
+
+    def _note(_number, _line, reason):
+        skipped[reason] += 1
+
+    completed = load_completed_keys(lines, on_skip=_note)
+    if skipped["malformed"]:
+        print(
+            f"  [warning: skipped {skipped['malformed']} malformed line(s) "
+            f"in {where} (torn trailing write from a killed run?); their "
+            "points will re-run]",
+            file=sys.stderr,
+        )
+    if skipped["timed-out"]:
+        print(
+            f"  [note: {skipped['timed-out']} timed-out row(s) in {where} "
+            "will be retried]",
+            file=sys.stderr,
+        )
+    return completed
+
+
+def _retry_identity(scenario, params, base_seed, max_steps, budget) -> str:
+    """What identifies a timed-out row with the point that would retry
+    it: the canonical :func:`resume_key` with ``trials=None`` — the full
+    resume identity *minus* trials (a timed-out row's trial count is a
+    scheduling artifact, which is exactly why it has no real resume
+    key). Delegating keeps marker matching in lockstep with whatever
+    the identity rules are."""
+    return resume_key(scenario, params, None, base_seed, max_steps, budget)
+
+
+def _result_retry_identity(result) -> str:
+    """:func:`_retry_identity` of a freshly produced result row."""
+    return _retry_identity(
+        result.scenario,
+        result.params,
+        result.base_seed,
+        result.max_steps,
+        result.budget,
+    )
+
+
+def _hold_back_stale_timed_out(existing_lines, points, completed):
+    """Split out timed-out rows for points this campaign will retry.
+
+    A timed-out row is a retry marker, not a result; once its point is
+    re-run it must not survive next to the fresh row — a completed retry
+    would leave a phantom partial row double-counting the point, and
+    every later ``--resume`` would keep announcing a retry that already
+    happened. But the marker may only be *replaced*, never dropped
+    outright: if this run ends (deadline, Ctrl-C) before the retry
+    produced its fresh row, the held-back marker is written back, so the
+    store never loses the record that the point is still owed. Rows for
+    points *not* in this manifest (shared stores) are kept untouched.
+
+    Markers whose point already has a *completed* row (some other run —
+    a sweep over the shared store, an unguarded campaign — finished the
+    retry without pruning) are simply dropped: the retry they announce
+    already happened, and keeping them would double-count the point and
+    re-announce the retry forever.
+
+    Returns ``(kept_lines, held)`` where ``held`` maps retry identity ->
+    original line; :func:`_emit_rows` writes back whatever was not
+    replaced by a fresh row.
+    """
+    retrying = set()
+    superseded = set()
+    for point in points:
+        identity = _retry_identity(
+            point.scenario,
+            point.params,
+            point.base_seed,
+            point.max_steps,
+            point.budget,
+        )
+        if point.key() in completed:
+            superseded.add(identity)
+        else:
+            retrying.add(identity)
+    kept = []
+    held = {}
+    if not retrying and not superseded:
+        return existing_lines, held
+    for line in existing_lines:
+        candidate = None
+        try:
+            row = json.loads(line)
+            if isinstance(row, dict) and row.get("timed_out"):
+                candidate = _retry_identity(
+                    row["scenario"],
+                    row["params"],
+                    row["base_seed"],
+                    row.get("max_steps"),
+                    row.get("budget"),
+                )
+        except (ValueError, KeyError, TypeError, ConfigurationError):
+            # ConfigurationError: a torn budget dict in the marker — an
+            # unmatchable marker is just a kept foreign line.
+            pass
+        # Retry pending wins over superseded when both match (two
+        # manifest points sharing everything but trials): the marker is
+        # then still a live claim and gets the hold-back treatment.
+        if candidate is not None and candidate in retrying:
+            held[candidate] = line
+        elif candidate is not None and candidate in superseded:
+            continue  # the completed row already supersedes the marker
+        else:
+            kept.append(line)
+    return kept, held
 
 
 def _load_resume_state(args):
@@ -235,14 +379,72 @@ def _load_resume_state(args):
     existing_lines = []
     if args.resume:
         existing_lines = _read_rows_file(args.out)
-        completed = load_completed_keys(existing_lines)
+        completed = _completed_keys_reporting(existing_lines, args.out)
         for row in _salvageable_rows(f"{args.out}.tmp", completed):
             existing_lines.append(json.dumps(row, sort_keys=True) + "\n")
             completed.add(row_resume_key(row))
     return completed, existing_lines
 
 
-def _emit_rows(results, args, existing_lines, what: str) -> int:
+class _EmitOutcome:
+    """What streaming a result set actually did: rows run, points a
+    deadline abandoned, whether the global deadline fired, and where
+    this run's rows ended up (``--out`` itself, or the staging file
+    when promoting would have clobbered a pre-existing store)."""
+
+    def __init__(self):
+        self.ran = 0
+        self.timed_out = 0
+        self.deadline: Optional[CampaignDeadline] = None
+        self.checkpoint_path: Optional[str] = None
+
+
+def _safe_checkpoint(args) -> str:
+    """Promote the staging file to ``--out`` only when that cannot lose
+    data, returning the path now holding this run's rows.
+
+    A partial run's staging file holds only this run's rows (plus
+    whatever ``--resume`` seeded). Promoting it over a pre-existing
+    ``--out`` that was *not* seeded in would destroy the previous
+    results — so in that one configuration the staging file is left in
+    place instead (the ``--resume`` salvage path picks its rows up),
+    and the old store survives untouched.
+    """
+    tmp_path = f"{args.out}.tmp"
+    if args.resume or not os.path.exists(args.out):
+        _finalize_out(tmp_path, args.out)
+        return args.out
+    return tmp_path
+
+
+def _finalize_out(tmp_path: str, out_path: str) -> None:
+    """Atomically promote the staging file to ``--out``.
+
+    ``os.replace`` is atomic on POSIX; the directory fsync afterwards
+    makes the *rename itself* durable, so a machine crash right after a
+    checkpoint cannot resurrect the old file (best-effort — some
+    platforms refuse directory handles)."""
+    os.replace(tmp_path, out_path)
+    try:
+        dir_fd = os.open(os.path.dirname(os.path.abspath(out_path)), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(dir_fd)
+    except OSError:
+        pass
+    finally:
+        os.close(dir_fd)
+
+
+def _emit_rows(
+    results,
+    args,
+    existing_lines,
+    what: str,
+    record_timings: bool = False,
+    replaces: Optional[dict] = None,
+) -> _EmitOutcome:
     """Stream result rows to stdout and (atomically) to ``--out``.
 
     Parameter *values* can still be infeasible (e.g. a placement that
@@ -250,42 +452,112 @@ def _emit_rows(results, args, existing_lines, what: str) -> int:
     runs — so rows stream to a temp file that replaces --out atomically
     on success, never clobbering earlier results on a failed run. Under
     --resume the temp file starts as a copy of the previous rows and
-    missing rows are appended. Returns the number of rows run.
+    missing rows are appended. Every append goes through the fsync'd
+    :class:`~repro.experiments.sweep.RowWriter`, so a killed run loses
+    at most one torn trailing line (which the resume loader skips).
+
+    Three early-stop shapes all leave a usable store:
+
+    - ``ConfigurationError`` (bad parameter values): the staging file is
+      discarded and --out keeps its previous contents;
+    - :class:`CampaignDeadline` (--max-wall-clock): the staging file is
+      *checkpointed* — promoted to --out, unless promotion would clobber
+      a pre-existing store whose rows were not seeded in (no --resume),
+      in which case the staging file itself is the checkpoint — and the
+      deadline is reported on the returned outcome;
+    - ``KeyboardInterrupt``: same safe checkpoint, then the interrupt
+      re-raises, so a mid-campaign Ctrl-C leaves a resumable store
+      without ever destroying a previous one.
+
+    With ``record_timings`` (the campaign path), completed results also
+    append an observed-cost record to the ``--out`` timing sidecar,
+    which future ``--schedule longest-first`` runs read back as real
+    per-trial seconds; sweeps have no scheduler to feed, so they leave
+    no sidecar behind.
+
+    ``replaces`` maps retry identities -> stale timed-out lines held
+    back from ``existing_lines`` (see
+    :func:`_hold_back_stale_timed_out`): a result for the same identity
+    supersedes its line, and whatever was not superseded when the run
+    stops — however it stops — is written back, so no retry marker is
+    ever lost.
     """
-    tmp_path = f"{args.out}.tmp" if args.out else None
-    try:
-        out = open(tmp_path, "w") if tmp_path else None
-    except OSError as exc:
-        raise SystemExit(f"cannot write --out file: {exc}") from None
-    ran = 0
+    writer = timing_writer = None
+    if args.out:
+        try:
+            writer = RowWriter(f"{args.out}.tmp")
+            if record_timings:
+                timing_writer = RowWriter(timings_path(args.out), append=True)
+        except OSError as exc:
+            raise SystemExit(f"cannot write --out file: {exc}") from None
+    outcome = _EmitOutcome()
+    held = dict(replaces) if replaces else {}
+
+    def _write_back_held() -> None:
+        """Re-append retry markers whose retry never produced a row."""
+        if writer and held:
+            for line in held.values():
+                writer.append(line.rstrip("\n"))
+            held.clear()
+
     failure = None
     try:
-        if out and existing_lines:
-            out.writelines(existing_lines)
+        if writer and existing_lines:
+            writer.write_lines(existing_lines)
         for result in results:
-            ran += 1
+            outcome.ran += 1
+            outcome.timed_out += bool(result.timed_out)
+            if held:
+                held.pop(_result_retry_identity(result), None)
             line = json.dumps(result.to_row(), sort_keys=True)
             print(line)
-            if out:
-                out.write(line + "\n")
-                out.flush()  # a killed run must leave finished rows salvageable
+            if writer:
+                writer.append(line)
+            if timing_writer:
+                record = timing_record(result)
+                if record is not None:
+                    timing_writer.append(json.dumps(record, sort_keys=True))
+            status = " TIMED OUT after" if result.timed_out else " trials in"
             print(
                 f"  [{result.scenario} {result.params}: "
-                f"{result.trials} trials in {result.elapsed:.2f}s]",
+                f"{result.trials}{status} {result.elapsed:.2f}s]",
                 file=sys.stderr,
             )
     except ConfigurationError as exc:
         failure = exc
+    except CampaignDeadline as exc:
+        outcome.deadline = exc
+    except KeyboardInterrupt:
+        if writer:
+            _write_back_held()
+            writer.close()
+            dest = _safe_checkpoint(args)
+            print(
+                f"  [interrupted: {outcome.ran} finished row(s) "
+                f"checkpointed to {dest}; --resume continues]",
+                file=sys.stderr,
+            )
+        raise
     finally:
-        if out:
-            out.close()
+        if writer and failure is None:
+            _write_back_held()
+        if writer:
+            writer.close()
+        if timing_writer:
+            timing_writer.close()
     if failure is not None:
-        if tmp_path:
-            os.remove(tmp_path)
+        if writer:
+            os.remove(f"{args.out}.tmp")
         raise SystemExit(f"{what} failed: {failure}")
-    if tmp_path:
-        os.replace(tmp_path, args.out)
-    return ran
+    if writer:
+        if outcome.deadline is not None:
+            # A deadline run is partial: promote only when it cannot
+            # clobber a store whose rows were not seeded into staging.
+            outcome.checkpoint_path = _safe_checkpoint(args)
+        else:
+            _finalize_out(f"{args.out}.tmp", args.out)
+            outcome.checkpoint_path = args.out
+    return outcome
 
 
 def _budget_from_args(args):
@@ -362,7 +634,7 @@ def _cmd_sweep(args) -> int:
         )
     except ConfigurationError as exc:
         raise SystemExit(str(exc)) from None
-    ran = _emit_rows(results, args, existing_lines, "sweep")
+    ran = _emit_rows(results, args, existing_lines, "sweep").ran
     if args.resume:
         print(
             f"  [resume: ran {ran} of {total_points} grid points; "
@@ -377,12 +649,16 @@ def _campaign_dry_run(args, points, scheduler, completed) -> int:
 
     One stdout line per point in *admission* order — status
     (``done`` = its resume key already has a row in ``--out``,
-    ``pending`` = it would run), scheduled cost, and the point's full
-    identity — then a stderr summary matching the real run's footer.
+    ``pending`` = it would run), scheduled cost, estimated seconds when
+    the timing sidecar has observed the scenario, and the point's full
+    identity — then a stderr summary matching the real run's footer,
+    with an estimated total and ideal makespan when costs are observed.
     Nothing is executed and the ``--out`` store is never opened for
     writing.
     """
     done = 0
+    pending_seconds = total_seconds = 0.0
+    estimates = 0
     for point, cost in scheduler.plan(points):
         status = "done" if point.key() in completed else "pending"
         done += status == "done"
@@ -396,9 +672,17 @@ def _campaign_dry_run(args, points, scheduler, completed) -> int:
         params = json.dumps(
             {k: point.params[k] for k in sorted(point.params)}, sort_keys=True
         )
+        seconds = scheduler.estimate_seconds(point, cost_units=cost)
+        est = ""
+        if seconds is not None:
+            estimates += 1
+            total_seconds += seconds
+            if status == "pending":
+                pending_seconds += seconds
+            est = f" est={seconds:.2f}s"
         print(
             f"{status:<8} cost={cost:<10} "
-            f"{point.scenario} {params} {budget} seed={point.base_seed}"
+            f"{point.scenario} {params} {budget} seed={point.base_seed}{est}"
         )
     # 'done' statuses describe what --resume would skip; without it the
     # real run recomputes everything, so say so instead of printing a
@@ -414,46 +698,116 @@ def _campaign_dry_run(args, points, scheduler, completed) -> int:
         f"{args.out or '<no --out>'}{hint}, {len(points) - done} to run]",
         file=sys.stderr,
     )
+    if estimates:
+        # Ideal makespan: observed trial-seconds spread perfectly over
+        # the workers — a lower bound, not a promise.
+        workers = resolve_workers(args.workers)
+        run_seconds = pending_seconds if args.resume else total_seconds
+        print(
+            f"  [observed-cost estimate: ~{total_seconds:.1f}s of trial "
+            f"work ({estimates} of {len(points)} points estimated); "
+            f"makespan >= ~{run_seconds / workers:.1f}s at "
+            f"{workers} worker(s)]",
+            file=sys.stderr,
+        )
     return 0
 
 
 def _cmd_campaign(args) -> int:
-    # Manifest expansion validates everything eagerly — unknown
-    # scenarios/tags/grid keys/budgets/schedules fail before any trial
-    # runs and before a previous --out file is touched.
+    # Validation order mirrors blame order: the schedule name first
+    # (listing the known schedulers — argparse choices already catch the
+    # CLI spelling, this guards programmatic calls too), then manifest
+    # expansion — unknown scenarios/tags/grid keys/budgets all fail
+    # before any trial runs and before a previous --out file is touched.
     try:
+        # The model only feeds longest-first ordering and --dry-run
+        # estimates; don't parse an ever-growing sidecar for a
+        # manifest-order run that would never look at it.
+        cost_model = None
+        if args.out and (args.schedule == "longest-first" or args.dry_run):
+            cost_model = load_cost_model(timings_path(args.out))
+        scheduler = PointScheduler(args.schedule, cost_model=cost_model)
         points = load_manifest(args.manifest)
-        scheduler = PointScheduler(args.schedule)
     except ConfigurationError as exc:
         raise SystemExit(str(exc)) from None
+    for flag, value in (
+        ("--point-timeout", args.point_timeout),
+        ("--max-wall-clock", args.max_wall_clock),
+    ):
+        # `not >` so NaN is rejected too (NaN <= 0 is False, and a NaN
+        # deadline would silently never fire).
+        if value is not None and not value > 0:
+            raise SystemExit(f"{flag} must be a positive number of seconds")
     if args.dry_run:
         # The dry run answers "what is left?" whenever --out exists,
-        # without requiring --resume (nothing is written either way).
-        if args.resume:
-            completed, _ = _load_resume_state(args)
-        elif args.out:
-            completed = load_completed_keys(_read_rows_file(args.out))
-        else:
-            completed = set()
+        # without requiring --resume (nothing is written either way) —
+        # and a missing or unreadable --out means every point is
+        # pending, never a crash.
+        if args.resume and not args.out:
+            raise SystemExit("--resume requires --out (the file to resume into)")
+        completed = set()
+        if args.out:
+            lines = _read_rows_file(args.out, strict=False)
+            if args.resume:
+                completed = _completed_keys_reporting(lines, args.out)
+                for row in _salvageable_rows(
+                    f"{args.out}.tmp", completed, strict=False
+                ):
+                    completed.add(row_resume_key(row))
+            else:
+                completed = load_completed_keys(lines)
         return _campaign_dry_run(args, points, scheduler, completed)
     completed, existing_lines = _load_resume_state(args)
+    # Timed-out rows for points this run retries are stale retry
+    # markers: the retry writes a fresh row (timed-out or complete) that
+    # replaces the old partial — which is written back untouched if the
+    # retry never got to run.
+    existing_lines, replaces = _hold_back_stale_timed_out(
+        existing_lines, points, completed
+    )
     try:
         results = run_campaign(
             points,
             workers=resolve_workers(args.workers),
             completed=completed,
             schedule=scheduler,
+            point_timeout=args.point_timeout,
+            max_wall_clock=args.max_wall_clock,
         )
     except ConfigurationError as exc:
         raise SystemExit(str(exc)) from None
-    ran = _emit_rows(results, args, existing_lines, "campaign")
-    skipped = len(points) - ran
+    outcome = _emit_rows(
+        results, args, existing_lines, "campaign", record_timings=True,
+        replaces=replaces,
+    )
+    # Count skips from the completed set, not len(points) - ran: under a
+    # deadline, points that never started are pending, not "already in".
+    skipped = sum(point.key() in completed for point in points)
+    notes = ""
+    if args.resume:
+        notes += f"; {skipped} already in {args.out}"
+    if outcome.timed_out:
+        notes += (
+            f"; {outcome.timed_out} timed out (a --resume run retries them)"
+        )
     print(
-        f"  [campaign: ran {ran} of {len(points)} points"
-        + (f"; {skipped} already in {args.out}" if args.resume else "")
-        + "]",
+        f"  [campaign: ran {outcome.ran} of {len(points)} points{notes}]",
         file=sys.stderr,
     )
+    if outcome.deadline is not None:
+        print(
+            f"  [campaign: wall-clock deadline reached; "
+            f"{outcome.deadline.pending} point(s) never started; "
+            f"finished rows checkpointed"
+            + (
+                f" to {outcome.checkpoint_path}"
+                if outcome.checkpoint_path
+                else ""
+            )
+            + "; re-run with --resume to continue]",
+            file=sys.stderr,
+        )
+        return EXIT_DEADLINE
     return 0
 
 
@@ -673,14 +1027,29 @@ def build_parser() -> argparse.ArgumentParser:
         default="manifest-order",
         choices=schedule_names(),
         help="admission order of the expanded points (longest-first "
-             "shaves stragglers on wide grids; rows are identical "
-             "either way)",
+             "shaves stragglers on wide grids, using observed per-trial "
+             "seconds from the --out timing sidecar when available; "
+             "rows are identical either way)",
+    )
+    p.add_argument(
+        "--point-timeout", type=float, default=None, metavar="SECONDS",
+        help="abandon any grid point that exceeds this wall-clock budget "
+             "(at its next chunk boundary): it is recorded as a "
+             "timed_out row that --resume retries, while the remaining "
+             "points keep running",
+    )
+    p.add_argument(
+        "--max-wall-clock", type=float, default=None, metavar="SECONDS",
+        help="global campaign deadline: on expiry the campaign "
+             "checkpoints every finished row to --out and exits with "
+             f"code {EXIT_DEADLINE} (resume with --resume)",
     )
     p.add_argument(
         "--dry-run",
         action="store_true",
-        help="print the expanded point list with scheduled costs and "
-             "resume status instead of running anything",
+        help="print the expanded point list with scheduled costs, "
+             "observed-cost estimates, and resume status instead of "
+             "running anything",
     )
     p.set_defaults(func=_cmd_campaign)
 

@@ -57,13 +57,18 @@ from repro.experiments.budget import (
     register_policy,
 )
 from repro.experiments.campaign import (
+    CampaignDeadline,
     CampaignPoint,
+    CostModel,
     PointScheduler,
     expand_manifest,
+    load_cost_model,
     load_manifest,
     run_campaign,
     schedule_names,
     scheduled_cost,
+    timing_record,
+    timings_path,
 )
 from repro.experiments.pool import WorkerPool, resolve_workers
 from repro.experiments.scenario import (
@@ -89,6 +94,7 @@ from repro.experiments.runner import (
     trial_registry,
 )
 from repro.experiments.sweep import (
+    RowWriter,
     expand_grid,
     load_completed_keys,
     resume_key,
@@ -102,14 +108,18 @@ from repro.experiments import catalog  # noqa: F401  (import for effect)
 
 __all__ = [
     "BudgetPolicy",
+    "CampaignDeadline",
     "CampaignPoint",
+    "CostModel",
     "FailRateTargetPolicy",
     "PointScheduler",
     "RelativePrecisionPolicy",
+    "RowWriter",
     "WilsonWidthPolicy",
     "WorkerPool",
     "as_policy",
     "expand_manifest",
+    "load_cost_model",
     "load_manifest",
     "policy_names",
     "register_policy",
@@ -117,6 +127,8 @@ __all__ = [
     "run_campaign",
     "schedule_names",
     "scheduled_cost",
+    "timing_record",
+    "timings_path",
     "Params",
     "ScenarioSpec",
     "all_scenarios",

@@ -42,9 +42,31 @@ commutative counters, and adaptive stop decisions happen only at batch
 boundaries whose schedule is a pure function of the policy. Only the
 *order* rows complete in is scheduling-dependent, which is why resume
 keys, not file order, identify finished points.
+
+Unattended robustness (the overnight contract):
+
+- **Per-point deadlines** (``point_timeout=`` / ``--point-timeout``): a
+  point that exceeds its budget is abandoned *cooperatively* at the next
+  chunk boundary — its partial result is emitted as a ``timed_out`` row
+  (excluded from resume identities, so a rerun retries it) while every
+  other point keeps draining. One pathological grid point can no longer
+  stall a whole manifest.
+- **A global wall-clock deadline** (``max_wall_clock=`` /
+  ``--max-wall-clock``): when it expires the campaign stops admitting
+  work, drains in-flight chunks into ``timed_out`` rows, and raises
+  :class:`CampaignDeadline` — by then every finished row has been
+  yielded, so the caller's stream is a complete checkpoint (the CLI
+  finalises ``--out`` and exits with a distinct code).
+- **Observed-cost scheduling**: a :class:`CostModel` (EWMA per-trial
+  seconds per scenario, learned from the ``<out>.timings`` sidecar of
+  previous runs) feeds ``longest-first`` real seconds instead of the
+  ``trials × outcome-size`` proxy, falling back to the proxy for
+  scenarios it has never seen. Scheduling stays pure admission metadata:
+  rows and resume keys are identical whatever the cost source.
 """
 
 import json
+import math
 import queue
 import time
 from collections import Counter, deque
@@ -260,41 +282,213 @@ def scheduled_cost(point: CampaignPoint, spec: Optional[ScenarioSpec] = None) ->
     ``trials × outcome-space size`` — the trial count is the dominant
     axis and the scenario's outcome-space size (usually the network size
     ``n``) is the cheap, always-available proxy for per-trial work.
-    Adaptive points are costed at their budget's ``max_trials``: the
+    Adaptive points are costed at their budget's
+    :meth:`~repro.experiments.budget.BudgetPolicy.planning_trials`: the
     scheduler plans for the worst case, since the realized count is only
     known after the point runs. The estimate feeds the ``longest-first``
     strategy and the ``--dry-run`` listing; it never affects rows.
     """
     if spec is None:
         spec = get_scenario(point.scenario)
-    trials = point.trials if point.budget is None else point.budget.max_trials
-    return (trials or 0) * max(spec.size(point.params), 1)
+    return _planning_trials(point) * max(spec.size(point.params), 1)
+
+
+def _planning_trials(point: CampaignPoint) -> int:
+    """Trials to budget for when planning ``point`` (realized count for
+    fixed points, the policy ceiling for adaptive ones)."""
+    if point.budget is not None:
+        return point.budget.planning_trials()
+    return point.trials or 0
 
 
 #: An admission plan: (point, scheduled cost) pairs in admission order.
 CostedPoints = List[Tuple[CampaignPoint, int]]
 
 
-def _order_manifest(costed: CostedPoints) -> CostedPoints:
-    return list(costed)
+class CostModel:
+    """Observed wall-clock costs: an EWMA of per-trial seconds per scenario.
 
+    The ``trials × outcome-size`` proxy behind :func:`scheduled_cost`
+    ranks points of one scenario correctly but knows nothing about how
+    expensive scenarios are *relative to each other* — a 50-trial cubic
+    attack on a 170-ring dwarfs a 5000-trial coin toss in real seconds.
+    A ``CostModel`` closes that gap from evidence: every completed
+    (never timed-out) point contributes its realized
+    ``(trials, elapsed)`` to an exponentially-weighted moving average of
+    per-trial seconds for its scenario, newest observation weighted
+    ``alpha``. The CLI persists observations in a ``<out>.timings``
+    sidecar (see :func:`timing_record` / :func:`load_cost_model`), so a
+    resumed or repeated campaign schedules on what the machine actually
+    measured last time.
 
-def _order_longest_first(costed: CostedPoints) -> CostedPoints:
-    # Stable sort on descending cost: equal-cost points keep manifest
-    # order, so the schedule is a pure function of the point list.
-    return [
-        pair
-        for _, pair in sorted(
-            enumerate(costed), key=lambda entry: (-entry[1][1], entry[0])
+    Two estimation tiers, so every point stays comparable on one scale:
+
+    - a scenario the model has **seen** is estimated at
+      ``planned trials × EWMA per-trial seconds``;
+    - an **unseen** scenario falls back to its proxy cost times a
+      global seconds-per-proxy-unit EWMA (calibrated from the same
+      observations), keeping the ranking in seconds;
+    - an **empty** model estimates nothing — callers keep the raw proxy
+      ordering, byte-compatible with cost-model-free campaigns.
+
+    Determinism: the model is a pure fold over observation order, and
+    estimation reads only ``(point, model)`` — the same sidecar file
+    yields the same admission order at any worker count. Estimates are
+    scheduling metadata only; rows and resume keys never see them.
+    """
+
+    def __init__(self, alpha: float = 0.5):
+        if not 0.0 < alpha <= 1.0:
+            raise ConfigurationError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self._per_trial: Dict[str, float] = {}
+        self._per_unit: Optional[float] = None
+
+    @property
+    def observed(self) -> bool:
+        """Whether the model has absorbed at least one observation."""
+        return bool(self._per_trial) or self._per_unit is not None
+
+    def scenarios(self) -> List[str]:
+        """Sorted scenario names with an observed per-trial cost."""
+        return sorted(self._per_trial)
+
+    def per_trial_seconds(self, scenario: str) -> Optional[float]:
+        """The scenario's EWMA per-trial seconds (None when unseen)."""
+        return self._per_trial.get(scenario)
+
+    def observe(
+        self,
+        scenario: Any,
+        trials: Any,
+        elapsed: Any,
+        cost_units: Any = None,
+    ) -> bool:
+        """Fold one completed point's wall clock into the model.
+
+        Returns whether the observation was accepted. Foreign or
+        non-positive values are *rejected*, not raised — sidecar records
+        come from a file a crash may have torn, and a bad record must
+        only cost the model an observation, never the campaign a run.
+        """
+        if not isinstance(scenario, str):
+            return False
+        if not isinstance(trials, int) or isinstance(trials, bool) or trials <= 0:
+            return False
+        # `not >` plus isfinite (instead of `<= 0`): JSON happily parses
+        # NaN/Infinity, and one such record folded into the EWMA would
+        # poison every estimate — and the sort built on them — forever.
+        if (
+            not isinstance(elapsed, (int, float))
+            or isinstance(elapsed, bool)
+            or not elapsed > 0
+            or not math.isfinite(elapsed)
+        ):
+            return False
+        per = elapsed / trials
+        prev = self._per_trial.get(scenario)
+        self._per_trial[scenario] = (
+            per if prev is None else self.alpha * per + (1 - self.alpha) * prev
         )
-    ]
+        if (
+            isinstance(cost_units, (int, float))
+            and not isinstance(cost_units, bool)
+            and cost_units > 0
+            and math.isfinite(cost_units)
+        ):
+            unit = elapsed / cost_units
+            self._per_unit = (
+                unit
+                if self._per_unit is None
+                else self.alpha * unit + (1 - self.alpha) * self._per_unit
+            )
+        return True
+
+    def estimate_seconds(
+        self,
+        point: CampaignPoint,
+        cost_units: Optional[int] = None,
+        spec: Optional[ScenarioSpec] = None,
+    ) -> Optional[float]:
+        """Estimated wall-clock seconds for ``point`` (None when the
+        model is empty). ``cost_units`` (the point's already-computed
+        proxy cost) spares the unseen-scenario tier a spec lookup."""
+        per = self._per_trial.get(point.scenario)
+        if per is not None:
+            return _planning_trials(point) * per
+        if self._per_unit is not None:
+            units = cost_units
+            if units is None:
+                units = scheduled_cost(point, spec)
+            return units * self._per_unit
+        return None
 
 
-#: Strategy name -> ordering function over a point sequence.
-_SCHEDULES = {
-    "manifest-order": _order_manifest,
-    "longest-first": _order_longest_first,
-}
+def timings_path(out_path: str) -> str:
+    """The timing-sidecar path belonging to a row store.
+
+    Timing lives *next to* the rows, never inside them: rows are the
+    deterministic artifact (byte-identical across runs, schedules, and
+    worker counts — the property every resume and golden-row contract
+    stands on), while wall-clock is machine noise. One sidecar line per
+    completed point keeps both.
+    """
+    return f"{out_path}.timings"
+
+
+def timing_record(result) -> Optional[Dict[str, Any]]:
+    """The sidecar record of one finished result, or ``None`` when it
+    carries no usable cost signal (timed-out or empty results: their
+    elapsed is an artifact of the guard, and feeding it to the EWMA
+    would teach the scheduler that pathological points are cheap)."""
+    if result.timed_out or not result.trials or result.elapsed <= 0:
+        return None
+    record = {
+        "scenario": result.scenario,
+        "trials": result.trials,
+        "elapsed": round(result.elapsed, 6),
+    }
+    try:
+        spec = get_scenario(result.scenario)
+    except ConfigurationError:
+        return record  # ad-hoc scenario: per-trial tier only
+    record["cost"] = result.trials * max(spec.size(result.params), 1)
+    return record
+
+
+def load_cost_model(path: str, alpha: float = 0.5) -> CostModel:
+    """Rebuild a :class:`CostModel` from a timing sidecar file.
+
+    Missing or unreadable files and torn/foreign lines cost
+    observations, never the campaign: the model simply knows less and
+    the scheduler degrades to the proxy ordering.
+    """
+    model = CostModel(alpha=alpha)
+    try:
+        with open(path) as f:
+            lines = f.readlines()
+    except OSError:
+        return model
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            continue
+        if isinstance(record, Mapping):
+            model.observe(
+                record.get("scenario"),
+                record.get("trials"),
+                record.get("elapsed"),
+                record.get("cost"),
+            )
+    return model
+
+
+#: Registered scheduling-strategy names.
+_SCHEDULES = ("manifest-order", "longest-first")
 
 
 def schedule_names() -> List[str]:
@@ -309,29 +503,43 @@ class PointScheduler:
 
     - ``manifest-order`` (default): points run in manifest order — the
       byte-compatible behaviour every earlier campaign had.
-    - ``longest-first``: points are admitted by descending
-      :func:`scheduled_cost`, so the expensive stragglers start while
-      the pool still has company and the tail of the campaign is made of
-      short points — the classic LPT heuristic for shaving makespan on
-      wide grids.
+    - ``longest-first``: points are admitted by descending cost, so the
+      expensive stragglers start while the pool still has company and
+      the tail of the campaign is made of short points — the classic
+      LPT heuristic for shaving makespan on wide grids. Cost is the
+      ``cost_model``'s estimated *seconds* when it has observations
+      (real measured time, the quantity LPT actually wants), and the
+      :func:`scheduled_cost` proxy otherwise.
 
     Scheduling is pure admission metadata: the same rows with the same
     resume keys are emitted under every strategy (each point's trials
     depend only on its own ``(base_seed, index)`` derivation), so
-    ``--schedule`` can be changed between a run and its ``--resume``
-    without invalidating anything. Only completion order — and
-    wall-clock on multicore hosts — changes.
+    ``--schedule`` — and the cost model behind it — can change between
+    a run and its ``--resume`` without invalidating anything. Only
+    completion order — and wall-clock on multicore hosts — changes.
     """
 
-    def __init__(self, name: str = "manifest-order"):
-        try:
-            self._order = _SCHEDULES[name]
-        except KeyError:
+    def __init__(
+        self,
+        name: str = "manifest-order",
+        cost_model: Optional[CostModel] = None,
+    ):
+        if name not in _SCHEDULES:
             raise ConfigurationError(
                 f"unknown schedule {name!r}; "
                 f"known: {', '.join(schedule_names())}"
-            ) from None
+            )
         self.name = name
+        self.cost_model = cost_model
+
+    def estimate_seconds(
+        self, point: CampaignPoint, cost_units: Optional[int] = None
+    ) -> Optional[float]:
+        """The cost model's seconds estimate for ``point`` (None without
+        an observed model) — what ``--dry-run`` prints per line."""
+        if self.cost_model is None:
+            return None
+        return self.cost_model.estimate_seconds(point, cost_units=cost_units)
 
     def plan(self, points: Sequence[CampaignPoint]) -> CostedPoints:
         """Admission-ordered ``(point, scheduled cost)`` pairs.
@@ -339,7 +547,10 @@ class PointScheduler:
         Costs are computed once per point (specs resolved once per
         scenario) and carried through the ordering — the ``--dry-run``
         listing reads them straight off the plan instead of re-deriving
-        them per line.
+        them per line. The recorded cost is always the proxy; when an
+        observed cost model drives ``longest-first``, the *ordering*
+        uses its seconds estimates while the pairs keep the proxy
+        (stable units for consumers and tests).
         """
         specs: Dict[str, ScenarioSpec] = {}
         costed = []
@@ -348,11 +559,42 @@ class PointScheduler:
             if spec is None:
                 spec = specs[point.scenario] = get_scenario(point.scenario)
             costed.append((point, scheduled_cost(point, spec)))
-        return self._order(costed)
+        if self.name == "manifest-order":
+            return costed
+        ranks = self._seconds_ranks(costed)
+        if ranks is None:
+            ranks = [float(cost) for _, cost in costed]
+        # Stable sort on descending cost: equal-cost points keep manifest
+        # order, so the schedule is a pure function of (points, model).
+        return [
+            pair
+            for _, (_, pair) in sorted(
+                zip(ranks, enumerate(costed)),
+                key=lambda entry: (-entry[0], entry[1][0]),
+            )
+        ]
+
+    def _seconds_ranks(self, costed: CostedPoints) -> Optional[List[float]]:
+        """Per-point seconds estimates, or ``None`` unless the model can
+        price *every* point — a model that has per-trial observations
+        but no per-unit calibration (e.g. a sidecar of cost-less
+        records) cannot rank unseen scenarios in seconds, and mixing
+        seconds with proxy units in one sort would be meaningless, so
+        the whole plan falls back to the proxy scale together."""
+        model = self.cost_model
+        if model is None or not model.observed:
+            return None
+        ranks = []
+        for point, cost in costed:
+            seconds = model.estimate_seconds(point, cost_units=cost)
+            if seconds is None:
+                return None
+            ranks.append(seconds)
+        return ranks
 
     def order(self, points: Sequence[CampaignPoint]) -> List[CampaignPoint]:
         """The admission order of ``points`` under this strategy."""
-        if self._order is _order_manifest:
+        if self.name == "manifest-order":
             # Admission order needs no costs here — don't pay a topology
             # build per point for the default schedule.
             return list(points)
@@ -376,6 +618,27 @@ def as_scheduler(schedule: ScheduleRef) -> PointScheduler:
 # ----------------------------------------------------------------------
 
 
+class CampaignDeadline(Exception):
+    """The campaign's global wall-clock budget (``max_wall_clock``) ran out.
+
+    Raised by the :func:`run_campaign` iterator *after* it has yielded a
+    row for every point that finished — and a ``timed_out`` row for each
+    point the deadline abandoned mid-run — so the stream the caller
+    consumed is a complete checkpoint: persist it, resume later, and
+    only the unfinished points re-run. ``pending`` counts points that
+    never started a trial. The CLI maps this to its own distinct exit
+    code so overnight wrappers can tell "deadline, resume me" from
+    success and from real failures.
+    """
+
+    def __init__(self, pending: int):
+        self.pending = pending
+        super().__init__(
+            f"campaign wall-clock deadline reached; {pending} point(s) "
+            "not started (finished rows were checkpointed)"
+        )
+
+
 def _campaign_chunk(tagged: Tuple[int, Any]) -> Tuple[int, Any]:
     """Worker entry point: a point-tagged folded chunk, so results from
     interleaved grid points find their way back to the right fold."""
@@ -397,6 +660,15 @@ class _PointState:
         self.dispatched = 0  # trial indices handed to workers so far
         self.pending = 0  # chunks of the current batch still out
         self.started = time.perf_counter()
+        #: Monotonic instant the point's timeout expires; armed when its
+        #: first chunk *result arrives* (not at admission or submission —
+        #: a point must not burn budget on pool spawn, worker imports, or
+        #: sitting queued behind another point's chunks).
+        self.deadline: Optional[float] = None
+        #: A deadline abandoned this point: no further batches dispatch,
+        #: and it finalizes into a ``timed_out`` row once its in-flight
+        #: chunks drain.
+        self.timed_out = False
         self._batch_ends = (
             point.budget.batch_ends()
             if point.budget is not None
@@ -423,6 +695,18 @@ class _PointState:
         budget = self.point.budget
         return budget is not None and budget.satisfied(self.successes, self.ran)
 
+    def exhausted(self) -> bool:
+        """Whether every requested trial has already arrived — i.e. the
+        result is complete and a deadline lapsing *now* has nothing left
+        to save. Decided without touching the batch iterator, so the
+        deadline sweep can consult it safely mid-flight."""
+        if self.pending > 0 or self.ran < self.dispatched:
+            return False
+        budget = self.point.budget
+        if budget is None:
+            return self.dispatched >= (self.point.trials or 0)
+        return self.converged() or self.dispatched >= budget.max_trials
+
     def finalize(self) -> ExperimentResult:
         point = self.point
         return ExperimentResult(
@@ -443,6 +727,7 @@ class _PointState:
             elapsed=time.perf_counter() - self.started,
             steps_total=self.steps_total,
             budget=point.budget,
+            timed_out=self.timed_out,
         )
 
 
@@ -453,6 +738,8 @@ def run_campaign(
     completed: Optional[Collection[str]] = None,
     chunk_size: Optional[int] = None,
     schedule: ScheduleRef = None,
+    point_timeout: Optional[float] = None,
+    max_wall_clock: Optional[float] = None,
 ) -> Iterator[ExperimentResult]:
     """Run campaign points against one shared pool, yielding results.
 
@@ -466,10 +753,40 @@ def run_campaign(
     *set* is identical whatever the schedule and worker count — only
     ordering differs.
 
+    ``point_timeout`` (seconds) bounds each point: an exceeded point is
+    abandoned cooperatively at its next chunk boundary and yielded as a
+    ``timed_out`` partial result (``result.timed_out``; excluded from
+    resume identities so a rerun retries it) while the other points keep
+    draining. The clock starts at the point's first evidence of progress
+    (serial: when the point starts; interleaved: when its first chunk
+    result arrives, so pool spawn and queue wait are not charged).
+    ``max_wall_clock`` (seconds, measured from the first iteration)
+    bounds the whole campaign: on expiry no new work is admitted,
+    in-flight points drain into ``timed_out`` rows, and the iterator
+    raises :class:`CampaignDeadline` — everything yielded before the
+    raise is a complete checkpoint. Timed-out rows are exact partial
+    folds of the trials that ran; completed points' rows are untouched
+    by either guard.
+
     The iterator is lazy; closing it (or exhausting it) closes a
     self-created pool, while an injected ``pool`` stays open for the
     caller's next campaign.
     """
+    for flag, value in (
+        ("point_timeout", point_timeout),
+        ("max_wall_clock", max_wall_clock),
+    ):
+        if value is not None and (
+            isinstance(value, bool)
+            or not isinstance(value, (int, float))
+            # `not >` (instead of `<=`) so NaN is rejected too: every
+            # comparison against a NaN deadline is False, which would
+            # silently disarm the guard the caller asked for.
+            or not value > 0
+        ):
+            raise ConfigurationError(
+                f"{flag} must be a positive number of seconds, got {value!r}"
+            )
     scheduler = as_scheduler(schedule)
     done = frozenset(completed) if completed else frozenset()
     # Resolve scenarios and parameters eagerly: a stale manifest or an
@@ -492,14 +809,32 @@ def run_campaign(
     def _run() -> Iterator[ExperimentResult]:
         own_pool = pool is None
         active_pool = pool if pool is not None else WorkerPool(workers)
+        wall_deadline = (
+            time.monotonic() + max_wall_clock
+            if max_wall_clock is not None
+            else None
+        )
         try:
             if not active_pool.parallel:
-                yield from _run_serial(todo, specs, active_pool, chunk_size)
+                yield from _run_serial(
+                    todo, specs, active_pool, chunk_size,
+                    point_timeout, wall_deadline,
+                )
             else:
-                yield from _run_interleaved(todo, specs, active_pool, chunk_size)
-        finally:
+                yield from _run_interleaved(
+                    todo, specs, active_pool, chunk_size,
+                    point_timeout, wall_deadline,
+                )
+        except BaseException:
+            # Error path (including KeyboardInterrupt and an abandoned
+            # iterator's GeneratorExit): a graceful close would block on
+            # whatever is still queued — kill a self-created pool's
+            # workers instead. Injected pools stay the caller's problem.
             if own_pool:
-                active_pool.close()
+                active_pool.terminate()
+            raise
+        if own_pool:
+            active_pool.close()
 
     return _run()
 
@@ -509,19 +844,41 @@ def _run_serial(
     specs: Mapping[str, ScenarioSpec],
     pool: WorkerPool,
     chunk_size: Optional[int],
+    point_timeout: Optional[float],
+    wall_deadline: Optional[float],
 ) -> Iterator[ExperimentResult]:
-    for point in todo:
+    last: Optional[ExperimentResult] = None
+    for position, point in enumerate(todo):
+        now = time.monotonic()
+        if wall_deadline is not None and now >= wall_deadline:
+            raise CampaignDeadline(pending=len(todo) - position)
+        deadline = None if point_timeout is None else now + point_timeout
+        if wall_deadline is not None:
+            deadline = (
+                wall_deadline if deadline is None else min(deadline, wall_deadline)
+            )
         runner = ExperimentRunner(
             pool=pool, max_steps=point.max_steps, chunk_size=chunk_size
         )
-        yield runner.run(
+        last = runner.run(
             specs[point.scenario],
             point.trials,
             base_seed=point.base_seed,
             params=point.params,
             keep_outcomes=False,
             budget=point.budget,
+            deadline=deadline,
         )
+        yield last
+    if (
+        wall_deadline is not None
+        and last is not None
+        and last.timed_out
+        and time.monotonic() >= wall_deadline
+    ):
+        # The global deadline cut the final point mid-run: its retry is
+        # still owed, so the campaign must not look complete.
+        raise CampaignDeadline(pending=0)
 
 
 def _run_interleaved(
@@ -529,6 +886,8 @@ def _run_interleaved(
     specs: Mapping[str, ScenarioSpec],
     pool: WorkerPool,
     chunk_size: Optional[int],
+    point_timeout: Optional[float],
+    wall_deadline: Optional[float],
 ) -> Iterator[ExperimentResult]:
     """Grid-level parallelism: many points' chunks share the pool.
 
@@ -541,6 +900,14 @@ def _run_interleaved(
     :attr:`~repro.experiments.pool.WorkerPool.dispatch_window` at a time
     — the same no-oversubscription cap the runner's streaming path
     enforces — with the surplus buffered master-side.
+
+    Deadlines are enforced at the same place stop decisions are: chunk
+    arrivals. A point past its timeout stops dispatching (its queued
+    chunks are dropped), waits out its in-flight chunks, and finalizes
+    into a ``timed_out`` row — other points keep the pool busy
+    throughout. When the campaign-wide deadline passes, every active
+    point is drained the same way, admissions stop, and the generator
+    raises :class:`CampaignDeadline` once the pool is quiet.
     """
     results: "queue.Queue" = queue.Queue()
     waiting = deque(enumerate(todo))
@@ -554,6 +921,8 @@ def _run_interleaved(
     if window >= pool.workers:
         window = 2 * pool.workers
     inflight = 0
+    draining = False  # global deadline hit: no admissions, no batches
+    never_started = 0  # abandoned points that ran zero trials
 
     def _pump() -> None:
         """Top the pool up to the dispatch window from the payload queue."""
@@ -569,6 +938,15 @@ def _run_interleaved(
                 ),
             )
             inflight += 1
+
+    def _abandon(state: _PointState) -> None:
+        """Mark the point timed out and drop its not-yet-submitted
+        chunks; in-flight chunks drain normally (cooperative cutoff)."""
+        state.timed_out = True
+        kept = [(pid, pl) for pid, pl in payload_queue if pid != state.point_id]
+        state.pending -= len(payload_queue) - len(kept)
+        payload_queue.clear()
+        payload_queue.extend(kept)
 
     def _enqueue_batch(state: _PointState) -> bool:
         """Queue the point's next batch; False when no work is left to
@@ -597,6 +975,8 @@ def _run_interleaved(
     def _activate() -> Iterator[ExperimentResult]:
         """Admit waiting points until the active window is full; points
         with no trials to run complete synchronously right here."""
+        if draining:
+            return
         while waiting and len(active) < max_active:
             point_id, point = waiting.popleft()
             state = _PointState(point_id, point, specs[point.scenario])
@@ -618,10 +998,71 @@ def _run_interleaved(
         state = active[point_id]
         state.fold(payload)
         state.pending -= 1
-        if state.pending == 0:
-            # Batch boundary: the only place stop decisions may happen.
-            if state.converged() or not _enqueue_batch(state):
-                del active[point_id]
-                yield state.finalize()
+        if point_timeout is None and wall_deadline is None:
+            # Unguarded campaigns keep PR 4's O(1) boundary check — the
+            # deadline sweeps below are pure overhead when nothing can
+            # ever expire.
+            if state.pending == 0:
+                # Batch boundary: the only place stop decisions happen.
+                if state.converged() or not _enqueue_batch(state):
+                    del active[point_id]
+                    yield state.finalize()
+                    yield from _activate()
+            _pump()
+            continue
+        # Deadline sweep — every chunk arrival is a chunk boundary, the
+        # one place cooperative cancellation may act.
+        now = time.monotonic()
+        if state.deadline is None and point_timeout is not None:
+            # First evidence of progress arms the point's clock: pool
+            # spawn, worker imports, and queue wait are not its fault.
+            state.deadline = now + point_timeout
+        if not draining and wall_deadline is not None and now >= wall_deadline:
+            draining = True
+        for other in list(active.values()):
+            if (
+                not other.timed_out
+                # A point whose every trial already arrived is complete:
+                # abandoning it would discard a finished result (and
+                # retry the point forever), so the deadline spares it.
+                and not other.exhausted()
+                and (
+                    draining
+                    or (other.deadline is not None and now >= other.deadline)
+                )
+            ):
+                _abandon(other)
+        # Finalize whatever reached a boundary: the arriving point at a
+        # normal batch boundary, plus any abandoned point whose
+        # in-flight chunks have drained.
+        for other in list(active.values()):
+            if other.pending > 0:
+                continue
+            if other.timed_out and other.exhausted():
+                # The abandoned point's in-flight chunks turned out to
+                # be all of it: every dispatched trial arrived and no
+                # batch remains, so the result is complete — nothing
+                # was actually lost to the deadline.
+                other.timed_out = False
+                del active[other.point_id]
+                yield other.finalize()
                 yield from _activate()
+            elif other.timed_out:
+                del active[other.point_id]
+                if other.ran:
+                    yield other.finalize()
+                else:
+                    # Abandoned before a single trial ran (global
+                    # deadline while fully queued): no partial fold to
+                    # record — count it as never started.
+                    never_started += 1
+                yield from _activate()
+            elif other is state:
+                # Batch boundary: the only place stop decisions happen.
+                if other.converged() or not _enqueue_batch(other):
+                    del active[other.point_id]
+                    yield other.finalize()
+                    yield from _activate()
         _pump()
+    if draining:
+        raise CampaignDeadline(pending=len(waiting) + never_started)

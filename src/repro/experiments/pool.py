@@ -147,21 +147,52 @@ class WorkerPool:
         return self
 
     def close(self) -> None:
-        """Shut the workers down gracefully; the pool stays closed."""
+        """Shut the workers down gracefully; the pool stays closed.
+
+        Graceful means *waiting*: queued work still runs to completion
+        before the workers exit. Only use this on the clean path — after
+        an exception (notably ``KeyboardInterrupt`` mid-dispatch) call
+        :meth:`terminate` instead, or teardown blocks on every chunk
+        still in the queue.
+        """
         self._closed = True
         if self._pool is not None:
-            pool, self._pool = self._pool, None
-            if self._finalizer is not None:
-                self._finalizer.detach()
-                self._finalizer = None
+            pool = self._detach_pool()
             pool.close()
             pool.join()
+
+    def terminate(self) -> None:
+        """Kill the worker processes now; in-flight chunks are lost.
+
+        The error-path twin of :meth:`close`: a ``KeyboardInterrupt``
+        during dispatch used to leave children alive behind a graceful
+        ``close()`` that blocked on the unfinished queue — ``terminate``
+        sends SIGTERM and joins, so Ctrl-C tears the whole process tree
+        down promptly. The pool stays closed afterwards.
+        """
+        self._closed = True
+        if self._pool is not None:
+            pool = self._detach_pool()
+            pool.terminate()
+            pool.join()
+
+    def _detach_pool(self):
+        pool, self._pool = self._pool, None
+        if self._finalizer is not None:
+            self._finalizer.detach()
+            self._finalizer = None
+        return pool
 
     def __enter__(self) -> "WorkerPool":
         return self
 
-    def __exit__(self, *exc_info) -> None:
-        self.close()
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # Exceptions (KeyboardInterrupt above all) must not block on
+        # queued work the user just asked to stop.
+        if exc_type is not None:
+            self.terminate()
+        else:
+            self.close()
 
     def _ensure_pool(self):
         if self._closed:
@@ -190,7 +221,10 @@ class WorkerPool:
         return max(1, min(self.workers, os.cpu_count() or self.workers))
 
     def imap_unordered(
-        self, fn: Callable[[Any], Any], payloads: Iterable[Any]
+        self,
+        fn: Callable[[Any], Any],
+        payloads: Iterable[Any],
+        bounded: bool = False,
     ) -> Iterator[Any]:
         """Apply ``fn`` to every payload, yielding results as they land.
 
@@ -198,6 +232,13 @@ class WorkerPool:
         shared pool, throttled to :attr:`dispatch_window` in-flight
         chunks. Callers must treat arrival order as arbitrary either
         way.
+
+        ``bounded`` forces the windowed-dispatch path even when the pool
+        is not oversubscribed: at most :attr:`dispatch_window` chunks
+        are ever enqueued at once, so a consumer that *abandons* the
+        iterator early (the runner's cooperative deadline) strands at
+        most a window of already-submitted work instead of the whole
+        payload list.
         """
         if not self.parallel:
             for payload in payloads:
@@ -206,7 +247,7 @@ class WorkerPool:
         pool = self._ensure_pool()
         payloads = list(payloads)
         window = self.dispatch_window
-        if window >= self.workers or window >= len(payloads):
+        if not bounded and (window >= self.workers or window >= len(payloads)):
             # Not oversubscribed (or nothing to throttle): the pool's own
             # task queue already caps concurrency at the process count,
             # and pre-loading it lets finished workers grab the next

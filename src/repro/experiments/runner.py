@@ -103,6 +103,11 @@ class ExperimentResult:
     elapsed: float = 0.0  # wall-clock; excluded from to_row() determinism
     steps_total: int = 0  # summed delivery steps across all trials
     budget: Optional[BudgetPolicy] = None  # adaptive policy, if one ran
+    #: The experiment was abandoned at a chunk boundary by a deadline
+    #: (campaign --point-timeout / --max-wall-clock): ``trials`` is then
+    #: a scheduling-dependent partial count, so the row is marked and
+    #: excluded from resume identities — a rerun retries the point.
+    timed_out: bool = False
 
     @property
     def success_rate(self) -> float:
@@ -140,6 +145,10 @@ class ExperimentResult:
         }
         if self.budget is not None:
             row["budget"] = self.budget.to_key()
+        if self.timed_out:
+            # Only present on abandoned experiments, so every completed
+            # row stays byte-identical to the pre-deadline format.
+            row["timed_out"] = True
         return row
 
 
@@ -448,6 +457,7 @@ class ExperimentRunner:
         base_seed: int,
         indices: Sequence[int],
         fold: bool,
+        bounded: bool = False,
     ) -> Iterable[Union[List[TrialOutcome], ChunkFold]]:
         use_pool = self.parallel and self.workers > 1 and len(indices) > 1
         payloads = chunk_payloads(
@@ -471,9 +481,13 @@ class ExperimentRunner:
             return
         pool = self._shared_pool()
         if fold:
-            yield from pool.imap_unordered(_run_chunk_folded, payloads)
+            yield from pool.imap_unordered(
+                _run_chunk_folded, payloads, bounded=bounded
+            )
             return
-        for packed in pool.imap_unordered(_run_chunk_packed, payloads):
+        for packed in pool.imap_unordered(
+            _run_chunk_packed, payloads, bounded=bounded
+        ):
             yield _unpack_chunk(packed)
 
     # -- public API ----------------------------------------------------
@@ -487,6 +501,7 @@ class ExperimentRunner:
         on_outcome: Optional[Callable[[TrialOutcome], None]] = None,
         keep_outcomes: bool = True,
         budget: BudgetRef = None,
+        deadline: Optional[float] = None,
     ) -> ExperimentResult:
         """Run one experiment and fold the outcomes.
 
@@ -502,6 +517,22 @@ class ExperimentRunner:
         aggregate counters cross the process boundary; the result's
         ``outcomes`` list is then empty (the distribution, success
         proportion, and row are identical either way).
+
+        ``deadline`` (a ``time.monotonic()`` timestamp) arms cooperative
+        cancellation: the run is abandoned at the first *chunk boundary*
+        past the deadline and the partial result comes back with
+        ``timed_out=True`` and ``trials`` set to what actually ran. At
+        least one chunk always runs — the check happens after a chunk
+        folds, never before work starts — and a single pathological
+        chunk can only be abandoned once it returns (per-trial hangs are
+        what ``max_steps`` is for). A run whose *last* chunk folds past
+        the deadline is complete, not timed out: nothing was lost. With
+        a parallel pool, dispatch is windowed while a deadline is armed,
+        so abandonment strands at most
+        :attr:`~repro.experiments.pool.WorkerPool.dispatch_window`
+        already-submitted chunks. The campaign layer uses this for
+        ``--point-timeout`` / ``--max-wall-clock``; timed-out rows are
+        excluded from resume identities so a rerun retries the point.
         """
         spec = get_scenario(scenario) if isinstance(scenario, str) else scenario
         resolved = spec.resolve_params(params)
@@ -522,11 +553,20 @@ class ExperimentRunner:
         success_count = 0
         steps_total = 0
         ran = 0
+        timed_out = False
 
         def _consume(start: int, end: int) -> None:
-            nonlocal success_count, steps_total, ran
+            nonlocal success_count, steps_total, ran, timed_out
             for chunk_result in self._dispatch(
-                spec, resolved, base_seed, range(start, end), fold
+                spec,
+                resolved,
+                base_seed,
+                range(start, end),
+                fold,
+                # An armed deadline may abandon the iterator: window the
+                # dispatch so abandonment strands at most a window of
+                # submitted chunks, not the whole experiment.
+                bounded=deadline is not None,
             ):
                 if fold:
                     fold_counts, fold_successes, fold_steps, fold_trials = chunk_result
@@ -544,15 +584,36 @@ class ExperimentRunner:
                             outcomes.append(trial)
                         if on_outcome is not None:
                             on_outcome(trial)
+                if deadline is not None and time.monotonic() >= deadline:
+                    # Cooperative cancellation: abandon at this chunk
+                    # boundary. Closing the dispatch generator discards
+                    # any in-flight parallel chunks' results.
+                    timed_out = True
+                    break
 
         if policy is None:
             _consume(0, trials)
+            if timed_out and ran >= trials:
+                # The deadline lapsed exactly as the last chunk folded:
+                # every requested trial ran, so the result is complete —
+                # stamping it timed_out would discard it and retry the
+                # point forever under --resume.
+                timed_out = False
         else:
             done = 0
             for end in policy.batch_ends():
                 if end > done:
                     _consume(done, end)
                     done = end
+                if timed_out:
+                    if ran == done and (
+                        ran >= policy.max_trials
+                        or policy.satisfied(success_count, ran)
+                    ):
+                        # Same complete-at-the-boundary case: the stop
+                        # rule already decided; nothing was lost.
+                        timed_out = False
+                    break
                 if policy.satisfied(success_count, done):
                     break
         outcomes.sort(key=lambda t: t.index)
@@ -571,6 +632,7 @@ class ExperimentRunner:
             elapsed=time.perf_counter() - started,
             steps_total=steps_total,
             budget=policy,
+            timed_out=timed_out,
         )
 
 

@@ -32,7 +32,9 @@ pre-registry key format unchanged).
 
 import itertools
 import json
+import os
 from typing import (
+    Callable,
     Any,
     Collection,
     Dict,
@@ -122,9 +124,19 @@ def row_resume_key(row: Mapping[str, Any]) -> str:
     Rows carrying a ``"budget"`` object were adaptive: their ``trials``
     field is the realized count, so the key is rebuilt from the policy
     (``trials=None``) — exactly what a resuming adaptive sweep asks for.
+
+    Timed-out rows (``"timed_out": true`` — a campaign deadline abandoned
+    the point mid-run) have **no** resume identity: their ``trials``
+    field is a scheduling-dependent partial count, and treating one as
+    done would let a truncated artifact satisfy a resume lookup forever.
+    Asking for their key raises, which every loader treats as "retry".
     """
     # Membership tests (not .get) so foreign JSON shapes — lists, strings
     # — fall through to the KeyError/TypeError the loaders tolerate.
+    if "timed_out" in row and row["timed_out"]:
+        raise ConfigurationError(
+            "timed-out rows have no resume identity; the point must re-run"
+        )
     budget = row["budget"] if "budget" in row else None
     return resume_key(
         row["scenario"],
@@ -136,16 +148,29 @@ def row_resume_key(row: Mapping[str, Any]) -> str:
     )
 
 
-def load_completed_keys(lines: Iterable[str]) -> Set[str]:
+def load_completed_keys(
+    lines: Iterable[str],
+    on_skip: Optional[Callable[[int, str, str], None]] = None,
+) -> Set[str]:
     """Resume keys of every well-formed sweep row in ``lines``.
 
     Lines that are not JSON objects carrying the identity fields
     (foreign content, partial writes, malformed budget objects) are
-    ignored: an unparseable line can only cause a grid point to
-    *re-run*, never to be skipped.
+    skipped: an unparseable line can only cause a grid point to
+    *re-run*, never to be skipped. The canonical producer of such a line
+    is a run killed mid-append — the trailing row is truncated (or
+    blank, if the kill landed between the text and its newline), and a
+    resume must shrug it off rather than crash or trust it.
+
+    ``on_skip(line_number, line, reason)`` (if given) observes every
+    non-blank line that contributed no key, so callers can *warn* about
+    a torn tail instead of silently re-running. ``reason`` is
+    ``"timed-out"`` for well-formed rows a deadline abandoned (their
+    retry is the resume contract working as designed) and
+    ``"malformed"`` for everything else.
     """
     keys: Set[str] = set()
-    for line in lines:
+    for number, line in enumerate(lines, 1):
         line = line.strip()
         if not line:
             continue
@@ -153,8 +178,65 @@ def load_completed_keys(lines: Iterable[str]) -> Set[str]:
             row = json.loads(line)
             keys.add(row_resume_key(row))
         except (ValueError, KeyError, TypeError, ConfigurationError):
+            if on_skip is not None:
+                reason = "malformed"
+                try:
+                    if json.loads(line).get("timed_out"):
+                        reason = "timed-out"
+                except (ValueError, AttributeError):
+                    pass
+                on_skip(number, line, reason)
             continue
     return keys
+
+
+class RowWriter:
+    """The one durable line-appender every row store goes through.
+
+    A plain buffered ``write`` gives a killed run three failure shapes:
+    rows lost in the userspace buffer, rows lost in the page cache, and
+    a *torn* trailing line when the kill lands mid-``write``. The first
+    two are this class's job — every :meth:`append` pushes the line
+    through ``flush`` + ``os.fsync`` before returning, so once a row has
+    been handed over it survives anything short of disk failure. The
+    third is physically unavoidable (appends are not atomic), which is
+    why :func:`load_completed_keys` tolerates exactly one torn tail: the
+    fsync discipline here guarantees a partial line can only ever be the
+    *last* one.
+
+    Per-row fsync is noise next to a grid point's trial work (rows are
+    emitted once per experiment, not per trial); the bulk
+    :meth:`write_lines` path — used to seed a staging file with a
+    previous run's rows — pays one fsync for the whole block instead.
+    """
+
+    def __init__(self, path: str, append: bool = False):
+        self.path = path
+        self._file = open(path, "a" if append else "w")
+
+    def write_lines(self, lines: Iterable[str]) -> None:
+        """Bulk-write already-terminated lines, then sync once."""
+        self._file.writelines(lines)
+        self._sync()
+
+    def append(self, line: str) -> None:
+        """Append one row line (newline added) and sync it to disk."""
+        self._file.write(line + "\n")
+        self._sync()
+
+    def _sync(self) -> None:
+        self._file.flush()
+        os.fsync(self._file.fileno())
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.close()
+
+    def __enter__(self) -> "RowWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 def sweep_scenario(
