@@ -19,7 +19,8 @@ Registered here (imported for effect by
 """
 
 import math
-from typing import Optional, Tuple
+import random
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.attacks.cubic import cubic_attack_protocol
 from repro.attacks.equal_spacing import (
@@ -36,6 +37,11 @@ from repro.experiments.scenario import (
     register_scenario,
     ring_topology,
 )
+from repro.util.mtcompat import HAVE_NUMPY, mt_random_state
+from repro.util.rng import derive_seed
+
+if HAVE_NUMPY:
+    import numpy as np
 
 
 def _frontier_cubic(topo, params, rng):
@@ -74,6 +80,61 @@ def within_envelope(outcome, params: Params) -> bool:
     return outcome <= math.log(params["n"]) / segment_probability(params)
 
 
+# ----------------------------------------------------------------------
+# Batch kernel
+# ----------------------------------------------------------------------
+
+
+def _max_segment_numpy(state, n: int, p: float) -> int:
+    """Vectorized trial body: longest honest segment, or 0 if degenerate.
+
+    Mirrors :meth:`RingPlacement.random_locations` (one uniform double
+    per non-origin processor, selected where ``< p``) and
+    :meth:`RingPlacement.distances` (consecutive gaps minus one, plus
+    the wrap-around gap through the origin), with numpy drawing the
+    doubles the trial's ``random.Random`` stream would have drawn.
+    """
+    positions = np.flatnonzero(state.random_sample(n - 1) < p) + 2
+    if positions.size < 2:
+        return 0
+    gaps = np.diff(positions) - 1
+    wrap = int(positions[0]) + n - int(positions[-1]) - 1
+    return max(int(gaps.max()), wrap)
+
+
+def _max_segment_python(rng: random.Random, n: int, p: float) -> int:
+    """The same trial body off numpy (absent, or a 1-word MT seed)."""
+    placement = RingPlacement.random_locations(n, p, rng)
+    if placement is None:
+        return 0
+    return segment_statistics(placement).max_length
+
+
+def run_random_segments_batch(
+    seeds: Sequence[int], params: Params
+) -> Optional[Tuple[Dict[object, int], int]]:
+    """Fold a chunk of ``placement/random-segments`` trials."""
+    if not HAVE_NUMPY:
+        return None
+    n = params["n"]
+    p = segment_probability(params)
+    if n < 2 or not 0 <= p <= 1:
+        return None  # degenerate draws / invalid p: scalar path decides
+    counts: Dict[object, int] = {}
+    # One RandomState re-seeded per trial: construction costs ~6x a
+    # re-seed, and the streams are bit-identical either way.
+    shared = np.random.RandomState(0)
+    for seed in seeds:
+        scenario_seed = derive_seed(seed, "scenario")
+        state = mt_random_state(scenario_seed, into=shared)
+        if state is not None:
+            longest = _max_segment_numpy(state, n, p)
+        else:  # 1-word MT seed: numpy's init diverges, replay exactly
+            longest = _max_segment_python(random.Random(scenario_seed), n, p)
+        counts[longest] = counts.get(longest, 0) + 1
+    return counts, 0
+
+
 register_scenario(
     ScenarioSpec(
         name="frontier/cubic",
@@ -103,6 +164,7 @@ register_scenario(
         name="placement/random-segments",
         description="Figure 1c: longest honest segment of an i.i.d. placement",
         run_trial=run_random_segments_trial,
+        run_batch=run_random_segments_batch,
         outcome_size=no_valid_ids,  # outcomes are segment lengths, not ids
         defaults={"n": 256, "p": None},
         success=within_envelope,

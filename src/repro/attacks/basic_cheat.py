@@ -25,6 +25,8 @@ class BasicLeadCheaterStrategy(Strategy):
     produce so every honest validation succeeds.
     """
 
+    __slots__ = ("n", "target", "received")
+
     def __init__(self, n: int, target: int):
         self.n = n
         self.target = target

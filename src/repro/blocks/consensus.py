@@ -26,6 +26,8 @@ InputFn = Callable[[int], Any]
 class FairConsensusStrategy(KnowledgeSharingStrategy):
     """Knowledge sharing specialized to fair consensus."""
 
+    __slots__ = ("input_value",)
+
     def __init__(self, pid: int, n: int, input_value: Any):
         self.input_value = input_value
         super().__init__(

@@ -43,6 +43,17 @@ class KnowledgeSharingStrategy(Strategy):
         position - 1) once sharing completes; must terminate the context.
     """
 
+    __slots__ = (
+        "pid",
+        "n",
+        "payload_fn",
+        "finish_fn",
+        "payload",
+        "buffer",
+        "rounds",
+        "received",
+    )
+
     def __init__(
         self,
         pid: int,

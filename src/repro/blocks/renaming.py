@@ -27,6 +27,8 @@ Assignment = Tuple[Tuple[int, int], ...]
 class FairRenamingStrategy(KnowledgeSharingStrategy):
     """Knowledge sharing specialized to fair renaming."""
 
+    __slots__ = ()
+
     def __init__(self, pid: int, n: int):
         super().__init__(
             pid,

@@ -13,7 +13,17 @@ Registered here (imported for effect by
   distribution is directly comparable to an election's);
 - ``blocks/fair-renaming`` — order-preserving renaming; the tracked
   outcome is processor 1's new name, uniform over ``1..n``.
+
+Both carry ``run_batch`` kernels: the knowledge-sharing block elects
+``residue_to_id(sum of the n payload residues)``, each residue being
+the first ``randrange(n)`` of that processor's ``proc:<pid>`` stream
+(drawn at wakeup), so a whole chunk folds in closed form — consensus
+decides the leader's input (= the leader's pid here) and renaming
+hands processor 1 the name ``(1 - leader) mod n + 1``.
 """
+
+import random
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.blocks.consensus import fair_consensus_protocol
 from repro.blocks.renaming import fair_renaming_protocol, my_name
@@ -23,7 +33,9 @@ from repro.experiments.scenario import (
     register_scenario,
     ring_topology,
 )
+from repro.protocols.outcome import residue_to_id
 from repro.sim.execution import FAIL
+from repro.util.rng import derive_seed
 
 
 def _pid_input(pid):
@@ -46,12 +58,61 @@ def renaming_to_first_name(outcome, params: Params):
     return my_name(outcome, 1)
 
 
+# ----------------------------------------------------------------------
+# Batch kernels
+# ----------------------------------------------------------------------
+#
+# Like A-LEADuni, an honest knowledge-sharing run is n^2 deliveries
+# (every processor sends exactly n messages) and its elected position
+# depends only on the first randrange(n) of each proc:<pid> stream.
+
+
+def _block_leader(registry_seed: int, n: int) -> int:
+    """The position an honest knowledge-sharing block elects."""
+    total = 0
+    for pid in range(1, n + 1):
+        stream = random.Random(derive_seed(registry_seed, f"proc:{pid}"))
+        total += stream.randrange(n)
+    return residue_to_id(total % n, n)
+
+
+def run_fair_consensus_batch(
+    seeds: Sequence[int], params: Params
+) -> Optional[Tuple[Dict[object, int], int]]:
+    """Fold a chunk of ``blocks/fair-consensus`` trials: the decided
+    value is the elected position's input, and inputs are the pids."""
+    n = params["n"]
+    if n < 2:
+        return None  # degenerate ring: let the scalar path report it
+    counts: Dict[object, int] = {}
+    for seed in seeds:
+        leader = _block_leader(seed, n)
+        counts[leader] = counts.get(leader, 0) + 1
+    return counts, n * n * len(seeds)
+
+
+def run_fair_renaming_batch(
+    seeds: Sequence[int], params: Params
+) -> Optional[Tuple[Dict[object, int], int]]:
+    """Fold a chunk of ``blocks/fair-renaming`` trials: processor 1's
+    new name is its ring distance from the elected origin of names."""
+    n = params["n"]
+    if n < 2:
+        return None
+    counts: Dict[object, int] = {}
+    for seed in seeds:
+        name = (1 - _block_leader(seed, n)) % n + 1
+        counts[name] = counts.get(name, 0) + 1
+    return counts, n * n * len(seeds)
+
+
 register_scenario(
     ScenarioSpec(
         name="blocks/fair-consensus",
         description="fair consensus over pid inputs (Afek et al. block)",
         build_topology=ring_topology,
         build_protocol=_consensus_protocol,
+        run_batch=run_fair_consensus_batch,
         defaults={"n": 6},
         tags=("blocks", "honest"),
     )
@@ -63,6 +124,7 @@ register_scenario(
         description="fair renaming; outcome = processor 1's new name",
         build_topology=ring_topology,
         build_protocol=_renaming_protocol,
+        run_batch=run_fair_renaming_batch,
         map_outcome=renaming_to_first_name,
         defaults={"n": 6},
         tags=("blocks", "honest"),

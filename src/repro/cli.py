@@ -608,7 +608,7 @@ def _budget_from_args(args):
 
 def _cmd_sweep(args) -> int:
     if args.list:
-        for name, desc, _tags, defaults in _scenario_rows():
+        for name, desc, _tags, defaults, _batch in _scenario_rows():
             print(f"{name:<26} {desc}  [{defaults}]")
         return 0
     if not args.scenario:
@@ -812,7 +812,7 @@ def _cmd_campaign(args) -> int:
 
 
 #: Column layout of the ``scenarios`` listing (shared by --markdown).
-_SCENARIO_COLUMNS = ("Scenario", "Description", "Tags", "Defaults")
+_SCENARIO_COLUMNS = ("Scenario", "Description", "Tags", "Defaults", "Batch")
 
 
 def _scenario_rows():
@@ -821,8 +821,9 @@ def _scenario_rows():
         defaults = ", ".join(
             f"{k}={v}" for k, v in sorted(spec.defaults.items())
         )
+        batch = "yes" if spec.run_batch is not None else ""
         rows.append(
-            (spec.name, spec.description, ", ".join(spec.tags), defaults)
+            (spec.name, spec.description, ", ".join(spec.tags), defaults, batch)
         )
     return rows
 
@@ -835,8 +836,8 @@ def _cmd_scenarios(args) -> int:
     if args.markdown:
         print("| " + " | ".join(_SCENARIO_COLUMNS) + " |")
         print("|" + "---|" * len(_SCENARIO_COLUMNS))
-        for name, desc, tags, defaults in rows:
-            print(f"| `{name}` | {desc} | {tags} | `{defaults}` |")
+        for name, desc, tags, defaults, batch in rows:
+            print(f"| `{name}` | {desc} | {tags} | `{defaults}` | {batch} |")
         return 0
     widths = [
         max(len(str(row[i])) for row in rows + [_SCENARIO_COLUMNS])

@@ -16,9 +16,18 @@ Registered here (imported for effect by
   on the forced parity);
 - ``cointoss/coin-fle`` — FLE over ``n = 2^r`` built from ``r``
   independent coin tosses, each one a full A-LEADuni run.
+
+All three carry ``run_batch`` kernels: an honest (or single-cheater)
+ring election's outcome is a closed form over the processors' first
+secret draws, so a whole chunk folds without ever touching the
+executor. Each kernel draws from exactly the streams the executor
+would (``proc:<pid>`` per processor) so the fold is bit-identical to
+the scalar path — see :data:`repro.experiments.scenario.BatchRunner`.
 """
 
-from typing import Optional, Tuple
+import math
+import random
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.attacks.basic_cheat import basic_cheat_protocol
 from repro.cointoss.protocols import independent_coin_fle
@@ -31,8 +40,10 @@ from repro.experiments.scenario import (
     ring_topology,
 )
 from repro.protocols.alead_uni import alead_uni_protocol
+from repro.protocols.outcome import residue_to_id
 from repro.sim.execution import FAIL
 from repro.sim.topology import unidirectional_ring
+from repro.util.rng import derive_seed
 
 
 def _honest_alead(topo, params, rng):
@@ -61,12 +72,91 @@ def run_coin_fle_trial(
     params: Params, registry, max_steps: Optional[int]
 ) -> Tuple[object, int]:
     """One coin→FLE reduction: log2(n) independent ring elections."""
-    import math
-
     n = params["n"]
     topo = unidirectional_ring(n)
     outcome = independent_coin_fle(topo, alead_uni_protocol, n, registry)
     return outcome, int(math.log2(n))
+
+
+# ----------------------------------------------------------------------
+# Batch kernels
+# ----------------------------------------------------------------------
+#
+# An honest A-LEADuni election elects residue_to_id(sum of the n secret
+# residues), each secret being the *first* randrange(n) of that
+# processor's private stream proc:<pid> — so the elected leader is a
+# closed form over n stream heads and the executor's ~n^2 deliveries
+# per trial (message objects, contexts, scheduler picks) are pure
+# overhead the kernels skip. A-LEADuni's honest run always validates
+# and terminates within the default step budget in exactly n^2
+# deliveries (each of the n processors sends exactly n messages), so
+# the per-trial step count is closed-form too.
+
+
+def _alead_leader(registry_seed: int, n: int) -> int:
+    """The id an honest A-LEADuni election elects from this registry."""
+    total = 0
+    for pid in range(1, n + 1):
+        stream = random.Random(derive_seed(registry_seed, f"proc:{pid}"))
+        total += stream.randrange(n)
+    return residue_to_id(total % n, n)
+
+
+def run_fle_coin_batch(
+    seeds: Sequence[int], params: Params
+) -> Optional[Tuple[Dict[object, int], int]]:
+    """Fold a chunk of ``cointoss/fle-coin`` trials in closed form."""
+    n = params["n"]
+    if n < 2:
+        return None  # degenerate ring: let the scalar path report it
+    counts = {0: 0, 1: 0}
+    for seed in seeds:
+        counts[_alead_leader(seed, n) % 2] += 1
+    counts = {bit: c for bit, c in counts.items() if c}
+    return counts, n * n * len(seeds)
+
+
+def run_biased_coin_batch(
+    seeds: Sequence[int], params: Params
+) -> Optional[Tuple[Dict[object, int], int]]:
+    """Fold a chunk of ``cointoss/biased-coin`` trials in O(1).
+
+    Claim B.1 is deterministic: the Basic-LEAD cheater always forces
+    ``target`` whatever the honest secrets, so every trial's coin is
+    ``target % 2`` and no randomness needs replaying at all. Declines
+    out-of-range placements so the scalar path raises the builder's
+    ConfigurationError exactly as before.
+    """
+    n = params["n"]
+    cheater, target = params["cheater"], params["target"]
+    if n < 2 or cheater not in range(1, n + 1) or target not in range(1, n + 1):
+        return None
+    return {target % 2: len(seeds)}, n * n * len(seeds)
+
+
+def run_coin_fle_batch(
+    seeds: Sequence[int], params: Params
+) -> Optional[Tuple[Dict[object, int], int]]:
+    """Fold a chunk of ``cointoss/coin-fle`` trials in closed form.
+
+    Round ``r`` of a trial runs a fresh A-LEADuni election from the
+    child registry ``spawn:coin-round:<r>`` (the paper's independent-
+    instances assumption); the elected id's low bit is that round's
+    coin and the MSB-first bit string (plus one) is the elected FLE id.
+    """
+    n = params["n"]
+    rounds = int(math.log2(n)) if n >= 2 else 0
+    if n < 2 or 2**rounds != n:
+        return None  # non-power-of-two: scalar path raises
+    counts: Dict[object, int] = {}
+    for seed in seeds:
+        value = 0
+        for r in range(rounds):
+            child = derive_seed(seed, f"spawn:coin-round:{r}")
+            value = (value << 1) | (_alead_leader(child, n) % 2)
+        elected = value + 1
+        counts[elected] = counts.get(elected, 0) + 1
+    return counts, rounds * len(seeds)
 
 
 register_scenario(
@@ -75,6 +165,7 @@ register_scenario(
         description="coin toss from one honest A-LEADuni election (Thm 8.1)",
         build_topology=ring_topology,
         build_protocol=_honest_alead,
+        run_batch=run_fle_coin_batch,
         map_outcome=leader_to_coin,
         outcome_size=no_valid_ids,  # outcomes are coin bits, not ids
         defaults={"n": 8},
@@ -88,6 +179,7 @@ register_scenario(
         description="biased FLE (Basic-LEAD cheat) propagates to the coin",
         build_topology=ring_topology,
         build_protocol=_cheating_basic_lead,
+        run_batch=run_biased_coin_batch,
         map_outcome=leader_to_coin,
         outcome_size=no_valid_ids,  # outcomes are coin bits, not ids
         defaults={"n": 8, "cheater": 2, "target": 4},
@@ -101,6 +193,7 @@ register_scenario(
         name="cointoss/coin-fle",
         description="FLE over n=2^r from r independent coin tosses (Thm 8.1)",
         run_trial=run_coin_fle_trial,
+        run_batch=run_coin_fle_batch,
         defaults={"n": 8},
         tags=("cointoss", "honest"),
     )

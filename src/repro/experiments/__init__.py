@@ -50,6 +50,7 @@ Quick taste::
 from repro.experiments.budget import (
     BudgetPolicy,
     FailRateTargetPolicy,
+    OutcomeRateTargetPolicy,
     RelativePrecisionPolicy,
     WilsonWidthPolicy,
     as_policy,
@@ -112,6 +113,7 @@ __all__ = [
     "CampaignPoint",
     "CostModel",
     "FailRateTargetPolicy",
+    "OutcomeRateTargetPolicy",
     "PointScheduler",
     "RelativePrecisionPolicy",
     "RowWriter",

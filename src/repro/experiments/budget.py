@@ -8,8 +8,8 @@ count with a convergence criterion, bounded below by ``min_trials``
 (don't trust five lucky trials) and above by ``max_trials`` (always
 terminate).
 
-Three policies ship in the registry, each answering a different
-experimental question about the success proportion:
+Four policies ship in the registry, each answering a different
+experimental question about the trial outcomes:
 
 ``wilson-width``
     *How precisely is the rate known, absolutely?* Stop once the Wilson
@@ -30,12 +30,23 @@ experimental question about the success proportion:
     (success = the deviation was caught, i.e. the execution FAILed) this
     is literally a fail-rate test; points whose true rate sits at the
     threshold run to the ceiling.
+``outcome-rate-target``
+    *Is one specific outcome's rate above or below a threshold?* The
+    distribution-level sibling of ``fail-rate-target``: instead of the
+    scenario's success predicate it watches a single outcome's share of
+    the histogram — e.g. "stop once we know whether leader 3 is elected
+    more than 20% of the time" — and fires once the Wilson interval on
+    that share excludes ``target``. Outcomes are matched by string form
+    (budgets come from JSON manifests), and the rule never fires when no
+    per-outcome counters reach it, so it degrades to the ``max_trials``
+    ceiling rather than stopping blind.
 
 Determinism is the load-bearing property, and it is shared machinery:
 trials are consumed in *batches* whose boundaries are a pure function of
 the bounds alone (:meth:`BudgetPolicy.batch_ends` — ``min_trials``
 doubling up to ``max_trials``), and every stop rule is evaluated only at
-batch boundaries, on the cumulative ``(successes, trials)`` counters.
+batch boundaries, on the cumulative ``(successes, trials)`` counters
+(plus the folded per-outcome counters, which the fold carries anyway).
 Since trial ``i``'s outcome depends only on ``(base_seed, i)`` and
 counter folding is commutative, the realized trial count — and therefore
 the row — is identical whatever the worker count or chunk interleaving.
@@ -217,9 +228,20 @@ class BudgetPolicy:
                 return
             end *= 2
 
-    def satisfied(self, successes: int, trials: int) -> bool:
+    def satisfied(
+        self,
+        successes: int,
+        trials: int,
+        counts: Optional[Mapping[Any, int]] = None,
+    ) -> bool:
         """The stop rule, evaluated on cumulative counters at a batch
-        boundary. Concrete policies implement this."""
+        boundary. ``counts`` is the cumulative per-outcome histogram the
+        fold carries alongside the success counter; proportion policies
+        ignore it, distribution-level policies
+        (:class:`OutcomeRateTargetPolicy`) read one outcome's share from
+        it. Callers that only track ``(successes, trials)`` may omit it
+        — a policy that needs counts must then refuse to fire rather
+        than guess. Concrete policies implement this."""
         raise NotImplementedError
 
     # -- planning ------------------------------------------------------
@@ -268,7 +290,12 @@ class WilsonWidthPolicy(BudgetPolicy):
         del key["policy"]
         return key
 
-    def satisfied(self, successes: int, trials: int) -> bool:
+    def satisfied(
+        self,
+        successes: int,
+        trials: int,
+        counts: Optional[Mapping[Any, int]] = None,
+    ) -> bool:
         if trials < self.min_trials:
             return False
         low, high = wilson_interval(successes, trials, self.z)
@@ -301,7 +328,12 @@ class RelativePrecisionPolicy(BudgetPolicy):
             )
         self._validate_bounds()
 
-    def satisfied(self, successes: int, trials: int) -> bool:
+    def satisfied(
+        self,
+        successes: int,
+        trials: int,
+        counts: Optional[Mapping[Any, int]] = None,
+    ) -> bool:
         if trials < self.min_trials or successes == 0:
             return False
         low, high = wilson_interval(successes, trials, self.z)
@@ -337,10 +369,65 @@ class FailRateTargetPolicy(BudgetPolicy):
             )
         self._validate_bounds()
 
-    def satisfied(self, successes: int, trials: int) -> bool:
+    def satisfied(
+        self,
+        successes: int,
+        trials: int,
+        counts: Optional[Mapping[Any, int]] = None,
+    ) -> bool:
         if trials < self.min_trials:
             return False
         low, high = wilson_interval(successes, trials, self.z)
+        return low > self.target or high < self.target
+
+
+@register_policy
+@dataclass(frozen=True)
+class OutcomeRateTargetPolicy(BudgetPolicy):
+    """Stop once *one outcome's* rate interval excludes ``target``.
+
+    :class:`FailRateTargetPolicy` over the histogram instead of the
+    success predicate: the watched count is ``counts[outcome]`` (zero
+    when the outcome never occurred), its proportion of ``trials`` gets
+    the same Wilson treatment, and the rule fires once the interval lies
+    entirely on one side of ``target``. Because budgets arrive as JSON
+    manifests, ``outcome`` is a string and histogram keys are matched by
+    their ``str()`` form — ``"3"`` watches leader 3, ``"FAIL"`` watches
+    the punishment outcome, ``"0.8125"`` a sequential-coin probability.
+
+    Needs the per-outcome counters the fold carries; a caller that
+    evaluates the rule without them (``counts is None``) gets ``False``
+    — never a blind stop — and the point runs to ``max_trials``.
+    """
+
+    outcome: str
+    target: float
+    min_trials: int
+    max_trials: int
+    z: float = 1.96
+
+    policy = "outcome-rate-target"
+    _SPECIFIC = {"outcome": str, "target": float}
+
+    def __post_init__(self):
+        if not self.outcome:
+            raise ConfigurationError("outcome must be a non-empty string")
+        if not 0.0 <= self.target <= 1.0:
+            raise ConfigurationError(
+                f"target must be in [0, 1], got {self.target}"
+            )
+        self._validate_bounds()
+
+    def satisfied(
+        self,
+        successes: int,
+        trials: int,
+        counts: Optional[Mapping[Any, int]] = None,
+    ) -> bool:
+        if trials < self.min_trials or counts is None:
+            return False
+        count = sum(c for o, c in counts.items() if str(o) == self.outcome)
+        low, high = wilson_interval(count, trials, self.z)
         return low > self.target or high < self.target
 
 

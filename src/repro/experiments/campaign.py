@@ -693,7 +693,9 @@ class _PointState:
     def converged(self) -> bool:
         """Whether the stop rule fires at the current batch boundary."""
         budget = self.point.budget
-        return budget is not None and budget.satisfied(self.successes, self.ran)
+        return budget is not None and budget.satisfied(
+            self.successes, self.ran, counts=self.counts
+        )
 
     def exhausted(self) -> bool:
         """Whether every requested trial has already arrived — i.e. the

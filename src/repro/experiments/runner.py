@@ -64,7 +64,7 @@ from repro.experiments.pool import (
 from repro.experiments.scenario import Params, ScenarioSpec, get_scenario
 from repro.sim.execution import run_protocol
 from repro.util.errors import ConfigurationError
-from repro.util.rng import RngRegistry
+from repro.util.rng import RngRegistry, derive_seed
 
 #: A scenario argument: registered name or an (ad-hoc) spec object.
 ScenarioRef = Union[str, ScenarioSpec]
@@ -238,7 +238,10 @@ def run_traced_trial(
 
 #: One chunk's work order, shipped to a worker. ``scenario`` is a builtin
 #: name (resolved from the worker's own catalog) or a full spec by value.
-ChunkPayload = Tuple[ScenarioRef, Params, int, Tuple[int, ...], bool, Optional[int]]
+#: The trailing ``use_batch`` flag opts the folded path in or out of a
+#: scenario's vectorized kernel; it is optional (older 6-tuples still
+#: parse, defaulting to batch-on) so pickled payloads stay compatible.
+ChunkPayload = Tuple[ScenarioRef, Params, int, Tuple[int, ...], bool, Optional[int], bool]
 
 #: A worker-side folded chunk: (outcome -> count, successes, steps total,
 #: trial count). Plain tuples pickle small and fold commutatively.
@@ -255,7 +258,7 @@ def _resolve_chunk_spec(scenario: ScenarioRef) -> ScenarioSpec:
 
 def _run_chunk(payload: ChunkPayload) -> List[TrialOutcome]:
     """Worker entry point: run a chunk, returning per-trial outcomes."""
-    scenario, params, base_seed, indices, record_trace, max_steps = payload
+    scenario, params, base_seed, indices, record_trace, max_steps = payload[:6]
     spec = _resolve_chunk_spec(scenario)
     return [
         run_one_trial(spec, params, base_seed, i, record_trace, max_steps)
@@ -282,7 +285,7 @@ def _run_chunk_packed(payload: ChunkPayload) -> PackedChunk:
     trial in bounded, cheap IPC messages instead of one arbitrarily
     large pickled object list per dispatch.
     """
-    scenario, params, base_seed, indices, record_trace, max_steps = payload
+    scenario, params, base_seed, indices, record_trace, max_steps = payload[:6]
     spec = _resolve_chunk_spec(scenario)
     outcomes = []
     steps = []
@@ -304,6 +307,40 @@ def _unpack_chunk(packed: PackedChunk) -> List[TrialOutcome]:
     ]
 
 
+def trial_seeds(base_seed: int, indices: Sequence[int]) -> List[int]:
+    """The registry master seeds trials ``indices`` run from — what a
+    :attr:`~repro.experiments.scenario.ScenarioSpec.run_batch` kernel
+    receives. Seed ``i`` is exactly ``trial_registry(base_seed, i).seed``,
+    computed without building the registry objects."""
+    return [derive_seed(base_seed, f"spawn:{i}") for i in indices]
+
+
+def _fold_batch(
+    spec: ScenarioSpec, params: Params, base_seed: int, indices: Sequence[int]
+) -> Optional[ChunkFold]:
+    """Fold one chunk through the scenario's vectorized kernel.
+
+    The kernel histograms final (post-``map_outcome``) outcomes, so the
+    success counter is recovered here by scoring each distinct outcome
+    once — the scenario's own ``success`` predicate stays the single
+    definition of success on both paths. ``None`` (kernel declined, or
+    trial-count mismatch) sends the chunk to the scalar loop.
+    """
+    result = spec.run_batch(trial_seeds(base_seed, indices), params)
+    if result is None:
+        return None
+    counts, steps_total = result
+    if sum(counts.values()) != len(indices):
+        raise ConfigurationError(
+            f"scenario {spec.name!r}: run_batch returned "
+            f"{sum(counts.values())} outcomes for {len(indices)} seeds"
+        )
+    successes = sum(
+        count for outcome, count in counts.items() if spec.success(outcome, params)
+    )
+    return (dict(counts), successes, steps_total, len(indices))
+
+
 def _run_chunk_folded(payload: ChunkPayload) -> ChunkFold:
     """Worker entry point: run a chunk, returning only folded aggregates.
 
@@ -311,9 +348,26 @@ def _run_chunk_folded(payload: ChunkPayload) -> ChunkFold:
     success/step counters, so what crosses the process boundary is a
     handful of counts however many trials the chunk held. Addition is
     commutative, so the master can fold chunk results in arrival order.
+
+    When the scenario carries a vectorized ``run_batch`` kernel, the
+    fold is computed by the kernel instead of the per-trial loop —
+    same counts bit for bit, fraction of the interpreter time. The
+    kernel only applies where its contract does: the folded path with
+    no trace and the default step budget (a custom ``max_steps`` can
+    change executor outcomes, which closed-form kernels cannot see).
     """
-    scenario, params, base_seed, indices, record_trace, max_steps = payload
+    scenario, params, base_seed, indices, record_trace, max_steps = payload[:6]
+    use_batch = payload[6] if len(payload) > 6 else True
     spec = _resolve_chunk_spec(scenario)
+    if (
+        use_batch
+        and spec.run_batch is not None
+        and not record_trace
+        and max_steps is None
+    ):
+        batched = _fold_batch(spec, params, base_seed, indices)
+        if batched is not None:
+            return batched
     counts: Dict[Any, int] = {}
     successes = 0
     steps_total = 0
@@ -335,6 +389,7 @@ def chunk_payloads(
     workers: int = 1,
     chunk_size: Optional[int] = None,
     max_chunk: Optional[int] = None,
+    use_batch: bool = True,
 ) -> List[ChunkPayload]:
     """Slice a trial-index range into worker chunk payloads.
 
@@ -364,6 +419,7 @@ def chunk_payloads(
             tuple(indices[start : start + size]),
             record_trace,
             max_steps,
+            use_batch,
         )
         for start in range(0, count, size)
     ]
@@ -399,6 +455,11 @@ class ExperimentRunner:
         first parallel use and keeps it until :meth:`close` (or GC), so
         even a single runner amortises spawn cost across its ``run()``
         calls.
+    use_batch:
+        Whether folded chunks may run through a scenario's vectorized
+        ``run_batch`` kernel (the default). ``False`` forces the
+        per-trial loop everywhere — the equivalence tests' control
+        mode; results are identical either way by contract.
     """
 
     def __init__(
@@ -409,6 +470,7 @@ class ExperimentRunner:
         record_trace: bool = False,
         max_steps: Optional[int] = None,
         pool: Optional[WorkerPool] = None,
+        use_batch: bool = True,
     ):
         if chunk_size is not None and chunk_size < 1:
             raise ConfigurationError(f"chunk_size must be >= 1, got {chunk_size}")
@@ -420,6 +482,7 @@ class ExperimentRunner:
         self.chunk_size = chunk_size
         self.record_trace = record_trace
         self.max_steps = max_steps
+        self.use_batch = use_batch
         self._pool = pool
         self._owns_pool = pool is None
 
@@ -472,6 +535,7 @@ class ExperimentRunner:
             # Streamed outcome path: per-trial results cross the process
             # boundary, so bound every dispatch's pickled payload.
             max_chunk=STREAM_CHUNK_TRIALS if use_pool and not fold else None,
+            use_batch=self.use_batch,
         )
         if not use_pool:
             # In-process: no pickling, so nothing to pack or bound.
@@ -608,13 +672,13 @@ class ExperimentRunner:
                 if timed_out:
                     if ran == done and (
                         ran >= policy.max_trials
-                        or policy.satisfied(success_count, ran)
+                        or policy.satisfied(success_count, ran, counts=counts)
                     ):
                         # Same complete-at-the-boundary case: the stop
                         # rule already decided; nothing was lost.
                         timed_out = False
                     break
-                if policy.satisfied(success_count, done):
+                if policy.satisfied(success_count, done, counts=counts):
                     break
         outcomes.sort(key=lambda t: t.index)
         distribution = OutcomeDistribution(

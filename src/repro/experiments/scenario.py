@@ -33,6 +33,7 @@ from typing import (
     List,
     Mapping,
     Optional,
+    Sequence,
     Tuple,
 )
 
@@ -75,6 +76,22 @@ TrialRunner = Callable[[Params, Any, Optional[int]], Tuple[Any, int]]
 #: Post-processes a trial's raw outcome before scoring/histogramming
 #: (e.g. leader id -> coin bit, renaming assignment -> one name).
 OutcomeMap = Callable[[Any, Params], Any]
+
+#: Vectorized whole-chunk trial kernel. Receives the chunk's per-trial
+#: registry master seeds (trial ``i`` of an experiment always gets
+#: ``derive_seed(base_seed, f"spawn:{i}")`` — exactly the seed of
+#: :func:`repro.experiments.runner.trial_registry`) and the resolved
+#: parameters, and returns ``(outcome_counts, steps_total)`` where
+#: ``outcome_counts`` histograms the *final* outcomes (i.e. after
+#: ``map_outcome``) and ``steps_total`` sums the per-trial step counts.
+#: The contract is bit-exactness: the counts must equal what running
+#: ``run_one_trial`` per seed would fold to, which means deriving all
+#: randomness from the same labelled streams (``derive_seed(seed,
+#: label)``) the scalar path uses. A kernel may return ``None`` to
+#: decline a batch (an unsupported parameter corner); the runner then
+#: falls back to the per-trial loop for that chunk, so declining is
+#: always safe, never wrong.
+BatchRunner = Callable[[Sequence[int], Params], Optional[Tuple[Dict[Any, int], int]]]
 
 #: Size of the election-shaped outcome space (valid ids ``1..n``) for
 #: scenarios whose outcomes are not the network's processor ids.
@@ -136,6 +153,14 @@ class ScenarioSpec:
         asynchronous executor (sync engine, tree games, coin-toss
         reductions, full-information games); mutually exclusive with the
         topology/protocol builders. See :data:`TrialRunner`.
+    run_batch:
+        Optional vectorized kernel folding a whole chunk of trials at
+        once (see :data:`BatchRunner`). Purely an acceleration: the
+        runner prefers it on the folded (no per-trial outcomes, no
+        trace, default step budget) path and the kernel must reproduce
+        the per-trial fold bit for bit, so rows cannot change. Composes
+        with either trial style — it replaces the loop, not the trial
+        definition.
     map_outcome:
         Optional post-map applied to each trial's raw outcome before the
         success predicate and histogram see it (e.g. leader id -> coin
@@ -161,6 +186,7 @@ class ScenarioSpec:
     build_protocol: Optional[ProtocolFactory] = None
     build_scheduler: Optional[SchedulerFactory] = None
     run_trial: Optional[TrialRunner] = None
+    run_batch: Optional[BatchRunner] = None
     map_outcome: Optional[OutcomeMap] = None
     outcome_size: Optional[OutcomeSize] = None
     defaults: Mapping[str, Any] = field(default_factory=dict)

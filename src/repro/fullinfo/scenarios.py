@@ -13,9 +13,18 @@ Registered here (imported for effect by
 - ``fullinfo/sequential-coin`` — optimal late-mover coalition play on a
   one-round boolean outcome function, evaluated exactly; the outcome is
   the forced probability (deterministic per grid point).
+
+Both carry ``run_batch`` kernels. The baton kernel replays the game
+walk on two incrementally-maintained sorted pools instead of rebuilding
+the candidate lists from scratch each pass (same ``random.Random``
+draws, so bit-identical leaders); the sequential-coin game is fully
+deterministic per grid point, so its kernel evaluates the backward
+induction once and multiplies.
 """
 
-from typing import Optional, Tuple
+import random
+from bisect import bisect_left
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.experiments.scenario import (
     Params,
@@ -27,6 +36,7 @@ from repro.fullinfo.baton import pass_the_baton
 from repro.fullinfo.boolean import majority_function, parity_function
 from repro.fullinfo.games import SequentialCoinGame
 from repro.util.errors import ConfigurationError
+from repro.util.rng import derive_seed
 
 
 def leader_in_coalition(outcome, params: Params) -> bool:
@@ -75,11 +85,72 @@ def bias_achieved(outcome, params: Params) -> bool:
     return isinstance(outcome, float) and outcome > 0.5
 
 
+# ----------------------------------------------------------------------
+# Batch kernels
+# ----------------------------------------------------------------------
+
+
+def _baton_leader(scenario_seed: int, n: int, k: int) -> int:
+    """One baton game, draw-for-draw identical to ``pass_the_baton``.
+
+    ``pass_the_baton`` rebuilds the ascending candidate list (and the
+    ascending honest-outsider sublist) from ``range(n)`` on every pass —
+    O(n) per pass just to feed ``rng.choice`` — while this walk keeps
+    both pools as sorted lists and removes taken players by bisection.
+    Identical list contents in identical order mean ``rng.choice``
+    consumes the same underlying randomness, so the elected player is
+    bit-identical; the coalition is the first ``k`` players, matching
+    :func:`run_baton_trial`.
+    """
+    rng = random.Random(scenario_seed)
+    holder = rng.randrange(n)
+    unheld = list(range(n))
+    del unheld[holder]
+    honest_unheld = [p for p in range(k, n) if p != holder]
+    for _ in range(n - 1):
+        if holder < k and honest_unheld:
+            pool = honest_unheld
+        else:
+            pool = unheld
+        holder = rng.choice(pool)
+        del unheld[bisect_left(unheld, holder)]
+        if holder >= k:
+            del honest_unheld[bisect_left(honest_unheld, holder)]
+    return holder
+
+
+def run_baton_batch(
+    seeds: Sequence[int], params: Params
+) -> Optional[Tuple[Dict[object, int], int]]:
+    """Fold a chunk of ``fullinfo/baton`` trials."""
+    n, k = params["n"], params["k"]
+    if n < 1 or not 0 <= k <= n:
+        return None  # out-of-range coalition: scalar path raises
+    counts: Dict[object, int] = {}
+    for seed in seeds:
+        leader = _baton_leader(derive_seed(seed, "scenario"), n, k)
+        counts[leader] = counts.get(leader, 0) + 1
+    return counts, (n - 1) * len(seeds)
+
+
+def run_sequential_coin_batch(
+    seeds: Sequence[int], params: Params
+) -> Optional[Tuple[Dict[object, int], int]]:
+    """Fold a chunk of ``fullinfo/sequential-coin`` trials.
+
+    The backward induction consumes no randomness, so every trial of a
+    grid point lands on the same probability: evaluate once, multiply.
+    """
+    outcome, steps = run_sequential_coin_trial(params, None, None)
+    return {outcome: len(seeds)}, steps * len(seeds)
+
+
 register_scenario(
     ScenarioSpec(
         name="fullinfo/baton",
         description="Saks' pass-the-baton vs a greedy coalition (E11)",
         run_trial=run_baton_trial,
+        run_batch=run_baton_batch,
         outcome_size=no_valid_ids,  # players are 0-based, not ids 1..n
         defaults={"n": 64, "k": 8},
         success=leader_in_coalition,
@@ -92,6 +163,7 @@ register_scenario(
         name="fullinfo/sequential-coin",
         description="optimal late movers on a sequential boolean coin game",
         run_trial=run_sequential_coin_trial,
+        run_batch=run_sequential_coin_batch,
         outcome_size=no_valid_ids,  # outcomes are probabilities, not ids
         defaults={"game": "majority", "n": 7, "k": 2, "target": 1},
         success=bias_achieved,

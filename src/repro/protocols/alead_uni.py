@@ -31,6 +31,8 @@ ORIGIN_ID = 1
 class ALeadOriginStrategy(Strategy):
     """Origin: send secret, forward ``n-1`` messages, validate the n-th."""
 
+    __slots__ = ("n", "secret", "rounds", "total")
+
     def __init__(self, n: int):
         self.n = n
         self.secret: int = None
@@ -56,6 +58,8 @@ class ALeadOriginStrategy(Strategy):
 
 class ALeadNormalStrategy(Strategy):
     """Normal processor: one-message buffer primed with the secret."""
+
+    __slots__ = ("n", "buffer", "secret", "rounds", "total")
 
     def __init__(self, n: int):
         self.n = n

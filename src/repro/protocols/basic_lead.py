@@ -20,6 +20,8 @@ from repro.util.modmath import canonical_mod
 class BasicLeadStrategy(Strategy):
     """Honest Basic-LEAD processor (symmetric; all wake spontaneously)."""
 
+    __slots__ = ("n", "secret", "rounds", "total")
+
     def __init__(self, n: int):
         self.n = n
         self.secret: int = None

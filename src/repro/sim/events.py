@@ -5,15 +5,31 @@ dataclasses. ``time`` is the logical step at which the simulator processed
 the action (a global, monotonically increasing counter). ``seq`` fields are
 1-based per-processor counters matching the paper's ``send(p, i)`` /
 ``recv(p, i)`` event notation (Appendix E.1).
+
+Each class carries an int ``kind`` class constant (and ``__slots__``), so
+hot trace filters can dispatch on an integer compare instead of an
+``isinstance`` chain and event objects stay ``__dict__``-free — traced
+runs allocate one of these per simulator action, so their footprint is
+the trace's footprint.
 """
 
 from dataclasses import dataclass
-from typing import Any, Hashable
+from typing import Any, ClassVar, Hashable
+
+#: Int codes for the five event kinds (``SomeEvent.kind`` values).
+KIND_WAKEUP = 0
+KIND_SEND = 1
+KIND_RECEIVE = 2
+KIND_TERMINATE = 3
+KIND_ABORT = 4
 
 
 @dataclass(frozen=True)
 class WakeupEvent:
     """Processor ``pid`` woke up spontaneously at logical ``time``."""
+
+    __slots__ = ("time", "pid")
+    kind: ClassVar[int] = KIND_WAKEUP
 
     time: int
     pid: Hashable
@@ -26,6 +42,9 @@ class SendEvent:
     ``seq`` is the number of messages ``sender`` has sent so far (1-based),
     i.e. this event is the paper's ``send(sender, seq)``.
     """
+
+    __slots__ = ("time", "sender", "receiver", "value", "seq")
+    kind: ClassVar[int] = KIND_SEND
 
     time: int
     sender: Hashable
@@ -42,6 +61,9 @@ class ReceiveEvent:
     matching the paper's ``recv(receiver, seq)``.
     """
 
+    __slots__ = ("time", "sender", "receiver", "value", "seq")
+    kind: ClassVar[int] = KIND_RECEIVE
+
     time: int
     sender: Hashable
     receiver: Hashable
@@ -53,6 +75,9 @@ class ReceiveEvent:
 class TerminateEvent:
     """``pid`` terminated with ``output`` (any value; ``ABORT`` for ⊥)."""
 
+    __slots__ = ("time", "pid", "output")
+    kind: ClassVar[int] = KIND_TERMINATE
+
     time: int
     pid: Hashable
     output: Any
@@ -61,6 +86,9 @@ class TerminateEvent:
 @dataclass(frozen=True)
 class AbortEvent:
     """``pid`` aborted (terminated with ⊥). ``reason`` is free-form text."""
+
+    __slots__ = ("time", "pid", "reason")
+    kind: ClassVar[int] = KIND_ABORT
 
     time: int
     pid: Hashable

@@ -123,6 +123,19 @@ class Executor:
         that only read ``result.outcome`` should pass ``False``: the hot
         path then skips all event allocation and the result carries an
         empty trace.
+    fast:
+        Selects the allocation-free delivery loop (:meth:`_run_fast`):
+        one reusable context per processor (successors and rng stream
+        resolved once instead of per callback), no per-processor
+        sent/received counters, no logical clock, and the default FIFO
+        scheduler inlined to an O(1) dict-head read. Deliveries, rng
+        consumption, and outcomes are identical to the classic loop —
+        only trace-feeding bookkeeping is skipped, which is why it
+        requires ``record_trace=False``. Default ``None`` means "fast
+        whenever untraced", so Monte-Carlo runs get it automatically;
+        pass ``False`` to force the classic loop (benchmark baselines,
+        or strategies that illegitimately retain contexts between
+        callbacks).
     """
 
     def __init__(
@@ -133,6 +146,7 @@ class Executor:
         rng: Optional[RngRegistry] = None,
         max_steps: Optional[int] = None,
         record_trace: bool = True,
+        fast: Optional[bool] = None,
     ):
         missing = [v for v in topology.nodes if v not in protocol]
         if missing:
@@ -163,6 +177,14 @@ class Executor:
         self._sent: Dict[Hashable, int] = {v: 0 for v in topology.nodes}
         self._received: Dict[Hashable, int] = {v: 0 for v in topology.nodes}
         self._record_trace = record_trace
+        if fast is None:
+            fast = not record_trace
+        elif fast and record_trace:
+            raise ConfigurationError(
+                "fast=True skips the bookkeeping event recording needs; "
+                "pass record_trace=False (or fast=False) instead"
+            )
+        self._fast = fast
         self._trace = Trace()
         self._time = 0
 
@@ -207,6 +229,8 @@ class Executor:
 
     def run(self) -> ExecutionResult:
         """Execute to quiescence (or the step budget) and score the outcome."""
+        if self._fast:
+            return self._run_fast()
         for pid in self.topology.nodes:
             self._time += 1
             if self._record_trace:
@@ -244,6 +268,106 @@ class Executor:
 
         quiesced = not ready
         return self._score(steps, quiesced)
+
+    def _run_fast(self) -> ExecutionResult:
+        """The untraced delivery loop, stripped to what outcomes need.
+
+        Per-delivery allocations of the classic loop that this one
+        eliminates: the fresh :class:`Context` (reused per processor,
+        with successors and the ``proc:<pid>`` stream — an f-string plus
+        two dict hops — resolved once up front), the event objects (no
+        trace), and the ``_sent`` / ``_received`` counter updates and
+        logical clock that exist only to stamp events. The scheduler
+        contract is kept — a non-default scheduler sees the same
+        :class:`_ReadyLinks` view and validation — but the default
+        :class:`FifoScheduler`'s head-of-dict choice is inlined.
+        Delivery order and rng consumption are identical to the classic
+        loop, so outcomes (and therefore every experiment row) are too.
+        """
+        topology = self.topology
+        protocol = self.protocol
+        queues = self._queues
+        ready = self._ready
+        terminated = self._terminated
+        outputs = self._outputs
+        rng = self.rng
+
+        contexts: Dict[Hashable, Context] = {}
+        n = len(topology)
+        for pid in topology.nodes:
+            contexts[pid] = Context(
+                pid=pid,
+                out_neighbors=topology.successors(pid),
+                n=n,
+                rng=rng.stream(f"proc:{pid}"),
+            )
+
+        for pid in topology.nodes:
+            ctx = contexts[pid]
+            protocol[pid].on_wakeup(ctx)
+            self._drain_context_fast(pid, ctx)
+
+        steps = 0
+        max_steps = self.max_steps
+        scheduler = self.scheduler
+        default_fifo = type(scheduler) is FifoScheduler
+        ready_view = None if default_fifo else _ReadyLinks(ready)
+        while ready and steps < max_steps:
+            if default_fifo:
+                link = next(iter(ready))
+            else:
+                link = scheduler.choose(ready_view)
+                if link not in ready:
+                    raise SimulationError(f"scheduler chose non-ready link {link}")
+            queue = queues[link]
+            value = queue.popleft()
+            if not queue:
+                del ready[link]
+            steps += 1
+            receiver = link[1]
+            if terminated[receiver]:
+                continue  # terminated processors ignore late messages
+            ctx = contexts[receiver]
+            protocol[receiver].on_receive(ctx, value, link[0])
+            # _drain_context_fast, inlined: this runs once per delivery.
+            sends = ctx.sends
+            if sends:
+                for to, out_value in sends:
+                    out_link = (receiver, to)
+                    out_queue = queues.get(out_link)
+                    if out_queue is None:
+                        raise SimulationError(
+                            f"send on non-existent link {out_link}"
+                        )
+                    if not out_queue:
+                        ready[out_link] = None
+                    out_queue.append(out_value)
+                sends.clear()
+            if ctx.terminated:
+                terminated[receiver] = True
+                outputs[receiver] = ctx.output
+
+        quiesced = not ready
+        return self._score(steps, quiesced)
+
+    def _drain_context_fast(self, pid: Hashable, ctx: Context) -> None:
+        """Apply a reused context's actions without trace bookkeeping."""
+        sends = ctx.sends
+        if sends:
+            queues = self._queues
+            ready = self._ready
+            for to, value in sends:
+                link = (pid, to)
+                queue = queues.get(link)
+                if queue is None:
+                    raise SimulationError(f"send on non-existent link {link}")
+                if not queue:
+                    ready[link] = None
+                queue.append(value)
+            sends.clear()
+        if ctx.terminated:
+            self._terminated[pid] = True
+            self._outputs[pid] = ctx.output
 
     def _score(self, steps: int, quiesced: bool) -> ExecutionResult:
         undelivered = {
@@ -288,12 +412,15 @@ def run_protocol(
     seed: Optional[int] = None,
     max_steps: Optional[int] = None,
     record_trace: bool = True,
+    fast: Optional[bool] = None,
 ) -> ExecutionResult:
     """One-shot convenience wrapper around :class:`Executor`.
 
     Exactly one of ``rng`` / ``seed`` may be given; ``seed`` builds a fresh
     :class:`RngRegistry`. Pass ``record_trace=False`` for Monte-Carlo hot
-    loops that only inspect the outcome (the trace comes back empty).
+    loops that only inspect the outcome (the trace comes back empty, and
+    the allocation-free fast loop is selected automatically; ``fast``
+    overrides — see :class:`Executor`).
     """
     if rng is not None and seed is not None:
         raise ConfigurationError("pass either rng or seed, not both")
@@ -306,5 +433,6 @@ def run_protocol(
         rng=rng,
         max_steps=max_steps,
         record_trace=record_trace,
+        fast=fast,
     )
     return executor.run()

@@ -30,11 +30,25 @@ _ABORT_SENTINEL = "⊥"
 class Context:
     """Per-callback action collector handed to strategy callbacks.
 
-    A fresh context is created for every callback invocation; the executor
-    drains ``sends`` afterwards. The context also carries read-only
-    information the strategy is entitled to: its id, its out-neighbours,
-    the ring size, and its private RNG.
+    On the traced path a fresh context is created for every callback
+    invocation; the executor's untraced fast path instead keeps one
+    context per processor and clears ``sends`` between callbacks (see
+    :meth:`reset_actions`), which is indistinguishable to strategies
+    that act only within the callback — the documented contract. The
+    context also carries read-only information the strategy is entitled
+    to: its id, its out-neighbours, the ring size, and its private RNG.
     """
+
+    __slots__ = (
+        "pid",
+        "out_neighbors",
+        "n",
+        "rng",
+        "sends",
+        "terminated",
+        "output",
+        "abort_reason",
+    )
 
     def __init__(
         self,
@@ -52,6 +66,15 @@ class Context:
         self.output: Any = None
         self.abort_reason: Optional[str] = None
 
+    def reset_actions(self) -> None:
+        """Clear queued sends between callbacks (fast-path reuse only).
+
+        Termination state is deliberately *not* cleared: a terminated
+        processor receives no further callbacks, and keeping the flag
+        preserves the send-after-terminate guard across reuse.
+        """
+        self.sends.clear()
+
     def send(self, to: Hashable, value: Any) -> None:
         """Queue ``value`` on the link to ``to`` (must be an out-neighbour)."""
         if self.terminated:
@@ -63,13 +86,21 @@ class Context:
         self.sends.append((to, value))
 
     def send_next(self, value: Any) -> None:
-        """Send to the unique out-neighbour (ring convenience)."""
-        if len(self.out_neighbors) != 1:
+        """Send to the unique out-neighbour (ring convenience).
+
+        Flattened rather than delegating to :meth:`send`: ring protocols
+        call this once per delivery, and the membership check is vacuous
+        for the single out-neighbour.
+        """
+        out = self.out_neighbors
+        if len(out) != 1:
             raise ProtocolViolation(
-                f"{self.pid} called send_next with {len(self.out_neighbors)} "
+                f"{self.pid} called send_next with {len(out)} "
                 "out-neighbours; use send(to, value)"
             )
-        self.send(self.out_neighbors[0], value)
+        if self.terminated:
+            raise ProtocolViolation(f"{self.pid} tried to send after terminating")
+        self.sends.append((out[0], value))
 
     def terminate(self, output: Any) -> None:
         """Terminate with ``output``. May be called at most once."""
@@ -89,7 +120,12 @@ class Strategy(ABC):
 
     A strategy instance holds the processor's local state between
     callbacks, so each processor in a protocol needs its own instance.
+    (The empty ``__slots__`` here lets hot subclasses declare their own
+    and become ``__dict__``-free; subclasses that don't bother keep a
+    ``__dict__`` as usual.)
     """
+
+    __slots__ = ()
 
     @abstractmethod
     def on_wakeup(self, ctx: Context) -> None:
@@ -107,6 +143,8 @@ class SilentStrategy(Strategy):
     processor stalls the whole execution, which the executor reports as a
     ``FAIL`` outcome by non-termination.
     """
+
+    __slots__ = ()
 
     def on_wakeup(self, ctx: Context) -> None:
         pass

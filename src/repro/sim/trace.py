@@ -11,6 +11,9 @@ from collections import defaultdict
 from typing import Any, Dict, Hashable, Iterable, List, Optional, Union
 
 from repro.sim.events import (
+    KIND_RECEIVE,
+    KIND_SEND,
+    KIND_TERMINATE,
     AbortEvent,
     ReceiveEvent,
     SendEvent,
@@ -41,12 +44,12 @@ class Trace:
 
     def sends_by(self, pid: Hashable) -> List[SendEvent]:
         """All messages sent by ``pid``, in order."""
-        return [e for e in self.events if isinstance(e, SendEvent) and e.sender == pid]
+        return [e for e in self.events if e.kind == KIND_SEND and e.sender == pid]
 
     def receives_by(self, pid: Hashable) -> List[ReceiveEvent]:
         """All messages received by ``pid``, in order."""
         return [
-            e for e in self.events if isinstance(e, ReceiveEvent) and e.receiver == pid
+            e for e in self.events if e.kind == KIND_RECEIVE and e.receiver == pid
         ]
 
     def sent_values(self, pid: Hashable) -> List[Any]:
@@ -64,7 +67,7 @@ class Trace:
     def termination_outputs(self) -> Dict[Hashable, Any]:
         """Map pid → output for every processor that terminated."""
         return {
-            e.pid: e.output for e in self.events if isinstance(e, TerminateEvent)
+            e.pid: e.output for e in self.events if e.kind == KIND_TERMINATE
         }
 
     def sent_counter_series(
@@ -84,14 +87,14 @@ class Trace:
             list(watched)
             if watched is not None
             else sorted(
-                {e.sender for e in self.events if isinstance(e, SendEvent)},
+                {e.sender for e in self.events if e.kind == KIND_SEND},
                 key=repr,
             )
         )
         for pid in tracked:
             series[pid] = []
         for event in self.events:
-            if isinstance(event, SendEvent):
+            if event.kind == KIND_SEND:
                 counters[event.sender] += 1
             for pid in tracked:
                 series[pid].append(counters[pid])

@@ -1,0 +1,242 @@
+"""Property tests: batch kernels are bit-identical to the scalar loop.
+
+``ScenarioSpec.run_batch`` is purely an acceleration — the contract
+(:data:`repro.experiments.scenario.BatchRunner`) says a kernel must
+reproduce the per-trial fold bit for bit, so no row can depend on
+whether a chunk ran vectorized. The equivalence scripts that shaped each
+kernel don't survive their session; this layer pins the contract in the
+suite, for *every* batch-capable scenario the catalog registers:
+
+- random parameter points and base seeds (drawn from a fixed, per-
+  scenario RNG, so failures replay exactly) run once through
+  ``use_batch=True`` and once through ``use_batch=False``, at one worker
+  and at four, and the folded rows — outcome histogram, success
+  proportion, ``steps_total`` — must match key for key;
+- the folded batch row is also checked against the *unfolded* scalar
+  run (``keep_outcomes=True``), tying the kernel all the way back to the
+  per-trial ``TrialOutcome`` stream, not merely to the scalar fold;
+- kernels that decline a parameter point (return ``None``) must leave
+  the scalar fallback's results untouched, and a kernel that miscounts
+  its chunk must be rejected loudly rather than folded.
+
+The catalog of batch-capable names is pinned too: a scenario silently
+dropping out of batch coverage would otherwise shrink this suite to
+vacuity without a single failure.
+"""
+
+import random
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments import ExperimentRunner, WorkerPool, all_scenarios, get_scenario
+from repro.util.errors import ConfigurationError
+
+#: Every batch-capable scenario in the registered catalog.
+BATCH_NAMES = sorted(
+    spec.name for spec in all_scenarios() if spec.run_batch is not None
+)
+
+#: The names expected to carry kernels — update alongside the catalog.
+EXPECTED_BATCH_NAMES = [
+    "blocks/fair-consensus",
+    "blocks/fair-renaming",
+    "cointoss/biased-coin",
+    "cointoss/coin-fle",
+    "cointoss/fle-coin",
+    "fullinfo/baton",
+    "fullinfo/sequential-coin",
+    "placement/random-segments",
+]
+
+
+def _sample_biased_coin(rng):
+    n = rng.randrange(2, 17)
+    return {"n": n, "cheater": rng.randrange(1, n + 1), "target": rng.randrange(1, n + 1)}
+
+
+def _sample_baton(rng):
+    n = rng.randrange(1, 41)
+    return {"n": n, "k": rng.randrange(0, n + 1)}
+
+
+def _sample_sequential(rng):
+    game = rng.choice(["parity", "majority"])
+    n = rng.randrange(2, 9)
+    if game == "majority":
+        n |= 1  # the majority game is defined on odd player counts
+    return {
+        "game": game,
+        "n": n,
+        "k": rng.randrange(0, n + 1),
+        "target": rng.randrange(0, 2),
+    }
+
+
+#: Per-scenario random parameter points. Ranges stay inside each
+#: scenario's valid domain (the decline paths get their own test) but
+#: deliberately stress the edges the kernels special-case: coalition of
+#: everybody, cheater at either end of the ring, single-player batons.
+PARAM_SAMPLERS = {
+    "cointoss/fle-coin": lambda rng: {"n": rng.randrange(2, 33)},
+    "cointoss/biased-coin": _sample_biased_coin,
+    "cointoss/coin-fle": lambda rng: {"n": 2 ** rng.randrange(1, 6)},
+    "fullinfo/baton": _sample_baton,
+    "fullinfo/sequential-coin": _sample_sequential,
+    "blocks/fair-consensus": lambda rng: {"n": rng.randrange(2, 17)},
+    "blocks/fair-renaming": lambda rng: {"n": rng.randrange(2, 17)},
+    "placement/random-segments": lambda rng: {
+        "n": rng.randrange(2, 257),
+        "p": round(rng.uniform(0.01, 0.99), 3),
+    },
+}
+
+
+def _scenario_rng(name: str) -> random.Random:
+    """A fixed per-scenario RNG, so every sampled point replays exactly."""
+    return random.Random(f"batch-kernels:{name}")
+
+
+def _run(scenario, trials, base_seed, params, *, use_batch, pool=None, **kwargs):
+    runner = ExperimentRunner(
+        workers=pool.workers if pool is not None else 1,
+        pool=pool,
+        use_batch=use_batch,
+    )
+    try:
+        return runner.run(
+            scenario,
+            trials,
+            base_seed=base_seed,
+            params=params,
+            keep_outcomes=kwargs.pop("keep_outcomes", False),
+            **kwargs,
+        )
+    finally:
+        runner.close()
+
+
+def _comparable(result):
+    """Everything a row publishes, plus the step counter the row keeps."""
+    return (result.to_row(), result.steps_total, dict(result.distribution.counts))
+
+
+def _assert_modes_agree(scenario, trials, base_seed, params, pool=None):
+    batch = _run(scenario, trials, base_seed, params, use_batch=True, pool=pool)
+    scalar = _run(scenario, trials, base_seed, params, use_batch=False, pool=pool)
+    assert _comparable(batch) == _comparable(scalar), (
+        f"{scenario} {params} diverged between batch and scalar folds "
+        f"(trials={trials}, base_seed={base_seed})"
+    )
+    return batch
+
+
+@pytest.fixture(scope="module")
+def shared_pool():
+    """One 4-worker pool for every parallel case in the module."""
+    with WorkerPool(4) as pool:
+        yield pool
+
+
+def test_batch_capable_catalog_is_pinned():
+    assert BATCH_NAMES == EXPECTED_BATCH_NAMES
+
+
+@pytest.mark.parametrize("name", BATCH_NAMES)
+def test_batch_fold_matches_scalar_fold_serial(name):
+    """Three random points per scenario, batch vs scalar, one worker."""
+    rng = _scenario_rng(name)
+    sampler = PARAM_SAMPLERS[name]
+    for _ in range(3):
+        params = sampler(rng)
+        trials = rng.randrange(16, 65)
+        base_seed = rng.randrange(2**31)
+        _assert_modes_agree(name, trials, base_seed, params)
+
+
+@pytest.mark.parametrize("name", BATCH_NAMES)
+def test_batch_fold_matches_unfolded_per_trial_run(name):
+    """The kernel ties back to the per-trial outcome stream itself, not
+    just to the scalar fold: a ``keep_outcomes=True`` run (which can
+    never take the batch path) must publish the same row."""
+    rng = _scenario_rng(name)
+    params = PARAM_SAMPLERS[name](rng)
+    trials, base_seed = 32, rng.randrange(2**31)
+    batch = _run(name, trials, base_seed, params, use_batch=True)
+    unfolded = _run(
+        name, trials, base_seed, params, use_batch=True, keep_outcomes=True
+    )
+    assert len(unfolded.outcomes) == trials
+    assert _comparable(batch) == _comparable(unfolded)
+
+
+@pytest.mark.parametrize("name", BATCH_NAMES)
+def test_batch_fold_matches_scalar_fold_4_workers(name, shared_pool):
+    """One random point per scenario through the real 4-worker pool —
+    and the parallel batch row must equal the serial batch row, so the
+    kernel is chunking-invariant as well as mode-invariant."""
+    rng = random.Random(f"batch-kernels:parallel:{name}")
+    params = PARAM_SAMPLERS[name](rng)
+    trials = rng.randrange(48, 97)
+    base_seed = rng.randrange(2**31)
+    parallel = _assert_modes_agree(name, trials, base_seed, params, pool=shared_pool)
+    serial = _run(name, trials, base_seed, params, use_batch=True)
+    assert _comparable(parallel) == _comparable(serial)
+
+
+def test_biased_coin_edge_cheaters_match_scalar():
+    """The biased-coin kernel's O(1) closed form covers the parameter
+    edges explicitly: the cheater in the origin slot and the cheater
+    forcing itself from the far end of the ring."""
+    for params in (
+        {"n": 8, "cheater": 1, "target": 5},
+        {"n": 8, "cheater": 8, "target": 8},
+        {"n": 2, "cheater": 2, "target": 1},
+    ):
+        _assert_modes_agree("cointoss/biased-coin", 24, 7, params)
+
+
+def test_declined_points_defer_to_scalar_validation():
+    """Kernels decline (return ``None`` on) points outside their domain
+    rather than guessing an answer, so the scalar path's own validation
+    error surfaces identically in both modes — the kernel never masks
+    it. coin-fle only vectorizes power-of-two rings; n=6 is declined,
+    and the scalar reduction rejects it."""
+    for use_batch in (True, False):
+        with pytest.raises(ConfigurationError):
+            _run("cointoss/coin-fle", 8, 3, {"n": 6}, use_batch=use_batch)
+
+
+def test_kernel_decline_is_per_spec_not_per_runner():
+    """An always-declining kernel grafted onto a live spec must be
+    consulted and then fully bypassed: results identical to the
+    kernel-free spec, with the decline actually exercised."""
+    base = get_scenario("cointoss/fle-coin")
+    calls = []
+
+    def declining_kernel(seeds, params):
+        calls.append(len(seeds))
+        return None
+
+    # Same name on both variants: rows embed the scenario name, and the
+    # comparison below is about results, not labels. Neither spec is
+    # registered, so the live catalog entry is untouched.
+    declined = replace(base, run_batch=declining_kernel)
+    bare = replace(base, run_batch=None)
+    got = _run(declined, 24, 11, {"n": 8}, use_batch=True)
+    want = _run(bare, 24, 11, {"n": 8}, use_batch=True)
+    assert calls and sum(calls) == 24
+    assert _comparable(got) == _comparable(want)
+
+
+def test_miscounting_kernel_is_rejected():
+    """A kernel whose counts don't cover its chunk is a contract breach
+    the runner must refuse to fold."""
+    base = get_scenario("cointoss/fle-coin")
+
+    def lossy_kernel(seeds, params):
+        return {0: len(seeds) - 1}, 0
+
+    lossy = replace(base, name="test/fle-coin-lossy", run_batch=lossy_kernel)
+    with pytest.raises(ConfigurationError):
+        _run(lossy, 16, 0, {"n": 8}, use_batch=True)

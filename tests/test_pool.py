@@ -265,11 +265,14 @@ class TestAdaptiveRuns:
 
 
 class TestPolicyRegistry:
-    def test_registry_names_cover_the_three_builtin_policies(self):
+    def test_registry_names_cover_the_builtin_policies(self):
         from repro.experiments import policy_names
 
         assert policy_names() == [
-            "fail-rate-target", "relative-precision", "wilson-width"
+            "fail-rate-target",
+            "outcome-rate-target",
+            "relative-precision",
+            "wilson-width",
         ]
 
     def test_batch_schedule_is_shared_by_every_policy(self):
@@ -325,6 +328,61 @@ class TestPolicyRegistry:
         # Boundary targets are legal; a matching true rate never decides.
         zero = FailRateTargetPolicy(target=0.0, min_trials=8, max_trials=100)
         assert not zero.satisfied(0, 100)
+
+    def test_outcome_rate_target_validation_and_stop_rule(self):
+        from repro.experiments import OutcomeRateTargetPolicy
+
+        with pytest.raises(ConfigurationError):
+            OutcomeRateTargetPolicy(
+                outcome="", target=0.5, min_trials=1, max_trials=10
+            )
+        with pytest.raises(ConfigurationError):
+            OutcomeRateTargetPolicy(
+                outcome="3", target=1.5, min_trials=1, max_trials=10
+            )
+        policy = OutcomeRateTargetPolicy(
+            outcome="3", target=0.5, min_trials=8, max_trials=10000
+        )
+        # Histogram keys match by str() form: int 3 counts toward "3".
+        assert policy.satisfied(0, 8, counts={3: 8})  # entirely above
+        assert policy.satisfied(0, 8, counts={1: 8})  # entirely below (0/8)
+        assert not policy.satisfied(0, 8, counts={3: 4, 1: 4})  # straddles
+        # No counters reaching the rule means it must never fire blind.
+        assert not policy.satisfied(8, 8, counts=None)
+        assert not policy.satisfied(8, 8)
+        # Below the trial floor nothing fires either.
+        assert not policy.satisfied(0, 4, counts={3: 4})
+
+    def test_outcome_rate_target_round_trips_through_manifest_json(self):
+        from repro.experiments import BudgetPolicy, OutcomeRateTargetPolicy
+
+        raw = {
+            "policy": "outcome-rate-target",
+            "outcome": "FAIL",
+            "target": 0.25,
+            "min_trials": 16,
+            "max_trials": 512,
+        }
+        policy = BudgetPolicy.from_mapping(raw)
+        assert isinstance(policy, OutcomeRateTargetPolicy)
+        assert policy.to_key() == {**raw, "z": 1.96}
+
+    def test_outcome_rate_target_stops_a_run_on_one_outcome(self):
+        """End-to-end: the biased coin lands every trial on parity 0, so
+        a budget watching outcome "0" against a 50% bar stops at the
+        first batch boundary — distribution-level convergence the
+        success-proportion policies cannot express."""
+        from repro.experiments import OutcomeRateTargetPolicy
+
+        result = run_scenario(
+            "cointoss/biased-coin",
+            params={"n": 8, "target": 4},
+            budget=OutcomeRateTargetPolicy(
+                outcome="0", target=0.5, min_trials=16, max_trials=4096
+            ),
+        )
+        assert result.trials == 16
+        assert result.distribution.counts == {0: 16}
 
     def test_adaptive_runs_converge_per_policy(self):
         """End-to-end: each policy stops a deterministic 100%-success
@@ -383,8 +441,7 @@ class TestStreamedOutcomes:
         )
         assert len(payloads) == 10
         assert all(
-            len(indices) <= STREAM_CHUNK_TRIALS
-            for _, _, _, indices, _, _ in payloads
+            len(payload[3]) <= STREAM_CHUNK_TRIALS for payload in payloads
         )
 
     def test_packed_chunk_roundtrips_the_trial_list(self):

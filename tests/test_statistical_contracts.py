@@ -193,6 +193,36 @@ CONTRACTS = [
             ("bias-achieved", 1.0, lambda r: r.successes.successes),
         ],
     ),
+    (
+        "fair-renaming",
+        "blocks/fair-renaming",
+        {"n": 6},
+        300,
+        0,
+        [
+            # The honest renaming block always completes (never FAILs)...
+            ("always-renames", 1.0, lambda r: r.successes.successes),
+            # ...and the uniform origin-of-names rotation makes processor
+            # 1's new name uniform over [6]: name 1 at rate 1/6 — the
+            # fairness claim E12 measures.
+            ("uniform-first-name", 1 / 6, lambda r: r.distribution.counts.get(1, 0)),
+        ],
+    ),
+    (
+        "xor-chain-dictator",
+        "tree/xor-chain",
+        {"chain": 3, "expect": "B"},
+        16,
+        0,
+        [
+            # Lemma F.3: collapsing an XOR chain to two parties leaves
+            # the last mover B a dictator, and the Lemma F.2 search must
+            # find (and witness-verify) exactly that on every run — the
+            # game is deterministic, so anything below 1.0 is a real
+            # regression in the tree machinery.
+            ("dictator-found", 1.0, lambda r: r.successes.successes),
+        ],
+    ),
 ]
 
 CONTRACT_IDS = [contract[0] for contract in CONTRACTS]
@@ -268,3 +298,10 @@ class TestExactValues:
         """Sanity-check the independent DP itself: with no coalition the
         greedy deviation vanishes and the win probability is k/n = 0."""
         assert baton_coalition_win(10, 0) == 0.0
+
+    def test_xor_chain_dictator_is_exactly_the_last_mover(self):
+        """The collapsed XOR chain's outcome distribution is the single
+        dictator label on every trial, not merely a 100% success rate —
+        pinning the outcome itself, not just the predicate."""
+        result = run_scenario("tree/xor-chain", 8, params={"chain": 3})
+        assert dict(result.distribution.counts) == {"B": 8}
