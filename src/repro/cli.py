@@ -33,16 +33,21 @@ from repro.experiments import (
     FailRateTargetPolicy,
     PointScheduler,
     RelativePrecisionPolicy,
+    ResultStore,
     RowWriter,
+    StoreRowWriter,
     WilsonWidthPolicy,
     all_scenarios,
+    coerce_param,
     expand_grid,
+    fsync_directory,
     get_scenario,
+    is_store_path,
     load_completed_keys,
     load_cost_model,
     load_manifest,
     resolve_workers,
-    resume_key,
+    retry_identity,
     row_resume_key,
     run_campaign,
     schedule_names,
@@ -169,29 +174,16 @@ def _workers_arg(text: str):
         ) from None
 
 
-def _coerce_param(text: str):
-    """CLI parameter literal -> int / float / bool / None / str."""
-    for cast in (int, float):
-        try:
-            return cast(text)
-        except ValueError:
-            pass
-    lowered = text.lower()
-    if lowered in ("true", "false"):
-        return lowered == "true"
-    if lowered in ("none", "null"):
-        return None
-    return text
-
-
 def _parse_grid(pairs):
-    """``["n=8,16", "k=4"]`` -> ``{"n": [8, 16], "k": [4]}``."""
+    """``["n=8,16", "k=4"]`` -> ``{"n": [8, 16], "k": [4]}`` (literals
+    coerced by the shared :func:`~repro.experiments.sweep.coerce_param`
+    grammar the estimate service's query strings use too)."""
     grid = {}
     for pair in pairs:
         key, sep, values = pair.partition("=")
         if not sep or not key:
             raise SystemExit(f"--param expects KEY=VALUE[,VALUE...], got {pair!r}")
-        grid[key] = [_coerce_param(v) for v in values.split(",")]
+        grid[key] = [coerce_param(v) for v in values.split(",")]
     return grid
 
 
@@ -273,19 +265,11 @@ def _completed_keys_reporting(lines, where: str):
     return completed
 
 
-def _retry_identity(scenario, params, base_seed, max_steps, budget) -> str:
-    """What identifies a timed-out row with the point that would retry
-    it: the canonical :func:`resume_key` with ``trials=None`` — the full
-    resume identity *minus* trials (a timed-out row's trial count is a
-    scheduling artifact, which is exactly why it has no real resume
-    key). Delegating keeps marker matching in lockstep with whatever
-    the identity rules are."""
-    return resume_key(scenario, params, None, base_seed, max_steps, budget)
-
-
 def _result_retry_identity(result) -> str:
-    """:func:`_retry_identity` of a freshly produced result row."""
-    return _retry_identity(
+    """:func:`~repro.experiments.campaign.retry_identity` of a freshly
+    produced result row — what matches it against a held-back timed-out
+    marker."""
+    return retry_identity(
         result.scenario,
         result.params,
         result.base_seed,
@@ -320,7 +304,7 @@ def _hold_back_stale_timed_out(existing_lines, points, completed):
     retrying = set()
     superseded = set()
     for point in points:
-        identity = _retry_identity(
+        identity = retry_identity(
             point.scenario,
             point.params,
             point.base_seed,
@@ -340,7 +324,7 @@ def _hold_back_stale_timed_out(existing_lines, points, completed):
         try:
             row = json.loads(line)
             if isinstance(row, dict) and row.get("timed_out"):
-                candidate = _retry_identity(
+                candidate = retry_identity(
                     row["scenario"],
                     row["params"],
                     row["base_seed"],
@@ -363,6 +347,30 @@ def _hold_back_stale_timed_out(existing_lines, points, completed):
     return kept, held
 
 
+def _store_completed_keys(path: str, strict: bool = True):
+    """Completed resume keys of a SQLite ``--out`` target.
+
+    A path with no database yet means no completed points (the store is
+    created when rows stream in). ``strict=False`` mirrors
+    :func:`_read_rows_file`: an unreadable store warns and reports every
+    point pending instead of dying — the ``--dry-run`` posture.
+    """
+    if not os.path.exists(path):
+        return set()
+    try:
+        with ResultStore(path) as store:
+            return store.completed_keys()
+    except ConfigurationError as exc:
+        if not strict:
+            print(
+                f"  [warning: cannot read {path}: {exc}; "
+                "treating every point as pending]",
+                file=sys.stderr,
+            )
+            return set()
+        raise SystemExit(f"cannot read --out store: {exc}") from None
+
+
 def _load_resume_state(args):
     """The ``--resume`` bookkeeping shared by ``sweep`` and ``campaign``.
 
@@ -378,6 +386,13 @@ def _load_resume_state(args):
     completed = set()
     existing_lines = []
     if args.resume:
+        if is_store_path(args.out):
+            # SQLite backend: the database is its own resume bookkeeping
+            # — completed keys are an indexed read, appends are durable
+            # in place (no staging file to salvage), and markers
+            # supersede inside the store. Opening read-write creates the
+            # database when this is the first run against the path.
+            return _store_completed_keys(args.out), existing_lines
         existing_lines = _read_rows_file(args.out)
         completed = _completed_keys_reporting(existing_lines, args.out)
         for row in _salvageable_rows(f"{args.out}.tmp", completed):
@@ -425,16 +440,7 @@ def _finalize_out(tmp_path: str, out_path: str) -> None:
     checkpoint cannot resurrect the old file (best-effort — some
     platforms refuse directory handles)."""
     os.replace(tmp_path, out_path)
-    try:
-        dir_fd = os.open(os.path.dirname(os.path.abspath(out_path)), os.O_RDONLY)
-    except OSError:
-        return
-    try:
-        os.fsync(dir_fd)
-    except OSError:
-        pass
-    finally:
-        os.close(dir_fd)
+    fsync_directory(os.path.dirname(os.path.abspath(out_path)))
 
 
 def _emit_rows(
@@ -481,15 +487,30 @@ def _emit_rows(
     supersedes its line, and whatever was not superseded when the run
     stops — however it stops — is written back, so no retry marker is
     ever lost.
+
+    A ``--out`` path with a store suffix (``.db``/``.sqlite``) swaps the
+    JSONL appender for the SQLite
+    :class:`~repro.experiments.store.StoreRowWriter`: appends are
+    transactionally durable in place, so there is no staging file, no
+    promotion, and nothing to discard — the database is the checkpoint
+    at every instant, and marker supersession happens inside the store.
+    The timing sidecar stays a JSONL file beside the database either
+    way.
     """
     writer = timing_writer = None
+    store_target = bool(args.out) and is_store_path(args.out)
     if args.out:
         try:
-            writer = RowWriter(f"{args.out}.tmp")
+            if store_target:
+                writer = StoreRowWriter(args.out)
+            else:
+                writer = RowWriter(f"{args.out}.tmp")
             if record_timings:
                 timing_writer = RowWriter(timings_path(args.out), append=True)
         except OSError as exc:
             raise SystemExit(f"cannot write --out file: {exc}") from None
+        except ConfigurationError as exc:
+            raise SystemExit(f"cannot open --out store: {exc}") from None
     outcome = _EmitOutcome()
     held = dict(replaces) if replaces else {}
 
@@ -531,7 +552,7 @@ def _emit_rows(
         if writer:
             _write_back_held()
             writer.close()
-            dest = _safe_checkpoint(args)
+            dest = args.out if store_target else _safe_checkpoint(args)
             print(
                 f"  [interrupted: {outcome.ran} finished row(s) "
                 f"checkpointed to {dest}; --resume continues]",
@@ -546,11 +567,18 @@ def _emit_rows(
         if timing_writer:
             timing_writer.close()
     if failure is not None:
-        if writer:
+        if writer and not store_target:
+            # JSONL: discard the staging file so --out keeps its
+            # previous contents. Store rows already written are real,
+            # deterministic results — they stay, and a corrected re-run
+            # resumes past them.
             os.remove(f"{args.out}.tmp")
         raise SystemExit(f"{what} failed: {failure}")
     if writer:
-        if outcome.deadline is not None:
+        if store_target:
+            # Durable in place: nothing to promote.
+            outcome.checkpoint_path = args.out
+        elif outcome.deadline is not None:
             # A deadline run is partial: promote only when it cannot
             # clobber a store whose rows were not seeded into staging.
             outcome.checkpoint_path = _safe_checkpoint(args)
@@ -746,7 +774,9 @@ def _cmd_campaign(args) -> int:
         if args.resume and not args.out:
             raise SystemExit("--resume requires --out (the file to resume into)")
         completed = set()
-        if args.out:
+        if args.out and is_store_path(args.out):
+            completed = _store_completed_keys(args.out, strict=False)
+        elif args.out:
             lines = _read_rows_file(args.out, strict=False)
             if args.resume:
                 completed = _completed_keys_reporting(lines, args.out)
@@ -761,10 +791,14 @@ def _cmd_campaign(args) -> int:
     # Timed-out rows for points this run retries are stale retry
     # markers: the retry writes a fresh row (timed-out or complete) that
     # replaces the old partial — which is written back untouched if the
-    # retry never got to run.
-    existing_lines, replaces = _hold_back_stale_timed_out(
-        existing_lines, points, completed
-    )
+    # retry never got to run. SQLite targets skip the line pass: the
+    # store applies the same replace/supersede semantics transactionally
+    # on every append.
+    replaces = {}
+    if not is_store_path(args.out):
+        existing_lines, replaces = _hold_back_stale_timed_out(
+            existing_lines, points, completed
+        )
     try:
         results = run_campaign(
             points,
@@ -809,6 +843,60 @@ def _cmd_campaign(args) -> int:
         )
         return EXIT_DEADLINE
     return 0
+
+
+def _cmd_db(args) -> int:
+    """``db import``: JSONL rows -> SQLite store; ``db stats``: counts."""
+    if args.db_command == "import":
+        if not os.path.exists(args.rows):
+            raise SystemExit(f"cannot read rows file: {args.rows!r} does not exist")
+        db = args.db or os.path.splitext(args.rows)[0] + ".db"
+        lines = _read_rows_file(args.rows)
+        try:
+            with ResultStore(db) as store:
+                report = store.import_lines(lines)
+        except ConfigurationError as exc:
+            raise SystemExit(str(exc)) from None
+        print(
+            f"imported {args.rows} into {db}: {report['stored']} stored, "
+            f"{report['duplicate']} duplicate, {report['marker']} "
+            f"timed-out marker(s), {report['superseded']} superseded, "
+            f"{report['skipped']} skipped"
+        )
+        return 0
+    try:
+        with ResultStore(args.db, read_only=True) as store:
+            stats = store.stats()
+    except ConfigurationError as exc:
+        raise SystemExit(str(exc)) from None
+    print(
+        f"{args.db}: {stats['completed']} completed row(s), "
+        f"{stats['timed_out']} timed-out marker(s), "
+        f"{stats['scenarios']} scenario(s)"
+    )
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    """``serve``: the estimate service over a results database."""
+    # Imported lazily: every other subcommand works without ever paying
+    # for the HTTP layer.
+    from repro.serve import run_server
+
+    try:
+        return run_server(
+            args.db,
+            host=args.host,
+            port=args.port,
+            workers=resolve_workers(args.workers),
+            read_only=args.read_only,
+            min_trials=args.min_trials,
+            max_trials=args.max_trials,
+            base_seed=args.seed,
+            verbose=args.verbose,
+        )
+    except ConfigurationError as exc:
+        raise SystemExit(str(exc)) from None
 
 
 #: Column layout of the ``scenarios`` listing (shared by --markdown).
@@ -996,7 +1084,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-trials", type=int, default=None,
         help="adaptive budget: hard trial ceiling (default: --trials)",
     )
-    p.add_argument("--out", default=None, help="also write JSON rows to this file")
+    p.add_argument(
+        "--out", default=None,
+        help="also write JSON rows to this file (a .db/.sqlite suffix "
+             "targets a SQLite results store instead of JSONL)",
+    )
     p.add_argument(
         "--resume",
         action="store_true",
@@ -1017,7 +1109,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes shared by all grid points "
              "(auto = derive from the machine)",
     )
-    p.add_argument("--out", default=None, help="also write JSON rows to this file")
+    p.add_argument(
+        "--out", default=None,
+        help="also write JSON rows to this file (a .db/.sqlite suffix "
+             "targets a SQLite results store instead of JSONL)",
+    )
     p.add_argument(
         "--resume",
         action="store_true",
@@ -1053,6 +1149,66 @@ def build_parser() -> argparse.ArgumentParser:
              "running anything",
     )
     p.set_defaults(func=_cmd_campaign)
+
+    p = sub.add_parser(
+        "db", help="manage a SQLite results store (import / stats)"
+    )
+    db_sub = p.add_subparsers(dest="db_command", required=True)
+    q = db_sub.add_parser(
+        "import",
+        help="import a JSONL --out file into a results database "
+             "(losslessly; torn lines are skipped, timed-out rows "
+             "become retry markers)",
+    )
+    q.add_argument("rows", help="JSONL rows file (a sweep/campaign --out)")
+    q.add_argument(
+        "--db", default=None,
+        help="database path (default: the rows file with a .db suffix)",
+    )
+    q.set_defaults(func=_cmd_db)
+    q = db_sub.add_parser("stats", help="row counts of a results database")
+    q.add_argument("db", help="database path")
+    q.set_defaults(func=_cmd_db)
+
+    p = sub.add_parser(
+        "serve",
+        help="serve estimate queries over HTTP from a results database "
+             "(stored rows when precise enough, adaptive points on miss)",
+    )
+    p.add_argument("--db", required=True, help="SQLite results database")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port", type=int, default=8080,
+        help="listen port (0 binds an ephemeral port)",
+    )
+    p.add_argument(
+        "--workers", type=_workers_arg, default=1, metavar="N|auto",
+        help="worker processes for cold-miss computations "
+             "(auto = derive from the machine)",
+    )
+    p.add_argument(
+        "--read-only", action="store_true",
+        help="answer only from stored rows; a query nothing stored "
+             "satisfies is refused (HTTP 409) instead of computed",
+    )
+    p.add_argument(
+        "--min-trials", type=int, default=DEFAULT_MIN_TRIALS,
+        help="adaptive floor for cold-miss points "
+             f"(default {DEFAULT_MIN_TRIALS})",
+    )
+    p.add_argument(
+        "--max-trials", type=int, default=100_000,
+        help="adaptive ceiling for cold-miss points (default 100000)",
+    )
+    p.add_argument(
+        "--seed", type=int, default=0,
+        help="base seed for cold-miss points",
+    )
+    p.add_argument(
+        "--verbose", action="store_true",
+        help="log each HTTP request to stderr",
+    )
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
         "scenarios",

@@ -35,6 +35,13 @@ Five layers, each usable on its own:
   :class:`PointScheduler` dictates (``longest-first`` shaves stragglers;
   the row set is schedule-invariant); surfaced as ``python -m repro
   campaign`` with ``--schedule`` and a ``--dry-run`` plan listing.
+- **Results store** (:mod:`~repro.experiments.store`): the same rows in
+  SQLite (WAL) instead of JSONL — resume keys unique-indexed, timed-out
+  markers superseded transactionally, queries indexed by (scenario,
+  params). ``sweep``/``campaign --out results.db`` write to it through
+  the :class:`StoreRowWriter` adapter, ``python -m repro db import``
+  converts existing JSONL files, and ``python -m repro serve``
+  (:mod:`repro.serve`) answers precision queries from it.
 
 Quick taste::
 
@@ -65,6 +72,8 @@ from repro.experiments.campaign import (
     expand_manifest,
     load_cost_model,
     load_manifest,
+    retry_identity,
+    row_retry_identity,
     run_campaign,
     schedule_names,
     scheduled_cost,
@@ -94,9 +103,19 @@ from repro.experiments.runner import (
     run_traced_trial,
     trial_registry,
 )
+from repro.experiments.store import (
+    ResultStore,
+    StoreRowWriter,
+    is_store_path,
+    params_blob,
+)
 from repro.experiments.sweep import (
     RowWriter,
+    canonical_params,
+    classify_row_line,
+    coerce_param,
     expand_grid,
+    fsync_directory,
     load_completed_keys,
     resume_key,
     row_resume_key,
@@ -126,6 +145,8 @@ __all__ = [
     "policy_names",
     "register_policy",
     "resolve_workers",
+    "retry_identity",
+    "row_retry_identity",
     "run_campaign",
     "schedule_names",
     "scheduled_cost",
@@ -149,8 +170,16 @@ __all__ = [
     "run_scenario",
     "run_traced_trial",
     "trial_registry",
+    "ResultStore",
+    "StoreRowWriter",
+    "canonical_params",
+    "classify_row_line",
+    "coerce_param",
     "expand_grid",
+    "fsync_directory",
+    "is_store_path",
     "load_completed_keys",
+    "params_blob",
     "resume_key",
     "row_resume_key",
     "sweep_scenario",

@@ -73,6 +73,25 @@ _POLICIES: Dict[str, Type["BudgetPolicy"]] = {}
 DEFAULT_POLICY = "wilson-width"
 
 
+def precision_satisfied(
+    successes: int, trials: int, ci_width: float, z: float = 1.96
+) -> bool:
+    """Does ``(successes, trials)`` pin the rate to within ``ci_width``?
+
+    The ``wilson-width`` stop rule as a pure predicate on stored
+    counters — shared by :class:`WilsonWidthPolicy` (evaluating live
+    batches) and the estimate service (deciding whether an already
+    stored row satisfies a query's requested precision without
+    dispatching a single trial). Zero trials never satisfy anything:
+    :func:`~repro.analysis.stats.wilson_interval` returns the vacuous
+    ``(0, 1)`` there, which is wider than any valid ``ci_width``.
+    """
+    if trials <= 0:
+        return False
+    low, high = wilson_interval(successes, trials, z)
+    return (high - low) <= ci_width
+
+
 def register_policy(cls: Type["BudgetPolicy"]) -> Type["BudgetPolicy"]:
     """Class decorator: add a concrete policy to the registry by name."""
     if cls.policy in _POLICIES:
@@ -298,8 +317,7 @@ class WilsonWidthPolicy(BudgetPolicy):
     ) -> bool:
         if trials < self.min_trials:
             return False
-        low, high = wilson_interval(successes, trials, self.z)
-        return (high - low) <= self.ci_width
+        return precision_satisfied(successes, trials, self.ci_width, self.z)
 
 
 @register_policy

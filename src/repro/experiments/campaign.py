@@ -138,6 +138,42 @@ class CampaignPoint:
         )
 
 
+def retry_identity(
+    scenario: str,
+    params: Params,
+    base_seed: int,
+    max_steps: Optional[int],
+    budget: Any,
+) -> str:
+    """What identifies a timed-out row with the point that retries it.
+
+    The canonical :func:`~repro.experiments.sweep.resume_key` with
+    ``trials=None`` — the full resume identity *minus* trials (a
+    timed-out row's trial count is a scheduling artifact, which is
+    exactly why it has no real resume key). Delegating keeps marker
+    matching in lockstep with whatever the identity rules are; both the
+    CLI's JSONL marker hold-back and the SQLite store's marker
+    supersession key off this one function.
+    """
+    return resume_key(scenario, params, None, base_seed, max_steps, budget)
+
+
+def row_retry_identity(row: Mapping[str, Any]) -> str:
+    """:func:`retry_identity` of a previously written row (timed-out
+    marker or completed), raising the same way :func:`row_resume_key`
+    does on rows whose identity fields are missing or broken."""
+    # Subscript access first: foreign shapes (lists, strings) raise the
+    # TypeError/KeyError the tolerant loaders already catch, before any
+    # .get could raise something they don't.
+    return retry_identity(
+        row["scenario"],
+        row["params"],
+        row["base_seed"],
+        row.get("max_steps"),
+        row.get("budget"),
+    )
+
+
 def load_manifest(source: Union[str, Mapping, Sequence]) -> List[CampaignPoint]:
     """Load and expand a campaign manifest into concrete points.
 

@@ -1,0 +1,410 @@
+"""SQLite results store: the resume contract as a queryable database.
+
+JSONL ``--out`` files are the write-path artifact — append-only,
+crash-tolerant, diffable — but every *consumer* of the reproduction has
+been paying a linear scan (and a full re-parse) to answer "is this point
+done?" or "what is the forcing rate at n=64?". A :class:`ResultStore`
+keeps the same rows in SQLite so those questions are index lookups,
+while preserving every contract the JSONL store established:
+
+- **The resume key is the schema's spine.** Each completed row is
+  stored under the exact :func:`~repro.experiments.sweep.resume_key`
+  string the JSONL loaders compute, unique-indexed — so
+  :meth:`ResultStore.completed_keys` of an imported file is *identical*
+  to :func:`~repro.experiments.sweep.load_completed_keys` of the same
+  file, and a campaign resuming against a ``.db`` target skips exactly
+  the points it would have skipped against the JSONL original.
+- **Timed-out markers keep their non-identity.** Rows with
+  ``"timed_out": true`` have no resume key (column NULL — SQLite's
+  UNIQUE index admits any number of NULLs), so they can never satisfy a
+  resume lookup; they are stored under their
+  :func:`~repro.experiments.campaign.retry_identity` instead, and the
+  marker lifecycle the CLI implements line-by-line for JSONL
+  (:``_hold_back_stale_timed_out``) becomes two indexed statements: a
+  fresh completed row deletes its stale markers, and a marker arriving
+  after its point already completed is dropped as superseded.
+- **Lossless.** The original row JSON rides along in the ``row``
+  column, so nothing the JSONL format carried is lost to the schema —
+  export is ``SELECT row``.
+- **Durable and concurrent.** WAL journal mode plus ``synchronous=FULL``
+  gives the same survive-kill-9 guarantee as :class:`RowWriter`'s
+  per-append fsync, and lets one writer (a campaign streaming into the
+  store) coexist with any number of readers (the estimate service in
+  :mod:`repro.serve`) without either blocking the other.
+
+:class:`StoreRowWriter` adapts the store to the :class:`RowWriter`
+interface (``append``/``write_lines``/``close``/context manager), which
+is how ``sweep --out results.db`` and ``campaign --out results.db``
+target the database without the emit loop knowing which backend it has.
+"""
+
+import json
+import os
+import sqlite3
+import threading
+import time
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Set
+
+from repro.experiments.campaign import retry_identity, row_retry_identity
+from repro.experiments.sweep import (
+    canonical_params,
+    classify_row_line,
+    fsync_directory,
+    row_resume_key,
+)
+from repro.util.errors import ConfigurationError
+
+#: File extensions routed to the SQLite backend by ``--out``/``--db``.
+STORE_SUFFIXES = (".db", ".sqlite", ".sqlite3")
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS results (
+    id          INTEGER PRIMARY KEY,
+    resume_key  TEXT,
+    retry_key   TEXT NOT NULL,
+    scenario    TEXT NOT NULL,
+    params      TEXT NOT NULL,
+    trials      INTEGER,
+    base_seed   INTEGER,
+    max_steps   INTEGER,
+    successes   INTEGER,
+    outcomes    TEXT,
+    budget      TEXT,
+    steps_total INTEGER,
+    timed_out   INTEGER NOT NULL DEFAULT 0,
+    created     REAL NOT NULL,
+    row         TEXT NOT NULL
+);
+CREATE UNIQUE INDEX IF NOT EXISTS results_resume_key
+    ON results(resume_key);
+CREATE INDEX IF NOT EXISTS results_point ON results(scenario, params);
+CREATE INDEX IF NOT EXISTS results_retry ON results(retry_key);
+"""
+
+
+def is_store_path(path: Optional[str]) -> bool:
+    """Whether an ``--out``/``--db`` path names a SQLite store (by
+    suffix) rather than a JSONL file."""
+    return bool(path) and path.lower().endswith(STORE_SUFFIXES)
+
+
+def params_blob(params: Mapping[str, Any]) -> str:
+    """The indexed ``params`` column value: canonical sorted JSON.
+
+    Built on :func:`~repro.experiments.sweep.canonical_params`, so a
+    lookup spelled ``n=16.0`` finds rows stored under ``n=16`` — the
+    same numeric-aliasing rule resume keys follow.
+    """
+    return json.dumps(canonical_params(params), sort_keys=True)
+
+
+class ResultStore:
+    """One SQLite results database (see the module docstring).
+
+    Opens (and on first use creates) the database at ``path``;
+    ``read_only=True`` requires the file to exist and refuses every
+    mutation with :class:`~repro.util.errors.ConfigurationError` — the
+    mode the estimate service's ``--read-only`` flag stands on. The
+    connection is shared across threads behind one lock
+    (``check_same_thread=False``), because the HTTP layer in
+    :mod:`repro.serve` answers each request on its own thread.
+    """
+
+    def __init__(self, path: str, read_only: bool = False, timeout: float = 30.0):
+        self.path = path
+        self.read_only = read_only
+        if read_only and not os.path.exists(path):
+            raise ConfigurationError(
+                f"results store {path!r} does not exist (read-only mode "
+                "never creates one)"
+            )
+        created = not os.path.exists(path)
+        try:
+            self._conn = sqlite3.connect(
+                path, timeout=timeout, check_same_thread=False
+            )
+        except sqlite3.Error as exc:
+            raise ConfigurationError(
+                f"cannot open results store {path!r}: {exc}"
+            ) from None
+        self._lock = threading.Lock()
+        try:
+            cursor = self._conn.cursor()
+            # Writers queue behind the busy handler instead of failing
+            # fast: a campaign appending while the service reads is the
+            # designed steady state, not a conflict.
+            cursor.execute("PRAGMA busy_timeout = 5000")
+            if not read_only:
+                # WAL: readers never block the writer and vice versa.
+                # synchronous=FULL: a committed row survives power loss
+                # — the same promise RowWriter's per-append fsync makes.
+                cursor.execute("PRAGMA journal_mode = WAL")
+                cursor.execute("PRAGMA synchronous = FULL")
+                cursor.executescript(_SCHEMA)
+                self._conn.commit()
+                if created:
+                    # Same discipline as RowWriter: a freshly created
+                    # database is only durable once its directory entry
+                    # is.
+                    fsync_directory(os.path.dirname(os.path.abspath(path)))
+            cursor.close()
+        except sqlite3.Error as exc:
+            # Not-a-database files, foreign schemas, truncated stores:
+            # surface them as the one configuration error callers
+            # already handle instead of a backend-specific exception.
+            self._conn.close()
+            raise ConfigurationError(
+                f"{path!r} is not a usable results store: {exc}"
+            ) from None
+
+    # -- writes --------------------------------------------------------
+
+    def append_row(self, row: Mapping[str, Any]) -> str:
+        """Store one row, returning what happened to it.
+
+        ``"stored"``
+            A completed row was inserted (any stale timed-out marker for
+            the same point was deleted — the retry it announced is this
+            row).
+        ``"duplicate"``
+            A completed row with the same resume key already exists; the
+            store keeps the first copy (rows are deterministic, so the
+            copies are interchangeable).
+        ``"marker"``
+            A timed-out marker was recorded (replacing any previous
+            marker for the same point — the newest partial count wins,
+            exactly like the CLI's write-back).
+        ``"superseded"``
+            A timed-out marker arrived for a point that already has a
+            completed row; the marker is dropped — the retry it
+            announces already happened.
+
+        Malformed rows raise the same exceptions the tolerant line
+        loaders catch (:class:`~repro.util.errors.ConfigurationError`,
+        ``KeyError``, ``TypeError``).
+        """
+        self._writable()
+        timed_out = bool(row.get("timed_out")) if isinstance(row, Mapping) else False
+        if timed_out:
+            key = None
+        else:
+            key = row_resume_key(row)  # raises on markers and damage
+        retry = row_retry_identity(row)
+        values = (
+            key,
+            retry,
+            row["scenario"],
+            params_blob(row["params"]),
+            row.get("trials"),
+            row.get("base_seed"),
+            row.get("max_steps"),
+            row.get("successes"),
+            json.dumps(row.get("outcomes"), sort_keys=True)
+            if row.get("outcomes") is not None
+            else None,
+            json.dumps(row.get("budget"), sort_keys=True)
+            if row.get("budget") is not None
+            else None,
+            row.get("steps_total"),
+            int(timed_out),
+            time.time(),
+            json.dumps(row, sort_keys=True),
+        )
+        with self._lock, self._conn:
+            cursor = self._conn.cursor()
+            if timed_out:
+                cursor.execute(
+                    "SELECT 1 FROM results WHERE retry_key = ? "
+                    "AND timed_out = 0 LIMIT 1",
+                    (retry,),
+                )
+                if cursor.fetchone() is not None:
+                    return "superseded"
+                cursor.execute(
+                    "DELETE FROM results WHERE retry_key = ? AND timed_out = 1",
+                    (retry,),
+                )
+                cursor.execute(_INSERT, values)
+                return "marker"
+            cursor.execute(
+                "DELETE FROM results WHERE retry_key = ? AND timed_out = 1",
+                (retry,),
+            )
+            cursor.execute(_INSERT_OR_IGNORE, values)
+            return "stored" if cursor.rowcount else "duplicate"
+
+    def import_lines(
+        self,
+        lines: Iterable[str],
+        on_skip: Optional[Callable[[int, str, str], None]] = None,
+    ) -> Dict[str, int]:
+        """Lossless JSONL import: every line of a ``--out`` file.
+
+        Reuses :func:`~repro.experiments.sweep.classify_row_line`'s
+        tolerance — torn trailing writes and foreign content are
+        *skipped* (reported to ``on_skip`` with reason ``"malformed"``,
+        exactly as :func:`load_completed_keys` would), completed rows
+        are stored under their resume keys, and timed-out markers are
+        imported as markers (so a resume against the database retries
+        exactly what a resume against the file would). Returns a count
+        per :meth:`append_row` outcome plus ``"skipped"``.
+        """
+        report = {
+            "stored": 0,
+            "duplicate": 0,
+            "marker": 0,
+            "superseded": 0,
+            "skipped": 0,
+        }
+        for number, line in enumerate(lines, 1):
+            line = line.strip()
+            if not line:
+                continue
+            row, _key, reason = classify_row_line(line)
+            if reason == "malformed":
+                report["skipped"] += 1
+                if on_skip is not None:
+                    on_skip(number, line, "malformed")
+                continue
+            try:
+                report[self.append_row(row)] += 1
+            except (ConfigurationError, KeyError, TypeError):
+                # A marker whose identity fields are themselves damaged
+                # (e.g. a torn budget object): nothing to index it by.
+                report["skipped"] += 1
+                if on_skip is not None:
+                    on_skip(number, line, "malformed")
+        return report
+
+    # -- reads ---------------------------------------------------------
+
+    def completed_keys(self) -> Set[str]:
+        """Resume keys of every completed row — the store's answer to
+        :func:`~repro.experiments.sweep.load_completed_keys`. Markers
+        (NULL keys) are excluded, so their points re-run, as always."""
+        return {
+            key
+            for (key,) in self._query(
+                "SELECT resume_key FROM results WHERE resume_key IS NOT NULL"
+            )
+        }
+
+    def get(self, resume_key: str) -> Optional[Dict[str, Any]]:
+        """The completed row stored under ``resume_key``, or ``None``."""
+        found = self._query(
+            "SELECT row FROM results WHERE resume_key = ?", (resume_key,)
+        )
+        return json.loads(found[0][0]) if found else None
+
+    def lookup(
+        self, scenario: str, params: Mapping[str, Any]
+    ) -> List[Dict[str, Any]]:
+        """Every completed row for one (scenario, canonical params)
+        point, whatever its trials/seed/budget — the estimate service's
+        cache probe."""
+        rows = self._query(
+            "SELECT row FROM results WHERE scenario = ? AND params = ? "
+            "AND timed_out = 0 ORDER BY id",
+            (scenario, params_blob(params)),
+        )
+        return [json.loads(blob) for (blob,) in rows]
+
+    def pending_retries(self) -> Set[str]:
+        """Retry identities of every stored timed-out marker."""
+        return {
+            key
+            for (key,) in self._query(
+                "SELECT retry_key FROM results WHERE timed_out = 1"
+            )
+        }
+
+    def stats(self) -> Dict[str, int]:
+        """Row counts: completed rows, timed-out markers, scenarios."""
+        completed, markers, scenarios = self._query(
+            "SELECT SUM(timed_out = 0), SUM(timed_out = 1), "
+            "COUNT(DISTINCT scenario) FROM results"
+        )[0]
+        return {
+            "completed": completed or 0,
+            "timed_out": markers or 0,
+            "scenarios": scenarios or 0,
+        }
+
+    def _query(self, sql: str, args: tuple = ()) -> list:
+        with self._lock:
+            try:
+                return self._conn.execute(sql, args).fetchall()
+            except sqlite3.Error as exc:
+                # A read-only open skips the DDL, so a foreign SQLite
+                # file surfaces here instead of at construction.
+                raise ConfigurationError(
+                    f"{self.path!r} is not a usable results store: {exc}"
+                ) from None
+
+    # -- lifecycle -----------------------------------------------------
+
+    def _writable(self) -> None:
+        if self.read_only:
+            raise ConfigurationError(
+                f"results store {self.path!r} is open read-only"
+            )
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+_COLUMNS = (
+    "resume_key, retry_key, scenario, params, trials, base_seed, "
+    "max_steps, successes, outcomes, budget, steps_total, timed_out, "
+    "created, row"
+)
+_PLACEHOLDERS = ", ".join("?" * 14)
+_INSERT = f"INSERT INTO results ({_COLUMNS}) VALUES ({_PLACEHOLDERS})"
+_INSERT_OR_IGNORE = (
+    f"INSERT OR IGNORE INTO results ({_COLUMNS}) VALUES ({_PLACEHOLDERS})"
+)
+
+
+class StoreRowWriter:
+    """:class:`~repro.experiments.sweep.RowWriter`-compatible adapter.
+
+    ``sweep --out results.db`` / ``campaign --out results.db`` hand
+    their row lines to this instead of a JSONL appender: each line is
+    parsed back into its row and stored through
+    :meth:`ResultStore.append_row`, so marker supersession and duplicate
+    suppression happen at write time instead of in a file-rewrite pass.
+    Appends are transactionally durable (WAL + ``synchronous=FULL``), so
+    there is no staging file and nothing to promote — the database *is*
+    the checkpoint at every instant.
+    """
+
+    def __init__(self, path: str, store: Optional[ResultStore] = None):
+        self.path = path
+        self._store = store if store is not None else ResultStore(path)
+
+    def append(self, line: str) -> None:
+        """Store one row line (the JSON text a JSONL writer would
+        append)."""
+        self._store.append_row(json.loads(line))
+
+    def write_lines(self, lines: Iterable[str]) -> None:
+        """Bulk path: store every non-blank line."""
+        for line in lines:
+            line = line.strip()
+            if line:
+                self.append(line)
+
+    def close(self) -> None:
+        self._store.close()
+
+    def __enter__(self) -> "StoreRowWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -58,6 +58,37 @@ from repro.util.errors import ConfigurationError
 Grid = Mapping[str, Union[Any, Sequence[Any]]]
 
 
+def _canonical_value(value: Any) -> Any:
+    """Collapse numerically-equal parameter spellings to one value.
+
+    ``json.dumps`` prints ``1`` and ``1.0`` differently even though they
+    are equal in Python and identical as experiment inputs, so a float
+    that holds an integral value is folded to the int before it joins a
+    resume identity. ``bool`` is an ``int`` subclass but never a
+    ``float``, so flags pass through untouched, as do non-integral
+    floats, strings, and ``None``. Containers are canonicalised
+    recursively so nested parameter structures alias the same way.
+    """
+    if isinstance(value, float) and value.is_integer():
+        return int(value)
+    if isinstance(value, (list, tuple)):
+        return [_canonical_value(item) for item in value]
+    if isinstance(value, Mapping):
+        return {key: _canonical_value(item) for key, item in value.items()}
+    return value
+
+
+def canonical_params(params: Mapping[str, Any]) -> Dict[str, Any]:
+    """Sorted, numerically-canonical copy of a parameter mapping.
+
+    This is the exact ``params`` object that joins :func:`resume_key`'s
+    identity dict; stores that index rows by parameter value (see
+    :mod:`repro.experiments.store`) serialise this same shape so lookups
+    collide with keys regardless of how the caller spelled the numbers.
+    """
+    return {key: _canonical_value(params[key]) for key in sorted(params)}
+
+
 def expand_grid(grid: Optional[Grid]) -> List[Dict[str, Any]]:
     """Cartesian-product a grid into concrete parameter dicts.
 
@@ -77,6 +108,27 @@ def expand_grid(grid: Optional[Grid]) -> List[Dict[str, Any]]:
     return [dict(point) for point in itertools.product(*axes)]
 
 
+def coerce_param(text: str) -> Any:
+    """A textual parameter literal -> int / float / bool / None / str.
+
+    The one grammar every textual front end shares — ``--param`` grid
+    values on the CLI and query-string parameters on the estimate
+    service — so ``n=8`` means the integer 8 everywhere a parameter can
+    be spelled as text.
+    """
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            pass
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    if lowered in ("none", "null"):
+        return None
+    return text
+
+
 def resume_key(
     scenario: str,
     params: Mapping[str, Any],
@@ -91,7 +143,10 @@ def resume_key(
     max_steps[, budget])`` — the exact tuple that determines an
     experiment's rows — serialised with sorted keys so two parameter
     dicts with equal contents always collide, whatever their insertion
-    order. ``max_steps`` is part of the identity because the per-trial
+    order, and with integral floats folded to ints (see
+    :func:`canonical_params`) so ``n=1`` and ``n=1.0`` — equal values,
+    identical experiments — collide too. ``max_steps`` is part of the
+    identity because the per-trial
     delivery budget changes outcomes: a resume run must not treat rows
     produced under a different budget as done. Pass *resolved*
     parameters (defaults overlaid) so a pinned-at-default grid and an
@@ -105,7 +160,7 @@ def resume_key(
     """
     identity: Dict[str, Any] = {
         "scenario": scenario,
-        "params": {key: params[key] for key in sorted(params)},
+        "params": canonical_params(params),
         "trials": trials,
         "base_seed": base_seed,
         "max_steps": max_steps,
@@ -148,6 +203,34 @@ def row_resume_key(row: Mapping[str, Any]) -> str:
     )
 
 
+def classify_row_line(line):
+    """Parse one output line exactly once: ``(row, key, reason)``.
+
+    ``reason`` is ``None`` for a well-formed row (``key`` is its resume
+    key), ``"timed-out"`` for a parsed mapping a deadline abandoned
+    (``row`` is the parsed marker, ``key`` is ``None``), and
+    ``"malformed"`` for everything else — unparseable JSON, foreign
+    shapes, rows whose identity fields are missing or broken. The single
+    ``json.loads`` here is the whole parse: callers that need both the
+    skip reason *and* the row (resume loaders, the SQLite importer)
+    thread the parsed object through instead of re-parsing the line.
+    """
+    try:
+        row = json.loads(line)
+    except ValueError:
+        return None, None, "malformed"
+    try:
+        return row, row_resume_key(row), None
+    except ConfigurationError:
+        # row_resume_key refuses timed-out markers by contract; anything
+        # else it rejects (a malformed budget object) is just damage.
+        if isinstance(row, Mapping) and row.get("timed_out"):
+            return row, None, "timed-out"
+        return row, None, "malformed"
+    except (KeyError, TypeError):
+        return row, None, "malformed"
+
+
 def load_completed_keys(
     lines: Iterable[str],
     on_skip: Optional[Callable[[int, str, str], None]] = None,
@@ -167,27 +250,41 @@ def load_completed_keys(
     a torn tail instead of silently re-running. ``reason`` is
     ``"timed-out"`` for well-formed rows a deadline abandoned (their
     retry is the resume contract working as designed) and
-    ``"malformed"`` for everything else.
+    ``"malformed"`` for everything else. Each line is parsed exactly
+    once (see :func:`classify_row_line`), whatever its fate.
     """
     keys: Set[str] = set()
     for number, line in enumerate(lines, 1):
         line = line.strip()
         if not line:
             continue
-        try:
-            row = json.loads(line)
-            keys.add(row_resume_key(row))
-        except (ValueError, KeyError, TypeError, ConfigurationError):
-            if on_skip is not None:
-                reason = "malformed"
-                try:
-                    if json.loads(line).get("timed_out"):
-                        reason = "timed-out"
-                except (ValueError, AttributeError):
-                    pass
-                on_skip(number, line, reason)
-            continue
+        _, key, reason = classify_row_line(line)
+        if reason is None:
+            keys.add(key)
+        elif on_skip is not None:
+            on_skip(number, line, reason)
     return keys
+
+
+def fsync_directory(path: str) -> None:
+    """Best-effort fsync of a directory, pinning entries it names.
+
+    A file's own fsync makes its *contents* durable; the entry that
+    makes it reachable lives in the directory, which has its own dirty
+    state. Creations and renames therefore need the parent flushed too.
+    Failures are swallowed: platforms that refuse ``open``/``fsync`` on
+    directories lose the hardening, not the run.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
 
 
 class RowWriter:
@@ -212,7 +309,14 @@ class RowWriter:
 
     def __init__(self, path: str, append: bool = False):
         self.path = path
+        existed = os.path.exists(path)
         self._file = open(path, "a" if append else "w")
+        if not existed:
+            # A freshly created file is only durable once its directory
+            # entry is: without this, every fsync'd row in a new --out
+            # can vanish wholesale when the machine dies before the
+            # parent directory's dirty entry reaches disk.
+            fsync_directory(os.path.dirname(os.path.abspath(path)) or ".")
 
     def write_lines(self, lines: Iterable[str]) -> None:
         """Bulk-write already-terminated lines, then sync once."""

@@ -1,0 +1,362 @@
+"""The estimate service: stored results first, trials only on a miss.
+
+``python -m repro serve --db results.db`` puts a long-running HTTP
+front end (stdlib ``http.server`` — no new dependencies) over a
+:class:`~repro.experiments.store.ResultStore`, so consumers of the
+reproduction ask one question —
+
+    GET /estimate?scenario=attack/basic-cheat&ci_width=0.1&n=16&target=5
+
+— and never care whether the answer was measured last night or must be
+measured now:
+
+- **Cache hit:** some completed row for the (scenario, canonical
+  params) point already pins the success rate to within the requested
+  ``ci_width`` (the Wilson interval from its stored counters is narrow
+  enough — the same
+  :func:`~repro.experiments.budget.precision_satisfied` rule the
+  ``wilson-width`` budget policy stops on). The stored row is returned
+  without dispatching a single trial; ``"source": "store"``.
+- **Cache miss:** the service runs one adaptive-budget campaign point
+  (``trials=None`` + a :class:`WilsonWidthPolicy` at the requested
+  width) on its shared :class:`~repro.experiments.pool.WorkerPool`,
+  persists the converged row to the store, and returns it;
+  ``"source": "computed"``. Identical queries arriving while the point
+  runs queue behind one compute lock and are answered from the store.
+- **Read-only (``--read-only``):** a miss is refused with HTTP 409
+  instead of computed — the mode for pointing the service at a store
+  some other process owns.
+
+Endpoints: ``GET /estimate`` (query string: ``scenario``, ``ci_width``,
+every other key a parameter literal — same grammar as ``--param``),
+``POST /estimate`` (JSON body ``{"scenario": ..., "ci_width": ...,
+"params": {...}}``), ``GET /scenarios``, ``GET /healthz``. Errors:
+400 for malformed queries, 404 for unknown paths, 409 for a read-only
+refusal.
+"""
+
+import json
+import sys
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Mapping, Optional
+from urllib.parse import parse_qsl, urlparse
+
+from repro.analysis.stats import wilson_interval
+from repro.experiments.budget import WilsonWidthPolicy, precision_satisfied
+from repro.experiments.campaign import CampaignPoint, run_campaign
+from repro.experiments.pool import WorkerPool
+from repro.experiments.scenario import get_scenario, scenario_names
+from repro.experiments.store import ResultStore
+from repro.experiments.sweep import coerce_param
+from repro.util.errors import ConfigurationError
+
+#: Default adaptive bounds for cold queries (overridable per service).
+DEFAULT_MIN_TRIALS = 32
+DEFAULT_MAX_TRIALS = 100_000
+
+
+class ComputeRefused(Exception):
+    """A cold query hit a read-only service: nothing stored satisfies
+    the requested precision and computing is disabled."""
+
+
+class EstimateService:
+    """The query layer: one store, one shared pool, one precision rule.
+
+    Thread-safe by construction: the store serialises its connection
+    internally, and all trial-running goes through one ``_compute_lock``
+    — the HTTP layer may answer many requests concurrently, but at most
+    one adaptive point runs at a time, and whoever waited on the lock
+    re-probes the store before computing (their answer usually just
+    arrived).
+    """
+
+    def __init__(
+        self,
+        store: ResultStore,
+        workers: int = 1,
+        read_only: bool = False,
+        min_trials: int = DEFAULT_MIN_TRIALS,
+        max_trials: int = DEFAULT_MAX_TRIALS,
+        base_seed: int = 0,
+        z: float = 1.96,
+    ):
+        self.store = store
+        self.workers = workers
+        self.read_only = read_only or store.read_only
+        self.min_trials = min_trials
+        self.max_trials = max_trials
+        self.base_seed = base_seed
+        self.z = z
+        self._pool: Optional[WorkerPool] = None
+        self._pool_lock = threading.Lock()
+        self._compute_lock = threading.Lock()
+
+    # -- the one question ----------------------------------------------
+
+    def estimate(
+        self, scenario: str, params: Mapping[str, Any], ci_width: float
+    ) -> Dict[str, Any]:
+        """Answer ``estimate(scenario, params, ci_width)`` (see module
+        docstring). Raises :class:`ConfigurationError` for malformed
+        requests and :class:`ComputeRefused` for a read-only miss."""
+        if (
+            isinstance(ci_width, bool)
+            or not isinstance(ci_width, (int, float))
+            or not 0.0 < ci_width <= 1.0
+        ):
+            raise ConfigurationError(
+                f"ci_width must be in (0, 1], got {ci_width!r}"
+            )
+        spec = get_scenario(scenario)  # raises on unknown scenarios
+        resolved = spec.resolve_params(dict(params or {}))
+        cached = self._cached(spec.name, resolved, ci_width)
+        if cached is not None:
+            return cached
+        if self.read_only:
+            raise ComputeRefused(
+                "no stored row satisfies the requested precision and the "
+                "service is read-only"
+            )
+        with self._compute_lock:
+            # Re-probe: an identical query that held the lock first has
+            # usually just persisted exactly the row this one needs.
+            cached = self._cached(spec.name, resolved, ci_width)
+            if cached is not None:
+                return cached
+            row = self._compute(spec.name, resolved, ci_width)
+            return self._response(row, ci_width, source="computed")
+
+    # -- internals -----------------------------------------------------
+
+    def _policy(self, ci_width: float) -> WilsonWidthPolicy:
+        return WilsonWidthPolicy(
+            ci_width=ci_width,
+            min_trials=min(self.min_trials, self.max_trials),
+            max_trials=self.max_trials,
+            z=self.z,
+        )
+
+    def _cached(
+        self, scenario: str, params: Mapping[str, Any], ci_width: float
+    ) -> Optional[Dict[str, Any]]:
+        """The stored answer, if any stored row is good enough.
+
+        Any completed row for the point whose Wilson width is within
+        ``ci_width`` qualifies — whatever run produced it (fixed-trials
+        sweep, another budget, another seed): precision is a property of
+        the counters, not of how they were requested. The narrowest
+        (most-trials) qualifying row wins. Failing that, a row stored
+        under *exactly* the adaptive key this query would run is also
+        returned — it ran to the policy ceiling without converging, and
+        re-running it would burn the same trials to learn the same thing
+        (the response carries ``"satisfied": false`` so the caller
+        knows).
+        """
+        best = None
+        for row in self.store.lookup(scenario, params):
+            trials, successes = row.get("trials"), row.get("successes")
+            if not isinstance(trials, int) or not isinstance(successes, int):
+                continue
+            if precision_satisfied(successes, trials, ci_width, self.z):
+                if best is None or trials > best["trials"]:
+                    best = row
+        if best is not None:
+            return self._response(best, ci_width, source="store")
+        exact = self.store.get(self._point(scenario, params, ci_width).key())
+        if exact is not None:
+            return self._response(exact, ci_width, source="store")
+        return None
+
+    def _point(
+        self, scenario: str, params: Mapping[str, Any], ci_width: float
+    ) -> CampaignPoint:
+        return CampaignPoint(
+            scenario=scenario,
+            params=dict(params),
+            trials=None,
+            base_seed=self.base_seed,
+            max_steps=None,
+            budget=self._policy(ci_width),
+        )
+
+    def _compute(
+        self, scenario: str, params: Mapping[str, Any], ci_width: float
+    ) -> Dict[str, Any]:
+        """Run the adaptive point on the shared pool and persist it."""
+        point = self._point(scenario, params, ci_width)
+        results = list(run_campaign([point], pool=self._shared_pool()))
+        row = results[0].to_row()
+        self.store.append_row(row)
+        return row
+
+    def _shared_pool(self) -> WorkerPool:
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = WorkerPool(self.workers)
+            return self._pool
+
+    def _response(
+        self, row: Mapping[str, Any], ci_width: float, source: str
+    ) -> Dict[str, Any]:
+        trials = row["trials"]
+        successes = row["successes"]
+        low, high = wilson_interval(successes, trials, self.z)
+        return {
+            "scenario": row["scenario"],
+            "params": row["params"],
+            "ci_width": ci_width,
+            "trials": trials,
+            "successes": successes,
+            "estimate": successes / trials if trials else None,
+            "low": low,
+            "high": high,
+            "width": high - low,
+            "satisfied": precision_satisfied(
+                successes, trials, ci_width, self.z
+            ),
+            "source": source,
+        }
+
+    def close(self) -> None:
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.close()
+                self._pool = None
+
+
+# ----------------------------------------------------------------------
+# HTTP layer
+# ----------------------------------------------------------------------
+
+
+class EstimateHandler(BaseHTTPRequestHandler):
+    """Routes requests to the class-attribute ``service`` (installed by
+    :func:`make_server`, so each server instance binds its own)."""
+
+    service: EstimateService = None  # type: ignore[assignment]
+    #: Flip to True to get http.server's per-request stderr log lines.
+    verbose = False
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server's casing)
+        parsed = urlparse(self.path)
+        if parsed.path == "/healthz":
+            self._send(
+                200, {"status": "ok", "read_only": self.service.read_only}
+            )
+        elif parsed.path == "/scenarios":
+            self._send(200, {"scenarios": scenario_names()})
+        elif parsed.path == "/estimate":
+            query = dict(parse_qsl(parsed.query))
+            scenario = query.pop("scenario", None)
+            ci_width = query.pop("ci_width", None)
+            params = {key: coerce_param(value) for key, value in query.items()}
+            self._estimate(scenario, params, ci_width)
+        else:
+            self._send(404, {"error": f"unknown path {parsed.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802
+        if urlparse(self.path).path != "/estimate":
+            self._send(404, {"error": f"unknown path {self.path!r}"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+            body = json.loads(self.rfile.read(length) or b"{}")
+        except ValueError:
+            self._send(400, {"error": "body must be a JSON object"})
+            return
+        if not isinstance(body, dict):
+            self._send(400, {"error": "body must be a JSON object"})
+            return
+        self._estimate(
+            body.get("scenario"), body.get("params") or {}, body.get("ci_width")
+        )
+
+    def _estimate(self, scenario, params, ci_width) -> None:
+        if not scenario:
+            self._send(400, {"error": "missing 'scenario'"})
+            return
+        if ci_width is None:
+            self._send(400, {"error": "missing 'ci_width'"})
+            return
+        try:
+            ci_width = float(ci_width)
+        except (TypeError, ValueError):
+            self._send(400, {"error": f"bad ci_width {ci_width!r}"})
+            return
+        if not isinstance(params, dict):
+            self._send(400, {"error": "'params' must be an object"})
+            return
+        try:
+            payload = self.service.estimate(scenario, params, ci_width)
+        except ConfigurationError as exc:
+            self._send(400, {"error": str(exc)})
+            return
+        except ComputeRefused as exc:
+            self._send(409, {"error": str(exc)})
+            return
+        self._send(200, payload)
+
+    def _send(self, status: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload, sort_keys=True).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format, *args) -> None:  # noqa: A002
+        if self.verbose:
+            super().log_message(format, *args)
+
+
+def make_server(
+    service: EstimateService, host: str = "127.0.0.1", port: int = 0
+) -> ThreadingHTTPServer:
+    """A threading HTTP server bound to ``service`` (``port=0`` binds an
+    ephemeral port — read it back from ``server.server_address``)."""
+    handler = type("BoundEstimateHandler", (EstimateHandler,), {"service": service})
+    return ThreadingHTTPServer((host, port), handler)
+
+
+def run_server(
+    db: str,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    workers: int = 1,
+    read_only: bool = False,
+    min_trials: int = DEFAULT_MIN_TRIALS,
+    max_trials: int = DEFAULT_MAX_TRIALS,
+    base_seed: int = 0,
+    verbose: bool = False,
+) -> int:
+    """``python -m repro serve``: serve estimates until interrupted."""
+    store = ResultStore(db, read_only=read_only)
+    service = EstimateService(
+        store,
+        workers=workers,
+        read_only=read_only,
+        min_trials=min_trials,
+        max_trials=max_trials,
+        base_seed=base_seed,
+    )
+    server = make_server(service, host, port)
+    if verbose:
+        server.RequestHandlerClass.verbose = True
+    bound_host, bound_port = server.server_address[:2]
+    mode = " (read-only)" if service.read_only else ""
+    print(
+        f"serving estimates on http://{bound_host}:{bound_port} "
+        f"from {db}{mode}",
+        file=sys.stderr,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        service.close()
+        store.close()
+    return 0

@@ -384,6 +384,33 @@ class TestRowWriter:
             writer.append("d")
         assert path.read_text() == "a\nb\nc\nd\n"
 
+    def test_directory_fsynced_exactly_when_file_is_created(
+        self, tmp_path, monkeypatch
+    ):
+        """Creating the store file adds a directory entry; that entry
+        must be fsynced or a crash can orphan every row fsynced into the
+        file. Reopening an existing file adds no entry — no dir fsync."""
+        import repro.experiments.sweep as sweep_mod
+
+        synced = []
+        monkeypatch.setattr(
+            sweep_mod, "fsync_directory", lambda p: synced.append(p)
+        )
+        fresh = tmp_path / "fresh.jsonl"
+        with RowWriter(str(fresh)):
+            pass
+        assert synced == [str(tmp_path)]
+
+        synced.clear()
+        with RowWriter(str(fresh), append=True):
+            pass
+        assert synced == []
+
+        appended = tmp_path / "appended.jsonl"
+        with RowWriter(str(appended), append=True):
+            pass
+        assert synced == [str(tmp_path)]
+
 
 class TestCostModel:
     def test_ewma_per_trial_seconds(self):

@@ -1,0 +1,228 @@
+"""The estimate service: stored results first, trials only on a miss.
+
+The load-bearing guarantees, each pinned directly:
+
+- a cached hit answers from the store without dispatching a single
+  trial (proved by making trial-running impossible, not by timing);
+- a cold miss runs one adaptive point, persists it, and the identical
+  re-query is then a store hit;
+- a read-only service refuses a cold miss instead of computing;
+- numeric param spellings alias (``n=16.0`` hits rows under ``n=16``);
+- a row that ran to its trial ceiling without converging is returned
+  under its exact adaptive key with ``satisfied: false`` rather than
+  recomputed forever;
+- the HTTP layer maps these to 200/400/404/409 end to end over a real
+  ephemeral-port server.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+import repro.serve as serve_mod
+from repro.experiments import ResultStore, run_scenario
+from repro.serve import ComputeRefused, EstimateService, make_server
+from repro.util.errors import ConfigurationError
+
+POINT = {"n": 16, "target": 5}
+SCENARIO = "attack/basic-cheat"
+# attack/basic-cheat at these params succeeds 2/2 at base_seed 0; the
+# Wilson width of 2/2 is ~0.66, so ci_width=0.9 is satisfiable by a
+# 2-trial row while ci_width=0.05 is far out of its reach.
+WIDE, NARROW = 0.9, 0.05
+
+
+def seeded_store(tmp_path, name="r.db"):
+    store = ResultStore(str(tmp_path / name))
+    row = run_scenario(SCENARIO, trials=2, params=dict(POINT)).to_row()
+    assert store.append_row(row) == "stored"
+    return store
+
+
+def no_trials_allowed(monkeypatch):
+    """Make dispatching trials an error: any cache 'hit' that computes
+    fails loudly instead of silently passing."""
+
+    def boom(*args, **kwargs):  # pragma: no cover - failure path
+        raise AssertionError("a cached query dispatched trials")
+
+    monkeypatch.setattr(serve_mod, "run_campaign", boom)
+
+
+class TestEstimateService:
+    def test_cached_hit_runs_no_trials(self, tmp_path, monkeypatch):
+        no_trials_allowed(monkeypatch)
+        with seeded_store(tmp_path) as store:
+            service = EstimateService(store, min_trials=2, max_trials=2)
+            answer = service.estimate(SCENARIO, dict(POINT), WIDE)
+        assert answer["source"] == "store"
+        assert answer["satisfied"] is True
+        assert answer["trials"] == 2
+        assert answer["width"] <= WIDE
+
+    def test_numeric_aliasing_still_hits_the_cache(
+        self, tmp_path, monkeypatch
+    ):
+        no_trials_allowed(monkeypatch)
+        with seeded_store(tmp_path) as store:
+            service = EstimateService(store, min_trials=2, max_trials=2)
+            answer = service.estimate(
+                SCENARIO, {"n": 16.0, "target": 5.0}, WIDE
+            )
+        assert answer["source"] == "store"
+
+    def test_cold_miss_computes_persists_then_hits(self, tmp_path):
+        with seeded_store(tmp_path) as store:
+            service = EstimateService(store, min_trials=2, max_trials=2)
+            try:
+                cold = service.estimate(SCENARIO, {"n": 24, "target": 5}, WIDE)
+                assert cold["source"] == "computed"
+                assert cold["trials"] == 2  # the 2-trial adaptive point
+                # persisted under fully resolved params (defaults in)
+                assert len(store.lookup(
+                    SCENARIO, {"cheater": 2, "n": 24, "target": 5}
+                )) == 1
+                again = service.estimate(
+                    SCENARIO, {"n": 24, "target": 5}, WIDE
+                )
+                assert again["source"] == "store"
+                assert again["trials"] == cold["trials"]
+                assert again["successes"] == cold["successes"]
+            finally:
+                service.close()
+
+    def test_read_only_miss_is_refused(self, tmp_path, monkeypatch):
+        no_trials_allowed(monkeypatch)
+        seeded_store(tmp_path).close()
+        with ResultStore(str(tmp_path / "r.db"), read_only=True) as store:
+            service = EstimateService(store)
+            # read_only is inherited from the store, not just the flag
+            assert service.read_only
+            hit = service.estimate(SCENARIO, dict(POINT), WIDE)
+            assert hit["source"] == "store"
+            with pytest.raises(ComputeRefused):
+                service.estimate(SCENARIO, {"n": 24, "target": 5}, WIDE)
+
+    def test_unconverged_ceiling_row_is_returned_not_recomputed(
+        self, tmp_path, monkeypatch
+    ):
+        """A point that ran to max_trials without reaching the width is
+        stored under exactly the adaptive key this query would run;
+        re-running it would spend the same trials to learn the same
+        thing, so the service returns it with ``satisfied: false``."""
+        with seeded_store(tmp_path) as store:
+            service = EstimateService(store, min_trials=2, max_trials=2)
+            first = service.estimate(SCENARIO, dict(POINT), NARROW)
+            assert first["source"] == "computed"
+            assert first["satisfied"] is False  # 2 trials can't pin 0.05
+            no_trials_allowed(monkeypatch)
+            again = service.estimate(SCENARIO, dict(POINT), NARROW)
+            assert again["source"] == "store"
+            assert again["satisfied"] is False
+            service.close()
+
+    def test_malformed_requests_raise_configuration_error(self, tmp_path):
+        with seeded_store(tmp_path) as store:
+            service = EstimateService(store)
+            for bad_width in (0, -0.1, 1.5, True, "wide", None):
+                with pytest.raises(ConfigurationError):
+                    service.estimate(SCENARIO, dict(POINT), bad_width)
+            with pytest.raises(ConfigurationError):
+                service.estimate("no/such-scenario", {}, WIDE)
+
+
+@pytest.fixture
+def http_service(tmp_path, monkeypatch):
+    """A live ephemeral-port server over a seeded store, with trial
+    dispatch forbidden — every request in these tests must be answered
+    from the store or rejected."""
+    no_trials_allowed(monkeypatch)
+    store = seeded_store(tmp_path)
+    service = EstimateService(store, min_trials=2, max_trials=2)
+    server = make_server(service)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    yield f"http://{host}:{port}"
+    server.shutdown()
+    server.server_close()
+    thread.join()
+    store.close()
+
+
+def fetch(url, data=None):
+    try:
+        with urllib.request.urlopen(url, data=data) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+class TestHttpLayer:
+    def test_healthz(self, http_service):
+        status, payload = fetch(http_service + "/healthz")
+        assert (status, payload) == (
+            200, {"status": "ok", "read_only": False}
+        )
+
+    def test_estimate_get_coerces_query_params(self, http_service):
+        status, payload = fetch(
+            http_service
+            + f"/estimate?scenario={SCENARIO}&ci_width={WIDE}&n=16&target=5"
+        )
+        assert status == 200
+        assert payload["source"] == "store"
+        assert payload["params"]["n"] == 16  # "16" coerced, not a string
+
+    def test_estimate_post_json_body(self, http_service):
+        body = json.dumps({
+            "scenario": SCENARIO, "ci_width": WIDE, "params": POINT,
+        }).encode()
+        status, payload = fetch(http_service + "/estimate", data=body)
+        assert status == 200
+        assert payload["source"] == "store"
+
+    def test_error_statuses(self, http_service):
+        assert fetch(http_service + "/nope")[0] == 404
+        assert fetch(http_service + "/estimate?ci_width=0.5")[0] == 400
+        assert fetch(
+            http_service + f"/estimate?scenario={SCENARIO}"
+        )[0] == 400
+        assert fetch(
+            http_service + f"/estimate?scenario={SCENARIO}&ci_width=oops"
+        )[0] == 400
+        assert fetch(
+            http_service + "/estimate?scenario=no/such&ci_width=0.5"
+        )[0] == 400
+        status, _ = fetch(http_service + "/scenarios")
+        assert status == 200
+
+    def test_read_only_miss_maps_to_409(self, tmp_path, monkeypatch):
+        no_trials_allowed(monkeypatch)
+        seeded_store(tmp_path).close()
+        store = ResultStore(str(tmp_path / "r.db"), read_only=True)
+        server = make_server(EstimateService(store))
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        base = f"http://{host}:{port}"
+        try:
+            status, _ = fetch(
+                base + f"/estimate?scenario={SCENARIO}&ci_width={WIDE}"
+                "&n=16&target=5"
+            )
+            assert status == 200  # cached reads still work
+            status, payload = fetch(
+                base + f"/estimate?scenario={SCENARIO}&ci_width={WIDE}"
+                "&n=24&target=5"
+            )
+            assert status == 409
+            assert "read-only" in payload["error"]
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join()
+            store.close()

@@ -1,0 +1,339 @@
+"""The SQLite results store: the resume contract as a database.
+
+The store's one promise is *equivalence with the JSONL loaders* —
+importing an ``--out`` file and asking the database "what's done?" must
+give byte-for-byte the key set ``load_completed_keys`` computes from
+the file, with the same tolerance for torn lines, foreign content, and
+timed-out markers. On top of that: lossless round-trips, duplicate
+suppression on the unique resume-key index, the transactional marker
+lifecycle, canonical-params lookups, read-only refusal, the
+``StoreRowWriter`` adapter, concurrent writer/reader WAL behaviour, and
+the ``db import``/``db stats``/``campaign --out results.db`` CLI paths.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import (
+    ResultStore,
+    StoreRowWriter,
+    is_store_path,
+    load_completed_keys,
+    resume_key,
+    retry_identity,
+    row_resume_key,
+    run_scenario,
+)
+from repro.util.errors import ConfigurationError
+
+
+def synthetic_row(i, timed_out=False, successes=1):
+    """A minimal row carrying full resume identity — fast to make in
+    bulk, unlike real ``run_scenario`` rows."""
+    row = {
+        "scenario": "synthetic/point",
+        "params": {"n": i},
+        "trials": None if timed_out else 2,
+        "base_seed": 0,
+        "successes": successes,
+    }
+    if timed_out:
+        row["timed_out"] = True
+    return row
+
+
+class TestIsStorePath:
+    def test_store_suffixes_route_to_sqlite(self):
+        assert is_store_path("results.db")
+        assert is_store_path("results.sqlite")
+        assert is_store_path("results.sqlite3")
+        assert is_store_path("RESULTS.DB")  # case-insensitive
+
+    def test_everything_else_stays_jsonl(self):
+        assert not is_store_path("rows.jsonl")
+        assert not is_store_path("rows.db.jsonl")
+        assert not is_store_path("")
+        assert not is_store_path(None)
+
+
+class TestImportEquivalence:
+    def test_imported_key_set_is_identical_to_load_completed_keys(
+        self, tmp_path
+    ):
+        """The acceptance criterion: JSONL -> SQLite import -> resume
+        lookup returns the identical key set, torn/foreign/timed-out
+        lines and all."""
+        rows = [
+            run_scenario(
+                "attack/basic-cheat", trials=2, base_seed=seed,
+                params={"n": 8, "target": 2},
+            ).to_row()
+            for seed in (0, 1, 2)
+        ]
+        timed = dict(rows[0], trials=1, timed_out=True, base_seed=99)
+        lines = [
+            json.dumps(rows[0], sort_keys=True),
+            "",
+            json.dumps(timed, sort_keys=True),
+            json.dumps(rows[1], sort_keys=True),
+            "{\"foreign\": true}",
+            json.dumps(rows[2], sort_keys=True)[:23],  # torn tail
+        ]
+        file_keys = load_completed_keys(lines)
+        skips = []
+        with ResultStore(str(tmp_path / "r.db")) as store:
+            report = store.import_lines(
+                lines,
+                on_skip=lambda number, _l, reason: skips.append(
+                    (number, reason)
+                ),
+            )
+            assert store.completed_keys() == file_keys
+            assert store.pending_retries() == {
+                retry_identity(
+                    timed["scenario"], timed["params"], timed["base_seed"],
+                    timed.get("max_steps"), timed.get("budget"),
+                )
+            }
+        assert report == {
+            "stored": 2, "duplicate": 0, "marker": 1, "superseded": 0,
+            "skipped": 2,
+        }
+        assert skips == [(5, "malformed"), (6, "malformed")]
+
+    def test_round_trip_is_lossless(self, tmp_path):
+        row = run_scenario(
+            "honest/basic-lead", trials=3, params={"n": 6}
+        ).to_row()
+        with ResultStore(str(tmp_path / "r.db")) as store:
+            assert store.append_row(row) == "stored"
+            assert store.get(row_resume_key(row)) == row
+            assert store.lookup("honest/basic-lead", {"n": 6}) == [row]
+
+    def test_duplicate_resume_keys_keep_the_first_copy(self, tmp_path):
+        row = synthetic_row(1)
+        with ResultStore(str(tmp_path / "r.db")) as store:
+            assert store.append_row(row) == "stored"
+            assert store.append_row(dict(row)) == "duplicate"
+            assert store.stats()["completed"] == 1
+
+    def test_lookup_aliases_numeric_param_spellings(self, tmp_path):
+        """A query spelled ``n=8.0`` finds rows stored under ``n=8`` —
+        the same canonicalisation resume keys apply."""
+        row = synthetic_row(8)
+        with ResultStore(str(tmp_path / "r.db")) as store:
+            store.append_row(row)
+            assert store.lookup("synthetic/point", {"n": 8.0}) == [row]
+            store.append_row(synthetic_row(9.0))
+            assert store.lookup("synthetic/point", {"n": 9})
+
+
+class TestMarkerLifecycle:
+    def test_completed_row_deletes_its_stale_marker(self, tmp_path):
+        with ResultStore(str(tmp_path / "r.db")) as store:
+            assert store.append_row(synthetic_row(1, timed_out=True)) == (
+                "marker"
+            )
+            assert store.pending_retries()
+            assert store.append_row(synthetic_row(1)) == "stored"
+            assert store.pending_retries() == set()
+            assert store.stats() == {
+                "completed": 1, "timed_out": 0, "scenarios": 1,
+            }
+
+    def test_marker_after_completion_is_superseded(self, tmp_path):
+        with ResultStore(str(tmp_path / "r.db")) as store:
+            store.append_row(synthetic_row(1))
+            assert store.append_row(synthetic_row(1, timed_out=True)) == (
+                "superseded"
+            )
+            assert store.pending_retries() == set()
+
+    def test_newer_marker_replaces_older_marker(self, tmp_path):
+        with ResultStore(str(tmp_path / "r.db")) as store:
+            store.append_row(synthetic_row(1, timed_out=True, successes=0))
+            store.append_row(synthetic_row(1, timed_out=True, successes=5))
+            assert store.stats()["timed_out"] == 1
+            (marker,) = [
+                json.loads(blob)
+                for (blob,) in store._query(
+                    "SELECT row FROM results WHERE timed_out = 1"
+                )
+            ]
+            assert marker["successes"] == 5  # newest partial count wins
+
+    def test_markers_never_satisfy_resume(self, tmp_path):
+        with ResultStore(str(tmp_path / "r.db")) as store:
+            store.append_row(synthetic_row(1, timed_out=True))
+            assert store.completed_keys() == set()
+            assert store.lookup("synthetic/point", {"n": 1}) == []
+
+
+class TestOpenAndRefuse:
+    def test_read_only_requires_an_existing_file(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="does not exist"):
+            ResultStore(str(tmp_path / "missing.db"), read_only=True)
+
+    def test_read_only_refuses_writes_but_serves_reads(self, tmp_path):
+        path = str(tmp_path / "r.db")
+        with ResultStore(path) as store:
+            store.append_row(synthetic_row(1))
+        with ResultStore(path, read_only=True) as store:
+            assert len(store.completed_keys()) == 1
+            with pytest.raises(ConfigurationError, match="read-only"):
+                store.append_row(synthetic_row(2))
+
+    def test_foreign_file_is_a_configuration_error(self, tmp_path):
+        path = tmp_path / "not_a.db"
+        path.write_text("this is a JSONL file, not SQLite\n" * 20)
+        with pytest.raises(ConfigurationError, match="not a usable"):
+            ResultStore(str(path))
+        with ResultStore(str(path), read_only=True) as store:
+            # Read-only opens skip the DDL, so the damage surfaces at
+            # the first query — as the same error, not sqlite3's.
+            with pytest.raises(ConfigurationError, match="not a usable"):
+                store.completed_keys()
+
+    def test_malformed_rows_raise_what_the_loaders_catch(self, tmp_path):
+        with ResultStore(str(tmp_path / "r.db")) as store:
+            with pytest.raises((ConfigurationError, KeyError, TypeError)):
+                store.append_row({"unrelated": 1})
+
+
+class TestStoreRowWriter:
+    def test_adapter_speaks_the_rowwriter_interface(self, tmp_path):
+        path = str(tmp_path / "r.db")
+        lines = [
+            json.dumps(synthetic_row(i), sort_keys=True) for i in range(3)
+        ]
+        with StoreRowWriter(path) as writer:
+            assert writer.path == path
+            writer.write_lines([lines[0] + "\n", "   ", lines[1]])
+            writer.append(lines[2])
+        with ResultStore(path, read_only=True) as store:
+            assert store.completed_keys() == {
+                row_resume_key(synthetic_row(i)) for i in range(3)
+            }
+
+
+class TestConcurrentWriterAndReader:
+    def test_reader_polls_while_writer_appends(self, tmp_path):
+        """WAL's whole point: a second connection reads a consistent,
+        monotonically growing key set while the writer streams rows —
+        neither blocks, nothing errors, nothing is lost."""
+        path = str(tmp_path / "r.db")
+        total = 50
+        writer = ResultStore(path)
+        reader = ResultStore(path, read_only=True)
+        errors = []
+
+        def write_all():
+            try:
+                for i in range(total):
+                    writer.append_row(synthetic_row(i))
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        thread = threading.Thread(target=write_all)
+        thread.start()
+        seen = 0
+        try:
+            while thread.is_alive():
+                count = len(reader.completed_keys())
+                assert count >= seen  # never goes backwards
+                seen = count
+        finally:
+            thread.join()
+        assert not errors
+        assert len(reader.completed_keys()) == total
+        writer.close()
+        reader.close()
+
+
+class TestCli:
+    def _rows_file(self, tmp_path):
+        rows = [synthetic_row(i) for i in range(4)]
+        timed = synthetic_row(99, timed_out=True)
+        path = tmp_path / "rows.jsonl"
+        path.write_text(
+            "\n".join(
+                json.dumps(r, sort_keys=True) for r in rows + [timed]
+            ) + "\ntorn {"
+        )
+        return path, rows
+
+    def test_db_import_and_stats(self, tmp_path, capsys):
+        rows_path, rows = self._rows_file(tmp_path)
+        assert main(["db", "import", str(rows_path)]) == 0
+        out = capsys.readouterr().out
+        assert "4 stored" in out
+        assert "1 timed-out marker(s)" in out
+        assert "1 skipped" in out
+        db_path = tmp_path / "rows.db"  # default: next to the JSONL
+        assert db_path.exists()
+        with ResultStore(str(db_path), read_only=True) as store:
+            assert store.completed_keys() == {
+                row_resume_key(r) for r in rows
+            }
+        assert main(["db", "stats", str(db_path)]) == 0
+        out = capsys.readouterr().out
+        assert "4 completed row(s)" in out
+        assert "1 timed-out marker(s)" in out
+
+    def test_db_import_missing_file_is_an_error(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["db", "import", str(tmp_path / "absent.jsonl")])
+
+    def test_campaign_out_db_resumes_without_rerunning(
+        self, tmp_path, capsys
+    ):
+        manifest = tmp_path / "m.json"
+        manifest.write_text(json.dumps({
+            "trials": 2,
+            "entries": [
+                {"scenario": "attack/basic-cheat",
+                 "grid": {"n": [8, 12], "target": 2}},
+            ],
+        }))
+        db = tmp_path / "rows.db"
+        assert main(["campaign", str(manifest), "--out", str(db)]) == 0
+        err = capsys.readouterr().err
+        assert "ran 2 of 2 points" in err
+        with ResultStore(str(db), read_only=True) as store:
+            assert store.stats()["completed"] == 2
+        assert main(
+            ["campaign", str(manifest), "--out", str(db), "--resume"]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "ran 0 of 2 points" in err
+        # A database target also matches the equivalent JSONL run
+        # row-for-row, not just key-for-key.
+        out = tmp_path / "rows.jsonl"
+        assert main(["campaign", str(manifest), "--out", str(out)]) == 0
+        capsys.readouterr()
+        jsonl_keys = load_completed_keys(out.read_text().splitlines())
+        with ResultStore(str(db), read_only=True) as store:
+            assert store.completed_keys() == jsonl_keys
+            for key in jsonl_keys:
+                assert row_resume_key(store.get(key)) == key
+
+    def test_sweep_out_db(self, tmp_path, capsys):
+        db = tmp_path / "sweep.sqlite"
+        assert main([
+            "sweep", "--scenario", "attack/basic-cheat",
+            "--param", "n=8,12", "--param", "target=2",
+            "--trials", "2", "--out", str(db), "--resume",
+        ]) == 0
+        capsys.readouterr()
+        with ResultStore(str(db), read_only=True) as store:
+            # sweep writes fully resolved params (defaults included)
+            assert store.completed_keys() == {
+                resume_key(
+                    "attack/basic-cheat",
+                    {"cheater": 2, "n": n, "target": 2}, 2, 0,
+                )
+                for n in (8, 12)
+            }

@@ -7,6 +7,8 @@ from hypothesis import given, settings, strategies as st
 
 from repro.experiments import (
     WilsonWidthPolicy,
+    canonical_params,
+    classify_row_line,
     expand_grid,
     load_completed_keys,
     resume_key,
@@ -280,6 +282,150 @@ class TestBudgetPolicyKeyProperties:
                        "min_trials": 2, "max_trials": 4},
         })
         assert load_completed_keys([corrupt_row]) == set()
+
+
+class TestNumericAliasing:
+    """``n=1`` and ``n=1.0`` are equal values and identical experiments;
+    their resume keys must collide (the re-run-done-points regression)."""
+
+    def test_integral_floats_alias_to_ints(self):
+        assert resume_key("a", {"n": 1.0}, 10, 0) == resume_key(
+            "a", {"n": 1}, 10, 0
+        )
+        # ...and to the exact pre-fix byte format of the int spelling,
+        # so no existing golden key moves.
+        assert '"n": 1' in resume_key("a", {"n": 1.0}, 10, 0)
+
+    def test_non_integral_floats_are_untouched(self):
+        key = json.loads(resume_key("a", {"p": 0.5}, 10, 0))
+        assert key["params"] == {"p": 0.5}
+        assert resume_key("a", {"p": 0.5}, 10, 0) != resume_key(
+            "a", {"p": 0}, 10, 0
+        )
+
+    def test_bools_are_not_folded(self):
+        """bool is an int subclass but never a float: flags keep their
+        pre-fix identity, distinct from 0/1."""
+        assert resume_key("a", {"f": True}, 10, 0) != resume_key(
+            "a", {"f": 1}, 10, 0
+        )
+        key = json.loads(resume_key("a", {"f": True}, 10, 0))
+        assert key["params"] == {"f": True}
+
+    def test_nested_containers_canonicalise_recursively(self):
+        assert resume_key("a", {"v": [1.0, 2.5]}, 10, 0) == resume_key(
+            "a", {"v": [1, 2.5]}, 10, 0
+        )
+        assert resume_key("a", {"v": {"m": 4.0}}, 10, 0) == resume_key(
+            "a", {"v": {"m": 4}}, 10, 0
+        )
+
+    def test_row_side_and_request_side_agree(self):
+        """A row whose params were written as floats must satisfy the
+        int-spelled request — both sides canonicalise through one
+        function."""
+        row = {
+            "scenario": "a", "params": {"n": 16.0}, "trials": 10,
+            "base_seed": 0,
+        }
+        assert row_resume_key(row) == resume_key("a", {"n": 16}, 10, 0)
+
+    def test_canonical_params_is_sorted_and_folded(self):
+        assert canonical_params({"b": 2.0, "a": 1}) == {"a": 1, "b": 2}
+        assert list(canonical_params({"b": 2.0, "a": 1})) == ["a", "b"]
+
+    def test_budget_identity_floats_are_not_folded(self):
+        """Policy identity dicts keep their float spellings (z=1.96,
+        ci_width) — folding them would move every frozen adaptive key.
+        The wilson frozen-format test pins the exact dict; here we pin
+        that an integral float criterion stays a float in the key."""
+        policy = WilsonWidthPolicy(ci_width=1.0, min_trials=4, max_trials=8)
+        key = json.loads(resume_key("a", {}, None, 0, budget=policy))
+        assert key["budget"]["ci_width"] == pytest.approx(1.0)
+        assert '"ci_width": 1.0' in resume_key("a", {}, None, 0, budget=policy)
+
+
+class TestClassifyRowLine:
+    """The single-parse classifier behind every tolerant line loader."""
+
+    def _good_row(self):
+        return run_scenario(
+            "honest/basic-lead", trials=2, params={"n": 6}
+        ).to_row()
+
+    def test_reason_labels_are_pinned(self):
+        good = self._good_row()
+        timed = dict(good, timed_out=True)
+        cases = [
+            (json.dumps(good, sort_keys=True), None),
+            (json.dumps(timed, sort_keys=True), "timed-out"),
+            ("not json {", "malformed"),
+            (json.dumps({"unrelated": 1}), "malformed"),
+            ("[1, 2, 3]", "malformed"),
+            # Parsed fine, but identity fields are broken: that is
+            # damage, not a deadline — it must label "malformed" even
+            # though row_resume_key raised after a successful parse.
+            (json.dumps(dict(good, budget=[1])), "malformed"),
+            (json.dumps({k: v for k, v in good.items() if k != "trials"}),
+             "malformed"),
+        ]
+        for line, expected in cases:
+            row, key, reason = classify_row_line(line)
+            assert reason == expected, line
+            if expected is None:
+                assert key == row_resume_key(good)
+                assert row == good
+            else:
+                assert key is None
+
+    def test_timed_out_false_with_corrupt_budget_is_malformed(self):
+        """Only a *truthy* timed_out earns the timed-out label; a row
+        that merely failed identity reconstruction is damage."""
+        good = self._good_row()
+        row = dict(
+            good,
+            timed_out=False,
+            budget={"ci_width": 5, "min_trials": 1, "max_trials": 2},
+        )
+        assert classify_row_line(json.dumps(row))[2] == "malformed"
+
+    def test_on_skip_reasons_flow_through_load_completed_keys(self):
+        good = self._good_row()
+        timed = dict(good, timed_out=True)
+        lines = [
+            json.dumps(good, sort_keys=True),
+            "torn {",
+            json.dumps(timed, sort_keys=True),
+        ]
+        observed = []
+        keys = load_completed_keys(
+            lines, on_skip=lambda number, _line, reason: observed.append(
+                (number, reason)
+            )
+        )
+        assert keys == {row_resume_key(good)}
+        assert observed == [(2, "malformed"), (3, "timed-out")]
+
+    def test_each_line_is_parsed_exactly_once(self):
+        """The old skip path re-ran json.loads on the very line that
+        just failed; the classifier must not."""
+        from unittest import mock
+
+        import repro.experiments.sweep as sweep_mod
+
+        good = self._good_row()
+        lines = [
+            json.dumps(good, sort_keys=True),
+            "torn {",
+            json.dumps(dict(good, timed_out=True), sort_keys=True),
+            json.dumps(dict(good, budget=[1])),
+        ]
+        real = json.loads
+        with mock.patch.object(
+            sweep_mod.json, "loads", side_effect=real
+        ) as spy:
+            load_completed_keys(lines, on_skip=lambda *args: None)
+        assert spy.call_count == len(lines)
 
 
 class TestLoadCompletedKeys:
