@@ -1,0 +1,450 @@
+#!/usr/bin/env python
+"""Regenerate BENCH_chunking.json.
+
+What cost-adaptive chunk sizing buys, measured on three workload
+shapes plus the concurrent estimate service:
+
+- **Budgeted 1M-trial point (headline).** A Wilson-budgeted point of a
+  microsecond-cheap batched scenario runs its doubling batches to the
+  2^20-trial ceiling. The static heuristic cuts every batch into
+  ~4 chunks per worker (16 batches x 16 chunks at 4 workers); a warmed
+  :class:`AdaptiveChunker` sends each small batch as one fold and only
+  splits the big tail batches at its wall-seconds floor. Same rows,
+  same trial counts, an integer multiple fewer dispatches.
+- **Fixed 1M-trial biased-coin point.** The calibration-probe path: an
+  unseen scenario spends one small probe chunk, then ships the
+  remainder in evidence-sized folds instead of ``workers * 4`` static
+  slices.
+- **Executor grid.** ``attack/basic-cheat`` at ~ms/trial: adaptive
+  sizing must not slow the already-coarse executor path down.
+- **Concurrent estimate service.** Two cold estimates for *distinct*
+  points issued together; per-point locks let their compute sections
+  overlap in wall time (a global lock would serialize them).
+
+Every timed comparison first asserts the result rows are
+byte-identical across chunking modes — chunking is scheduling
+metadata, never physics.
+
+The cheap scenario is registered by this benchmark (``bench/fair-coin``
+— one BLAKE2b-derived fair coin flip per trial, ~0.5 us) because the
+shipped batched scenarios are either >10 us/trial or have degenerate
+success rates; the chunking machinery under test is scenario-agnostic.
+
+``--smoke`` runs the identity + dispatch-drop assertions on small
+counts — no timing, no JSON — and exits nonzero on any divergence.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_chunking.py [--smoke]
+"""
+
+import argparse
+import json
+import os
+import platform
+import threading
+import time
+from pathlib import Path
+from tempfile import TemporaryDirectory
+
+from repro.experiments import (
+    AdaptiveChunker,
+    ExperimentRunner,
+    ResultStore,
+    WilsonWidthPolicy,
+)
+from repro.experiments.scenario import (
+    ScenarioSpec,
+    no_valid_ids,
+    register_scenario,
+)
+from repro.serve import EstimateService
+from repro.util.rng import derive_seed
+
+BASE_SEED = 7
+
+#: Wilson ceiling of the budgeted headline point: 2^20 trials in
+#: doubling batches from ``min_trials=32`` (16 batches). ``ci_width``
+#: is set below what 2^20 fair-coin trials can resolve, so the point
+#: deterministically runs to the ceiling in every mode.
+BUDGET_TRIALS = 1 << 20
+BUDGET = dict(ci_width=0.001, min_trials=32, max_trials=BUDGET_TRIALS)
+
+FIXED_SCENARIO = "cointoss/biased-coin"
+FIXED_PARAMS = {"n": 8, "cheater": 2, "target": 4}
+FIXED_TRIALS = 1_000_000
+
+EXECUTOR_SCENARIO = "attack/basic-cheat"
+EXECUTOR_GRID = [{"n": 8, "target": 3}, {"n": 12, "target": 5}]
+EXECUTOR_TRIALS = 200
+
+SERVE_SCENARIO = "attack/basic-cheat"
+SERVE_TRIALS = 256
+
+
+# ----------------------------------------------------------------------
+# bench/fair-coin: the cheapest honest batched workload
+# ----------------------------------------------------------------------
+
+
+def fair_coin_trial(params, registry, max_steps):
+    """One fair coin bit derived from the trial's master seed."""
+    return derive_seed(registry.seed, "coin") & 1, 0
+
+
+def fair_coin_batch(seeds, params):
+    """Fold a chunk of fair-coin trials (bit-identical to the scalar
+    path: same ``derive_seed`` call on the same master seeds)."""
+    ones = sum(derive_seed(seed, "coin") & 1 for seed in seeds)
+    return {1: ones, 0: len(seeds) - ones}, 0
+
+
+def coin_success(outcome, params):
+    return outcome == 1
+
+
+COIN = register_scenario(
+    ScenarioSpec(
+        name="bench/fair-coin",
+        description="benchmark-local fair coin (~0.5 us/trial)",
+        run_trial=fair_coin_trial,
+        run_batch=fair_coin_batch,
+        outcome_size=no_valid_ids,
+        success=coin_success,
+        tags=("bench",),
+    ),
+    replace=True,
+)
+
+
+# ----------------------------------------------------------------------
+# harness
+# ----------------------------------------------------------------------
+
+
+def run_point(
+    scenario,
+    trials,
+    params=None,
+    budget=None,
+    workers=4,
+    parallel=False,
+    chunker=None,
+):
+    runner = ExperimentRunner(
+        workers=workers, parallel=parallel, chunker=chunker
+    )
+    try:
+        return runner.run(
+            scenario,
+            trials,
+            base_seed=BASE_SEED,
+            params=params,
+            keep_outcomes=False,
+            budget=WilsonWidthPolicy(**budget) if budget else None,
+        )
+    finally:
+        runner.close()
+
+
+def warmed_chunker(scenario, params=None, trials=4096):
+    """A chunker that has already seen ``scenario`` — the steady state
+    of a sweep, campaign, or long-lived estimate service."""
+    chunker = AdaptiveChunker()
+    run_point(scenario, trials, params=params, workers=1, chunker=chunker)
+    assert chunker.per_trial_seconds(scenario) is not None
+    return chunker
+
+
+def comparable(result):
+    return json.dumps(result.to_row(), sort_keys=True)
+
+
+def check_identical(results, label):
+    rows = {name: comparable(result) for name, result in results.items()}
+    baseline = next(iter(rows.values()))
+    if any(row != baseline for row in rows.values()):
+        raise SystemExit(f"FAIL: {label}: rows differ across chunking modes")
+    trials = {result.trials for result in results.values()}
+    if len(trials) != 1:
+        raise SystemExit(f"FAIL: {label}: trial counts differ: {trials}")
+
+
+def timed(fn, repeats=3):
+    """Best-of-``repeats`` wall time (the workload is deterministic;
+    anything above the minimum is scheduler interference)."""
+    best = float("inf")
+    value = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - start)
+    return value, best
+
+
+def serve_overlap(trials=SERVE_TRIALS):
+    """Issue two cold estimates for distinct points concurrently and
+    measure how long their compute sections overlap. Positive overlap
+    is impossible under a global compute lock."""
+    intervals = {}
+    with TemporaryDirectory() as tmp:
+        with ResultStore(os.path.join(tmp, "bench.db")) as store:
+            service = EstimateService(
+                store, min_trials=trials, max_trials=trials
+            )
+            inner = service._compute
+
+            def recording_compute(scenario, resolved, ci_width):
+                start = time.perf_counter()
+                try:
+                    return inner(scenario, resolved, ci_width)
+                finally:
+                    intervals[resolved["n"]] = (start, time.perf_counter())
+
+            service._compute = recording_compute
+            errors = []
+            start_line = threading.Barrier(2, timeout=30)
+
+            def ask(n):
+                try:
+                    start_line.wait()  # issue both requests together
+                    service.estimate(
+                        SERVE_SCENARIO, {"n": n, "target": 3}, 0.9
+                    )
+                except Exception as exc:  # pragma: no cover - failure path
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=ask, args=(n,)) for n in (8, 12)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120)
+            service.close()
+    if errors:
+        raise SystemExit(f"FAIL: concurrent estimates errored: {errors}")
+    if len(intervals) != 2:
+        raise SystemExit("FAIL: expected two recorded compute intervals")
+    (s1, e1), (s2, e2) = intervals.values()
+    overlap = min(e1, e2) - max(s1, s2)
+    busy = {n: e - s for n, (s, e) in intervals.items()}
+    return overlap, busy
+
+
+def budgeted_case(parallel):
+    static, static_s = timed(
+        lambda: run_point(COIN.name, None, budget=BUDGET, parallel=parallel)
+    )
+    warm = warmed_chunker(COIN.name)
+    adaptive, adaptive_s = timed(
+        lambda: run_point(
+            COIN.name, None, budget=BUDGET, parallel=parallel,
+            chunker=warm,
+        )
+    )
+    cold = run_point(
+        COIN.name, None, budget=BUDGET, parallel=parallel,
+        chunker=AdaptiveChunker(),
+    )
+    check_identical(
+        {"static": static, "adaptive": adaptive, "cold": cold},
+        "budgeted 1M point",
+    )
+    if adaptive.dispatches * 5 > static.dispatches:
+        raise SystemExit(
+            "FAIL: budgeted point dispatch reduction below 5x: "
+            f"{static.dispatches} static vs {adaptive.dispatches} adaptive"
+        )
+    return {
+        "trials": static.trials,
+        "dispatches": {
+            "static": static.dispatches,
+            "adaptive_warm": adaptive.dispatches,
+            "adaptive_cold": cold.dispatches,
+        },
+        "dispatch_reduction": round(
+            static.dispatches / adaptive.dispatches, 1
+        ),
+        "seconds": {
+            "static": round(static_s, 3),
+            "adaptive_warm": round(adaptive_s, 3),
+        },
+        "speedup": round(static_s / adaptive_s, 2),
+    }
+
+
+def fixed_case():
+    static, static_s = timed(
+        lambda: run_point(FIXED_SCENARIO, FIXED_TRIALS, params=FIXED_PARAMS)
+    )
+    adaptive, adaptive_s = timed(
+        lambda: run_point(
+            FIXED_SCENARIO, FIXED_TRIALS, params=FIXED_PARAMS,
+            chunker=AdaptiveChunker(),
+        )
+    )
+    check_identical(
+        {"static": static, "adaptive": adaptive}, "fixed 1M biased-coin"
+    )
+    if adaptive.dispatches >= static.dispatches:
+        raise SystemExit(
+            "FAIL: fixed 1M point did not reduce dispatches: "
+            f"{static.dispatches} static vs {adaptive.dispatches} adaptive"
+        )
+    return {
+        "trials": FIXED_TRIALS,
+        "dispatches": {
+            "static": static.dispatches,
+            "adaptive_cold_probe": adaptive.dispatches,
+        },
+        "seconds": {
+            "static": round(static_s, 3),
+            "adaptive": round(adaptive_s, 3),
+        },
+    }
+
+
+def executor_case():
+    def grid(chunker_factory):
+        return [
+            run_point(
+                EXECUTOR_SCENARIO, EXECUTOR_TRIALS, params=params,
+                chunker=chunker_factory(params),
+            )
+            for params in EXECUTOR_GRID
+        ]
+
+    static_grid, static_s = timed(lambda: grid(lambda params: None))
+    warm = {
+        tuple(sorted(params.items())): warmed_chunker(
+            EXECUTOR_SCENARIO, params=params, trials=8
+        )
+        for params in EXECUTOR_GRID
+    }
+    adaptive_grid, adaptive_s = timed(
+        lambda: grid(lambda params: warm[tuple(sorted(params.items()))])
+    )
+    for static, adaptive, params in zip(
+        static_grid, adaptive_grid, EXECUTOR_GRID
+    ):
+        check_identical(
+            {"static": static, "adaptive": adaptive},
+            f"executor grid {params}",
+        )
+    return {
+        "grid": EXECUTOR_GRID,
+        "trials_per_point": EXECUTOR_TRIALS,
+        "dispatches": {
+            "static": sum(r.dispatches for r in static_grid),
+            "adaptive_warm": sum(r.dispatches for r in adaptive_grid),
+        },
+        "seconds": {
+            "static": round(static_s, 3),
+            "adaptive_warm": round(adaptive_s, 3),
+        },
+        "adaptive_vs_static": round(adaptive_s / static_s, 2),
+    }
+
+
+def smoke() -> None:
+    budget = dict(ci_width=0.02, min_trials=32, max_trials=16384)
+    static = run_point(COIN.name, None, budget=budget)
+    warm = warmed_chunker(COIN.name, trials=2048)
+    adaptive = run_point(COIN.name, None, budget=budget, chunker=warm)
+    check_identical(
+        {"static": static, "adaptive": adaptive}, "smoke budgeted point"
+    )
+    if adaptive.dispatches * 2 > static.dispatches:
+        raise SystemExit(
+            "FAIL: smoke budgeted point dispatches did not drop: "
+            f"{static.dispatches} static vs {adaptive.dispatches} adaptive"
+        )
+    fixed_static = run_point(FIXED_SCENARIO, 2048, params=FIXED_PARAMS)
+    fixed_adaptive = run_point(
+        FIXED_SCENARIO, 2048, params=FIXED_PARAMS, chunker=AdaptiveChunker()
+    )
+    check_identical(
+        {"static": fixed_static, "adaptive": fixed_adaptive},
+        "smoke fixed probe point",
+    )
+    if fixed_adaptive.dispatches >= fixed_static.dispatches:
+        raise SystemExit(
+            "FAIL: smoke probe path did not reduce dispatches: "
+            f"{fixed_static.dispatches} vs {fixed_adaptive.dispatches}"
+        )
+    overlap, _ = serve_overlap(trials=96)
+    if overlap <= 0:
+        raise SystemExit(
+            f"FAIL: distinct cold estimates did not overlap ({overlap:.3f}s)"
+        )
+    print(
+        "smoke OK: rows chunking-invariant, dispatches drop "
+        f"({static.dispatches}->{adaptive.dispatches} budgeted, "
+        f"{fixed_static.dispatches}->{fixed_adaptive.dispatches} fixed), "
+        f"distinct estimates overlap {overlap:.3f}s"
+    )
+
+
+def main() -> None:
+    budgeted = budgeted_case(parallel=True)
+    fixed = fixed_case()
+    executor = executor_case()
+    overlap, busy = serve_overlap()
+    if overlap <= 0:
+        raise SystemExit(
+            f"FAIL: distinct cold estimates did not overlap ({overlap:.3f}s)"
+        )
+
+    payload = {
+        "benchmark": (
+            "cost-adaptive chunk sizing vs static count heuristic "
+            "(4 workers) + concurrent estimate-service compute"
+        ),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpus": os.cpu_count(),
+        "budgeted_1M_point": budgeted,
+        "fixed_1M_biased_coin": fixed,
+        "executor_grid": executor,
+        "estimate_service": {
+            "distinct_points": 2,
+            "trials_per_point": SERVE_TRIALS,
+            "compute_seconds": {
+                str(n): round(s, 3) for n, s in sorted(busy.items())
+            },
+            "overlap_seconds": round(overlap, 3),
+        },
+        "rows_identical_across_modes": True,
+    }
+    out = Path(__file__).resolve().parent.parent / "BENCH_chunking.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out}")
+    print(
+        f"  budgeted 1M point: {budgeted['dispatches']['static']} -> "
+        f"{budgeted['dispatches']['adaptive_warm']} dispatches "
+        f"({budgeted['dispatch_reduction']}x), "
+        f"{budgeted['speedup']}x wall"
+    )
+    print(
+        f"  fixed 1M biased-coin: {fixed['dispatches']['static']} -> "
+        f"{fixed['dispatches']['adaptive_cold_probe']} dispatches"
+    )
+    print(
+        f"  executor grid: {executor['adaptive_vs_static']}x wall "
+        "(adaptive vs static)"
+    )
+    print(f"  estimate service overlap: {overlap:.3f}s")
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="identity + dispatch-drop checks only (no timing, no JSON)",
+    )
+    if parser.parse_args().smoke:
+        smoke()
+    else:
+        main()

@@ -29,6 +29,7 @@ from repro.analysis.distribution import (
     estimate_distribution,
 )
 from repro.experiments import (
+    AdaptiveChunker,
     CampaignDeadline,
     FailRateTargetPolicy,
     PointScheduler,
@@ -634,6 +635,18 @@ def _budget_from_args(args):
         raise SystemExit(str(exc)) from None
 
 
+def _cli_chunker(args, cost_model=None) -> "AdaptiveChunker | None":
+    """The run's adaptive chunker, seeded from the ``--out`` timing
+    sidecar when one exists — so a re-run starts from last night's
+    per-trial costs instead of re-calibrating. An explicit
+    ``--chunk-size`` pins sizing and disables the chunker entirely."""
+    if args.chunk_size is not None:
+        return None
+    if cost_model is None and args.out:
+        cost_model = load_cost_model(timings_path(args.out))
+    return AdaptiveChunker(cost_model=cost_model)
+
+
 def _cmd_sweep(args) -> int:
     if args.list:
         for name, desc, _tags, defaults, _batch in _scenario_rows():
@@ -659,10 +672,17 @@ def _cmd_sweep(args) -> int:
             max_steps=args.max_steps,
             completed=completed,
             budget=budget,
+            chunk_size=args.chunk_size,
+            chunker=_cli_chunker(args),
         )
     except ConfigurationError as exc:
         raise SystemExit(str(exc)) from None
-    ran = _emit_rows(results, args, existing_lines, "sweep").ran
+    # record_timings: sweeps feed the same `.timings` sidecar campaigns
+    # do, so the cost model (scheduling *and* chunk sizing) learns from
+    # sweep workloads too.
+    ran = _emit_rows(
+        results, args, existing_lines, "sweep", record_timings=True
+    ).ran
     if args.resume:
         print(
             f"  [resume: ran {ran} of {total_points} grid points; "
@@ -748,11 +768,16 @@ def _cmd_campaign(args) -> int:
     # expansion — unknown scenarios/tags/grid keys/budgets all fail
     # before any trial runs and before a previous --out file is touched.
     try:
-        # The model only feeds longest-first ordering and --dry-run
-        # estimates; don't parse an ever-growing sidecar for a
-        # manifest-order run that would never look at it.
+        # One sidecar parse feeds both consumers: longest-first ordering
+        # / --dry-run estimates, and the adaptive chunker's starting
+        # per-trial costs. A pinned --chunk-size manifest-order run
+        # still skips the parse — nothing would ever look at it.
         cost_model = None
-        if args.out and (args.schedule == "longest-first" or args.dry_run):
+        if args.out and (
+            args.schedule == "longest-first"
+            or args.dry_run
+            or args.chunk_size is None
+        ):
             cost_model = load_cost_model(timings_path(args.out))
         scheduler = PointScheduler(args.schedule, cost_model=cost_model)
         points = load_manifest(args.manifest)
@@ -807,6 +832,8 @@ def _cmd_campaign(args) -> int:
             schedule=scheduler,
             point_timeout=args.point_timeout,
             max_wall_clock=args.max_wall_clock,
+            chunk_size=args.chunk_size,
+            chunker=_cli_chunker(args, cost_model=cost_model),
         )
     except ConfigurationError as exc:
         raise SystemExit(str(exc)) from None
@@ -846,7 +873,26 @@ def _cmd_campaign(args) -> int:
 
 
 def _cmd_db(args) -> int:
-    """``db import``: JSONL rows -> SQLite store; ``db stats``: counts."""
+    """``db import``: JSONL rows -> SQLite store; ``db export``: store
+    back to JSONL; ``db stats``: counts."""
+    if args.db_command == "export":
+        if not os.path.exists(args.db):
+            raise SystemExit(f"cannot read store: {args.db!r} does not exist")
+        out = args.out or os.path.splitext(args.db)[0] + ".jsonl"
+        exported = 0
+        try:
+            with ResultStore(args.db, read_only=True) as store, open(
+                out, "w"
+            ) as f:
+                for line in store.export_lines():
+                    f.write(line + "\n")
+                    exported += 1
+        except ConfigurationError as exc:
+            raise SystemExit(str(exc)) from None
+        except OSError as exc:
+            raise SystemExit(f"cannot write {out!r}: {exc}") from None
+        print(f"exported {args.db} to {out}: {exported} line(s)")
+        return 0
     if args.db_command == "import":
         if not os.path.exists(args.rows):
             raise SystemExit(f"cannot read rows file: {args.rows!r} does not exist")
@@ -1094,6 +1140,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip grid points whose rows are already in --out; append the rest",
     )
+    p.add_argument(
+        "--chunk-size", type=int, default=None, metavar="N",
+        help="pin trials per worker chunk (default: cost-adaptive "
+             "sizing from observed per-trial seconds; never affects "
+             "results, only scheduling)",
+    )
     p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser(
@@ -1148,10 +1200,16 @@ def build_parser() -> argparse.ArgumentParser:
              "observed-cost estimates, and resume status instead of "
              "running anything",
     )
+    p.add_argument(
+        "--chunk-size", type=int, default=None, metavar="N",
+        help="pin trials per worker chunk (default: cost-adaptive "
+             "sizing from observed per-trial seconds; never affects "
+             "results, only scheduling)",
+    )
     p.set_defaults(func=_cmd_campaign)
 
     p = sub.add_parser(
-        "db", help="manage a SQLite results store (import / stats)"
+        "db", help="manage a SQLite results store (import / export / stats)"
     )
     db_sub = p.add_subparsers(dest="db_command", required=True)
     q = db_sub.add_parser(
@@ -1164,6 +1222,20 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument(
         "--db", default=None,
         help="database path (default: the rows file with a .db suffix)",
+    )
+    q.set_defaults(func=_cmd_db)
+    q = db_sub.add_parser(
+        "export",
+        help="export a results database back to a JSONL rows file "
+             "(lossless inverse of import; the file is "
+             "resume-loader-compatible, so export -> import merges "
+             "stores)",
+    )
+    q.add_argument("db", help="database path")
+    q.add_argument(
+        "--out", default=None,
+        help="JSONL output path (default: the database with a "
+             ".jsonl suffix)",
     )
     q.set_defaults(func=_cmd_db)
     q = db_sub.add_parser("stats", help="row counts of a results database")

@@ -80,6 +80,12 @@ from repro.experiments.campaign import (
     timing_record,
     timings_path,
 )
+from repro.experiments.chunking import (
+    CALIBRATION_TRIALS,
+    MIN_CHUNK_SECONDS,
+    TARGET_CHUNK_SECONDS,
+    AdaptiveChunker,
+)
 from repro.experiments.pool import WorkerPool, resolve_workers
 from repro.experiments.scenario import (
     Params,
@@ -127,10 +133,14 @@ from repro.experiments.sweep import (
 from repro.experiments import catalog  # noqa: F401  (import for effect)
 
 __all__ = [
+    "AdaptiveChunker",
     "BudgetPolicy",
+    "CALIBRATION_TRIALS",
     "CampaignDeadline",
     "CampaignPoint",
     "CostModel",
+    "MIN_CHUNK_SECONDS",
+    "TARGET_CHUNK_SECONDS",
     "FailRateTargetPolicy",
     "OutcomeRateTargetPolicy",
     "PointScheduler",

@@ -87,6 +87,7 @@ from typing import (
 from repro.analysis.distribution import OutcomeDistribution
 from repro.analysis.stats import proportion
 from repro.experiments.budget import BudgetPolicy, as_policy
+from repro.experiments.chunking import AdaptiveChunker
 from repro.experiments.pool import WorkerCount, WorkerPool
 from repro.experiments.runner import (
     ExperimentResult,
@@ -685,7 +686,13 @@ def _campaign_chunk(tagged: Tuple[int, Any]) -> Tuple[int, Any]:
 class _PointState:
     """Master-side fold state of one in-flight campaign point."""
 
-    def __init__(self, point_id: int, point: CampaignPoint, spec: ScenarioSpec):
+    def __init__(
+        self,
+        point_id: int,
+        point: CampaignPoint,
+        spec: ScenarioSpec,
+        probe: int = 0,
+    ):
         self.point_id = point_id
         self.point = point
         self.spec = spec
@@ -694,7 +701,15 @@ class _PointState:
         self.steps_total = 0
         self.ran = 0
         self.dispatched = 0  # trial indices handed to workers so far
+        self.dispatches = 0  # chunk payloads enqueued (scheduling metadata)
         self.pending = 0  # chunks of the current batch still out
+        #: Calibration split for fixed-trial points of an unseen
+        #: scenario: the first ``probe`` trials go out as their own
+        #: batch (one bounded chunk) so the measured fold seeds the cost
+        #: model before the remainder is chunked adaptively. Batch
+        #: boundaries are where stop decisions happen, but a fixed
+        #: budget has no stop rule — the split cannot change results.
+        self.probe = probe
         self.started = time.perf_counter()
         #: Monotonic instant the point's timeout expires; armed when its
         #: first chunk *result arrives* (not at admission or submission —
@@ -705,11 +720,12 @@ class _PointState:
         #: and it finalizes into a ``timed_out`` row once its in-flight
         #: chunks drain.
         self.timed_out = False
-        self._batch_ends = (
-            point.budget.batch_ends()
-            if point.budget is not None
-            else iter([point.trials])
-        )
+        if point.budget is not None:
+            self._batch_ends = point.budget.batch_ends()
+        elif probe and point.trials and probe < point.trials:
+            self._batch_ends = iter([probe, point.trials])
+        else:
+            self._batch_ends = iter([point.trials])
 
     def next_batch(self) -> Optional[Tuple[int, int]]:
         """The next ``[start, end)`` trial range to dispatch, or None."""
@@ -720,7 +736,7 @@ class _PointState:
         return None
 
     def fold(self, chunk_fold) -> None:
-        counts, successes, steps_total, trials = chunk_fold
+        counts, successes, steps_total, trials = chunk_fold[:4]
         self.counts.update(counts)
         self.successes += successes
         self.steps_total += steps_total
@@ -764,6 +780,7 @@ class _PointState:
             max_steps=point.max_steps,
             elapsed=time.perf_counter() - self.started,
             steps_total=self.steps_total,
+            dispatches=self.dispatches,
             budget=point.budget,
             timed_out=self.timed_out,
         )
@@ -778,6 +795,7 @@ def run_campaign(
     schedule: ScheduleRef = None,
     point_timeout: Optional[float] = None,
     max_wall_clock: Optional[float] = None,
+    chunker: Optional[AdaptiveChunker] = None,
 ) -> Iterator[ExperimentResult]:
     """Run campaign points against one shared pool, yielding results.
 
@@ -806,6 +824,14 @@ def run_campaign(
     folds of the trials that ran; completed points' rows are untouched
     by either guard.
 
+    Chunk sizing is cost-adaptive by default: a shared
+    :class:`~repro.experiments.chunking.AdaptiveChunker` (a fresh one
+    unless ``chunker`` is given — pass one seeded from a ``.timings``
+    sidecar to start warm) learns per-trial seconds from every folded
+    chunk and sizes later dispatches toward its wall-seconds target.
+    An explicit ``chunk_size`` disables it and pins the size instead.
+    Chunking never affects the emitted rows, only scheduling.
+
     The iterator is lazy; closing it (or exhausting it) closes a
     self-created pool, while an injected ``pool`` stays open for the
     caller's next campaign.
@@ -826,6 +852,8 @@ def run_campaign(
                 f"{flag} must be a positive number of seconds, got {value!r}"
             )
     scheduler = as_scheduler(schedule)
+    if chunker is None and chunk_size is None:
+        chunker = AdaptiveChunker()
     done = frozenset(completed) if completed else frozenset()
     # Resolve scenarios and parameters eagerly: a stale manifest or an
     # unknown parameter fails before work starts, hand-built points with
@@ -856,12 +884,12 @@ def run_campaign(
             if not active_pool.parallel:
                 yield from _run_serial(
                     todo, specs, active_pool, chunk_size,
-                    point_timeout, wall_deadline,
+                    point_timeout, wall_deadline, chunker,
                 )
             else:
                 yield from _run_interleaved(
                     todo, specs, active_pool, chunk_size,
-                    point_timeout, wall_deadline,
+                    point_timeout, wall_deadline, chunker,
                 )
         except BaseException:
             # Error path (including KeyboardInterrupt and an abandoned
@@ -884,6 +912,7 @@ def _run_serial(
     chunk_size: Optional[int],
     point_timeout: Optional[float],
     wall_deadline: Optional[float],
+    chunker: Optional[AdaptiveChunker],
 ) -> Iterator[ExperimentResult]:
     last: Optional[ExperimentResult] = None
     for position, point in enumerate(todo):
@@ -896,7 +925,10 @@ def _run_serial(
                 wall_deadline if deadline is None else min(deadline, wall_deadline)
             )
         runner = ExperimentRunner(
-            pool=pool, max_steps=point.max_steps, chunk_size=chunk_size
+            pool=pool,
+            max_steps=point.max_steps,
+            chunk_size=chunk_size,
+            chunker=chunker,
         )
         last = runner.run(
             specs[point.scenario],
@@ -926,6 +958,7 @@ def _run_interleaved(
     chunk_size: Optional[int],
     point_timeout: Optional[float],
     wall_deadline: Optional[float],
+    chunker: Optional[AdaptiveChunker],
 ) -> Iterator[ExperimentResult]:
     """Grid-level parallelism: many points' chunks share the pool.
 
@@ -993,6 +1026,11 @@ def _run_interleaved(
         if batch is None:
             return False
         start, end = batch
+        size = chunk_size
+        if size is None and state.probe and end <= state.probe:
+            # The calibration batch ships as one bounded chunk so its
+            # measured fold is a clean per-trial estimate.
+            size = state.probe
         payloads = chunk_payloads(
             state.spec,
             state.point.params,
@@ -1001,10 +1039,12 @@ def _run_interleaved(
             False,
             state.point.max_steps,
             workers=pool.workers,
-            chunk_size=chunk_size,
+            chunk_size=size,
+            chunker=chunker,
         )
         if not payloads:
             return False
+        state.dispatches += len(payloads)
         state.pending = len(payloads)
         for payload in payloads:
             payload_queue.append((state.point_id, payload))
@@ -1017,7 +1057,12 @@ def _run_interleaved(
             return
         while waiting and len(active) < max_active:
             point_id, point = waiting.popleft()
-            state = _PointState(point_id, point, specs[point.scenario])
+            probe = 0
+            if chunker is not None and chunk_size is None and point.budget is None:
+                probe = chunker.calibration_trials(
+                    point.scenario, point.trials or 0
+                )
+            state = _PointState(point_id, point, specs[point.scenario], probe=probe)
             if _enqueue_batch(state):
                 active[point_id] = state
             else:
@@ -1034,6 +1079,8 @@ def _run_interleaved(
                 f"{active[point_id].point.params} failed: {payload}"
             ) from payload
         state = active[point_id]
+        if chunker is not None and len(payload) > 4:
+            chunker.observe(state.point.scenario, payload[3], payload[4])
         state.fold(payload)
         state.pending -= 1
         if point_timeout is None and wall_deadline is None:

@@ -1,0 +1,165 @@
+"""Cost-adaptive chunk sizing: observed seconds decide trials-per-chunk.
+
+The static heuristic the runner shipped with — ``count // (workers * 4)``
+— sizes chunks by *trial count*, which was the right proxy when every
+trial cost roughly the same. PR 6's batch kernels broke that premise by
+two orders of magnitude: a biased-coin trial folds in under a
+microsecond while an executor-backed ring trial still takes ~11 ms, so
+one heuristic now either shreds cheap work into dispatch confetti (an
+adaptive budget's 32-trial batch becomes sixteen 2-trial chunks, each
+paying a pool round-trip for 30 µs of arithmetic) or would starve
+deadline responsiveness on slow scenarios if simply made coarser.
+
+:class:`AdaptiveChunker` replaces the proxy with the quantity the
+heuristic was always approximating: **wall-seconds per chunk**. It wraps
+the same :class:`~repro.experiments.campaign.CostModel` EWMA the
+campaign scheduler learns from (so a ``.timings`` sidecar seeds it
+across runs, and every folded chunk sharpens it in-run) and sizes chunks
+toward :data:`TARGET_CHUNK_SECONDS`, floored at
+:data:`MIN_CHUNK_SECONDS` so cheap scenarios are never shredded for
+load balance, and capped at an even split across the workers so
+expensive ones still parallelise. Scenarios the model has never seen
+fall back to the static heuristic (returning ``None`` here), optionally
+after a bounded *calibration* chunk — see
+:meth:`AdaptiveChunker.calibration_trials`.
+
+The contract that makes all of this free to take: **chunking never
+affects results**. Trial ``i``'s seed is a pure function of
+``(base_seed, i)`` and chunk folds are commutative counters, so the
+rows are byte-identical however the index range is sliced — the
+1-vs-4-worker determinism and golden-row suites pin it. Chunk sizing
+may therefore depend on wall-clock measurements without ever
+threatening reproducibility: it is scheduling metadata, exactly like
+the admission order the cost model already feeds.
+"""
+
+import math
+import threading
+from typing import TYPE_CHECKING, Optional
+
+from repro.util.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.experiments.campaign import CostModel
+
+#: Wall-seconds one chunk should cost: coarse enough that dispatch and
+#: kernel-call overhead vanish next to trial work, fine enough that
+#: deadline checks (``--point-timeout``) and pool rebalancing happen a
+#: few times a second.
+TARGET_CHUNK_SECONDS = 0.25
+
+#: Wall-seconds below which a chunk is not worth a dispatch: the
+#: load-balance split (one chunk per worker) is ignored rather than
+#: produce chunks cheaper than this — shipping 30 µs of kernel work to
+#: four processes is how the static heuristic lost its factor.
+MIN_CHUNK_SECONDS = 0.05
+
+#: Trials in the calibration chunk of a scenario the model has never
+#: seen. Matches :data:`~repro.experiments.pool.STREAM_CHUNK_TRIALS`:
+#: big enough to amortise per-chunk overhead out of the first per-trial
+#: estimate, small enough that probing an unknown (possibly ~10 ms per
+#: trial) scenario stays a few seconds at worst.
+CALIBRATION_TRIALS = 256
+
+
+class AdaptiveChunker:
+    """Sizes worker chunks from observed per-trial seconds.
+
+    Wraps a :class:`~repro.experiments.campaign.CostModel` (its own by
+    default, or a shared one — the CLI hands the same instance to the
+    chunker and the ``longest-first`` scheduler so one ``.timings``
+    sidecar feeds both). Thread-safe: the estimate service observes
+    folds from many request threads against one chunker.
+
+    ``chunk_size`` answers with ``None`` for scenarios the model has no
+    evidence about — the caller (:func:`~repro.experiments.runner.
+    chunk_payloads`) falls back to the static count heuristic, and an
+    explicit user ``chunk_size`` always wins before either is consulted.
+    """
+
+    def __init__(
+        self,
+        cost_model: Optional["CostModel"] = None,
+        target_seconds: float = TARGET_CHUNK_SECONDS,
+        min_seconds: float = MIN_CHUNK_SECONDS,
+    ):
+        if not target_seconds > 0 or not min_seconds > 0:
+            raise ConfigurationError(
+                "chunk duration targets must be positive, got "
+                f"target={target_seconds!r} min={min_seconds!r}"
+            )
+        if min_seconds > target_seconds:
+            raise ConfigurationError(
+                f"min_seconds ({min_seconds}) cannot exceed "
+                f"target_seconds ({target_seconds})"
+            )
+        if cost_model is None:
+            # Imported here, not at module level: campaign.py builds on
+            # the runner, which builds on this module.
+            from repro.experiments.campaign import CostModel
+
+            cost_model = CostModel()
+        self.cost_model = cost_model
+        self.target_seconds = target_seconds
+        self.min_seconds = min_seconds
+        self._lock = threading.Lock()
+
+    def per_trial_seconds(self, scenario: str) -> Optional[float]:
+        """The model's EWMA per-trial seconds (None when unseen)."""
+        return self.cost_model.per_trial_seconds(scenario)
+
+    def observe(self, scenario: str, trials: int, elapsed: float) -> bool:
+        """Fold one chunk's measured ``(trials, elapsed)`` into the model.
+
+        Same tolerance as :meth:`CostModel.observe`: foreign or
+        non-positive values are rejected, never raised — a clock hiccup
+        must only cost an observation.
+        """
+        with self._lock:
+            return self.cost_model.observe(scenario, trials, elapsed)
+
+    def chunk_size(self, scenario: str, count: int, workers: int = 1) -> Optional[int]:
+        """Trials per chunk for ``count`` trials of ``scenario``, or
+        ``None`` when the model has no estimate (caller falls back to
+        the static heuristic).
+
+        Three forces, in priority order:
+
+        - chunks never exceed :attr:`target_seconds` (responsiveness:
+          deadlines and rebalancing act at chunk boundaries);
+        - subject to that, the range splits across the workers (load
+          balance — trials of one point are uniform, so an even split
+          is also the minimal-dispatch one);
+        - but never below :attr:`min_seconds` per chunk (cheap work is
+          run in fewer, larger chunks instead of being shredded —
+          splitting 30 µs of kernel time four ways buys nothing but
+          IPC).
+        """
+        if count <= 0:
+            return None
+        with self._lock:
+            per = self.cost_model.per_trial_seconds(scenario)
+        if per is None or not per > 0 or not math.isfinite(per):
+            return None
+        target = max(1, int(self.target_seconds / per))
+        balanced = math.ceil(count / max(workers, 1))
+        floor = max(1, int(self.min_seconds / per))
+        size = max(min(target, balanced), floor)
+        return max(1, min(size, count))
+
+    def calibration_trials(self, scenario: str, count: int) -> int:
+        """Trials the runner should probe before chunking the remaining
+        ``count - probe`` trials adaptively, or ``0`` when no probe is
+        warranted (the scenario is already observed, or the range is too
+        small for the split to pay for itself).
+
+        The probe is the in-run feedback path: the first chunk of an
+        unknown scenario runs at a bounded size, its fold's measured
+        elapsed lands in the model, and the rest of the *same point* is
+        then chunked from evidence instead of the count proxy.
+        """
+        if count <= 2 * CALIBRATION_TRIALS:
+            return 0
+        if self.per_trial_seconds(scenario) is not None:
+            return 0
+        return CALIBRATION_TRIALS

@@ -55,6 +55,7 @@ from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Seque
 from repro.analysis.distribution import OutcomeDistribution
 from repro.analysis.stats import Proportion, proportion
 from repro.experiments.budget import BudgetPolicy, BudgetRef, as_policy
+from repro.experiments.chunking import AdaptiveChunker
 from repro.experiments.pool import (
     STREAM_CHUNK_TRIALS,
     WorkerCount,
@@ -102,6 +103,10 @@ class ExperimentResult:
     max_steps: Optional[int] = None  # per-trial budget the rows ran under
     elapsed: float = 0.0  # wall-clock; excluded from to_row() determinism
     steps_total: int = 0  # summed delivery steps across all trials
+    #: Worker chunks this experiment dispatched — scheduling metadata
+    #: (like ``elapsed``), excluded from ``to_row()``; what the chunking
+    #: benchmark and the cost-adaptive tests measure.
+    dispatches: int = 0
     budget: Optional[BudgetPolicy] = None  # adaptive policy, if one ran
     #: The experiment was abandoned at a chunk boundary by a deadline
     #: (campaign --point-timeout / --max-wall-clock): ``trials`` is then
@@ -244,8 +249,11 @@ def run_traced_trial(
 ChunkPayload = Tuple[ScenarioRef, Params, int, Tuple[int, ...], bool, Optional[int], bool]
 
 #: A worker-side folded chunk: (outcome -> count, successes, steps total,
-#: trial count). Plain tuples pickle small and fold commutatively.
-ChunkFold = Tuple[Dict[Any, int], int, int, int]
+#: trial count, worker-measured elapsed seconds). Plain tuples pickle
+#: small and fold commutatively. The trailing ``elapsed`` is scheduling
+#: metadata — the cost-adaptive chunker's in-run feedback signal — and
+#: never reaches a row: the first four elements alone decide results.
+ChunkFold = Tuple[Dict[Any, int], int, int, int, float]
 
 
 def _resolve_chunk_spec(scenario: ScenarioRef) -> ScenarioSpec:
@@ -267,12 +275,14 @@ def _run_chunk(payload: ChunkPayload) -> List[TrialOutcome]:
 
 
 #: A worker-side *packed* chunk for the streamed outcome path: columnar
-#: ``(indices, outcomes, steps, successes)`` tuples. Per-trial
+#: ``(indices, outcomes, steps, successes, elapsed)`` tuples. Per-trial
 #: :class:`TrialOutcome` objects pickle as one class reference plus four
 #: boxed fields *each*; four flat tuples carry the same data in a
 #: fraction of the bytes, and the master rebuilds the objects locally.
+#: The trailing worker-measured ``elapsed`` seconds feed the
+#: cost-adaptive chunker and never reach a trial outcome.
 PackedChunk = Tuple[
-    Tuple[int, ...], Tuple[Any, ...], Tuple[int, ...], Tuple[bool, ...]
+    Tuple[int, ...], Tuple[Any, ...], Tuple[int, ...], Tuple[bool, ...], float
 ]
 
 
@@ -287,6 +297,7 @@ def _run_chunk_packed(payload: ChunkPayload) -> PackedChunk:
     """
     scenario, params, base_seed, indices, record_trace, max_steps = payload[:6]
     spec = _resolve_chunk_spec(scenario)
+    started = time.perf_counter()
     outcomes = []
     steps = []
     successes = []
@@ -295,12 +306,20 @@ def _run_chunk_packed(payload: ChunkPayload) -> PackedChunk:
         outcomes.append(trial.outcome)
         steps.append(trial.steps)
         successes.append(trial.success)
-    return (tuple(indices), tuple(outcomes), tuple(steps), tuple(successes))
+    return (
+        tuple(indices),
+        tuple(outcomes),
+        tuple(steps),
+        tuple(successes),
+        time.perf_counter() - started,
+    )
 
 
 def _unpack_chunk(packed: PackedChunk) -> List[TrialOutcome]:
-    """Rebuild a packed chunk's :class:`TrialOutcome` objects master-side."""
-    indices, outcomes, steps, successes = packed
+    """Rebuild a packed chunk's :class:`TrialOutcome` objects master-side
+    (the trailing elapsed element, when present, is timing metadata the
+    dispatcher consumes — trials never see it)."""
+    indices, outcomes, steps, successes = packed[:4]
     return [
         TrialOutcome(index=i, outcome=o, steps=s, success=w)
         for i, o, s, w in zip(indices, outcomes, steps, successes)
@@ -317,7 +336,7 @@ def trial_seeds(base_seed: int, indices: Sequence[int]) -> List[int]:
 
 def _fold_batch(
     spec: ScenarioSpec, params: Params, base_seed: int, indices: Sequence[int]
-) -> Optional[ChunkFold]:
+) -> Optional[Tuple[Dict[Any, int], int, int, int]]:
     """Fold one chunk through the scenario's vectorized kernel.
 
     The kernel histograms final (post-``map_outcome``) outcomes, so the
@@ -359,6 +378,7 @@ def _run_chunk_folded(payload: ChunkPayload) -> ChunkFold:
     scenario, params, base_seed, indices, record_trace, max_steps = payload[:6]
     use_batch = payload[6] if len(payload) > 6 else True
     spec = _resolve_chunk_spec(scenario)
+    started = time.perf_counter()
     if (
         use_batch
         and spec.run_batch is not None
@@ -367,7 +387,7 @@ def _run_chunk_folded(payload: ChunkPayload) -> ChunkFold:
     ):
         batched = _fold_batch(spec, params, base_seed, indices)
         if batched is not None:
-            return batched
+            return batched + (time.perf_counter() - started,)
     counts: Dict[Any, int] = {}
     successes = 0
     steps_total = 0
@@ -376,7 +396,7 @@ def _run_chunk_folded(payload: ChunkPayload) -> ChunkFold:
         counts[trial.outcome] = counts.get(trial.outcome, 0) + 1
         successes += int(trial.success)
         steps_total += trial.steps
-    return (counts, successes, steps_total, len(indices))
+    return (counts, successes, steps_total, len(indices), time.perf_counter() - started)
 
 
 def chunk_payloads(
@@ -390,6 +410,7 @@ def chunk_payloads(
     chunk_size: Optional[int] = None,
     max_chunk: Optional[int] = None,
     use_batch: bool = True,
+    chunker: Optional[AdaptiveChunker] = None,
 ) -> List[ChunkPayload]:
     """Slice a trial-index range into worker chunk payloads.
 
@@ -399,14 +420,23 @@ def chunk_payloads(
     arbitrary callables); user-registered and ad-hoc specs go by value —
     a worker under the spawn/forkserver start methods rebuilds only the
     builtin catalog, so a bare name would not resolve there.
-    ``max_chunk`` caps the chunk size whatever ``chunk_size`` asked for —
-    the streamed outcome path uses it to bound per-dispatch IPC message
-    size. Chunking never affects results, only scheduling.
+
+    Sizing precedence: an explicit ``chunk_size`` always wins; otherwise
+    a ``chunker`` with observed per-trial seconds for the scenario sizes
+    chunks toward its wall-seconds target (see
+    :class:`~repro.experiments.chunking.AdaptiveChunker`); otherwise the
+    static count heuristic (~4 chunks per worker). ``max_chunk`` caps
+    the result whatever chose it — the streamed outcome path uses it to
+    bound per-dispatch IPC message size. Chunking never affects results,
+    only scheduling.
     """
     count = len(indices)
+    size = None
     if chunk_size is not None:
         size = chunk_size
-    else:
+    elif chunker is not None:
+        size = chunker.chunk_size(spec.name, count, workers)
+    if size is None:
         size = max(1, count // (workers * 4) or 1)
     if max_chunk is not None:
         size = min(size, max_chunk)
@@ -460,6 +490,14 @@ class ExperimentRunner:
         ``run_batch`` kernel (the default). ``False`` forces the
         per-trial loop everywhere — the equivalence tests' control
         mode; results are identical either way by contract.
+    chunker:
+        A :class:`~repro.experiments.chunking.AdaptiveChunker` sizing
+        chunks from observed per-trial seconds (every folded chunk's
+        measured elapsed feeds it back). ``None`` keeps the static
+        count heuristic. Callers that own a ``.timings`` sidecar (the
+        sweep/campaign/serve layers) pass a chunker seeded from it; an
+        explicit ``chunk_size`` always wins over both. Chunking never
+        affects results, only scheduling.
     """
 
     def __init__(
@@ -471,6 +509,7 @@ class ExperimentRunner:
         max_steps: Optional[int] = None,
         pool: Optional[WorkerPool] = None,
         use_batch: bool = True,
+        chunker: Optional[AdaptiveChunker] = None,
     ):
         if chunk_size is not None and chunk_size < 1:
             raise ConfigurationError(f"chunk_size must be >= 1, got {chunk_size}")
@@ -483,6 +522,8 @@ class ExperimentRunner:
         self.record_trace = record_trace
         self.max_steps = max_steps
         self.use_batch = use_batch
+        self.chunker = chunker
+        self._dispatches = 0
         self._pool = pool
         self._owns_pool = pool is None
 
@@ -521,6 +562,7 @@ class ExperimentRunner:
         indices: Sequence[int],
         fold: bool,
         bounded: bool = False,
+        chunk_size: Optional[int] = None,
     ) -> Iterable[Union[List[TrialOutcome], ChunkFold]]:
         use_pool = self.parallel and self.workers > 1 and len(indices) > 1
         payloads = chunk_payloads(
@@ -531,27 +573,44 @@ class ExperimentRunner:
             self.record_trace,
             self.max_steps,
             workers=self.workers,
-            chunk_size=self.chunk_size,
+            # A per-call override (the calibration probe) outranks the
+            # runner-wide setting, which outranks the adaptive chunker.
+            chunk_size=chunk_size if chunk_size is not None else self.chunk_size,
             # Streamed outcome path: per-trial results cross the process
             # boundary, so bound every dispatch's pickled payload.
             max_chunk=STREAM_CHUNK_TRIALS if use_pool and not fold else None,
             use_batch=self.use_batch,
+            chunker=self.chunker,
         )
+        self._dispatches += len(payloads)
+        observe = self.chunker.observe if self.chunker is not None else None
         if not use_pool:
             # In-process: no pickling, so nothing to pack or bound.
             fn = _run_chunk_folded if fold else _run_chunk
             for payload in payloads:
-                yield fn(payload)
+                started = time.perf_counter()
+                result = fn(payload)
+                if observe is not None:
+                    # Folded chunks time themselves; the streamed path's
+                    # trial lists don't, so the master's clock stands in.
+                    elapsed = result[4] if fold else time.perf_counter() - started
+                    observe(spec.name, len(payload[3]), elapsed)
+                yield result
             return
         pool = self._shared_pool()
         if fold:
-            yield from pool.imap_unordered(
+            for chunk in pool.imap_unordered(
                 _run_chunk_folded, payloads, bounded=bounded
-            )
+            ):
+                if observe is not None:
+                    observe(spec.name, chunk[3], chunk[4])
+                yield chunk
             return
         for packed in pool.imap_unordered(
             _run_chunk_packed, payloads, bounded=bounded
         ):
+            if observe is not None:
+                observe(spec.name, len(packed[0]), packed[4])
             yield _unpack_chunk(packed)
 
     # -- public API ----------------------------------------------------
@@ -618,8 +677,9 @@ class ExperimentRunner:
         steps_total = 0
         ran = 0
         timed_out = False
+        self._dispatches = 0
 
-        def _consume(start: int, end: int) -> None:
+        def _consume(start: int, end: int, chunk_size: Optional[int] = None) -> None:
             nonlocal success_count, steps_total, ran, timed_out
             for chunk_result in self._dispatch(
                 spec,
@@ -631,9 +691,12 @@ class ExperimentRunner:
                 # dispatch so abandonment strands at most a window of
                 # submitted chunks, not the whole experiment.
                 bounded=deadline is not None,
+                chunk_size=chunk_size,
             ):
                 if fold:
-                    fold_counts, fold_successes, fold_steps, fold_trials = chunk_result
+                    fold_counts, fold_successes, fold_steps, fold_trials = (
+                        chunk_result[:4]
+                    )
                     counts.update(fold_counts)
                     success_count += fold_successes
                     steps_total += fold_steps
@@ -656,7 +719,17 @@ class ExperimentRunner:
                     break
 
         if policy is None:
-            _consume(0, trials)
+            probe = 0
+            if self.chunker is not None and self.chunk_size is None and fold:
+                # In-run calibration: an unseen scenario's first chunk
+                # runs at a bounded size so its measured elapsed seeds
+                # the cost model, and the rest of this same point is
+                # chunked from evidence instead of the count heuristic.
+                probe = self.chunker.calibration_trials(spec.name, trials)
+            if probe:
+                _consume(0, probe, chunk_size=probe)
+            if not timed_out:
+                _consume(probe, trials)
             if timed_out and ran >= trials:
                 # The deadline lapsed exactly as the last chunk folded:
                 # every requested trial ran, so the result is complete —
@@ -695,6 +768,7 @@ class ExperimentRunner:
             max_steps=self.max_steps,
             elapsed=time.perf_counter() - started,
             steps_total=steps_total,
+            dispatches=self._dispatches,
             budget=policy,
             timed_out=timed_out,
         )
@@ -717,10 +791,21 @@ def run_scenario(
     budget: BudgetRef = None,
     pool: Optional[WorkerPool] = None,
     on_outcome: Optional[Callable[[TrialOutcome], None]] = None,
+    chunker: Optional[AdaptiveChunker] = None,
     **runner_kwargs: Any,
 ) -> ExperimentResult:
-    """One-shot convenience: build a runner and run one experiment."""
-    runner = ExperimentRunner(workers=workers, pool=pool, **runner_kwargs)
+    """One-shot convenience: build a runner and run one experiment.
+
+    Chunk sizing is cost-adaptive by default (a fresh
+    :class:`~repro.experiments.chunking.AdaptiveChunker` per call);
+    pass ``chunker=...`` to share a seeded model, or
+    ``chunk_size=...`` (via ``runner_kwargs``) to pin it.
+    """
+    if chunker is None and "chunk_size" not in runner_kwargs:
+        chunker = AdaptiveChunker()
+    runner = ExperimentRunner(
+        workers=workers, pool=pool, chunker=chunker, **runner_kwargs
+    )
     try:
         return runner.run(
             scenario,

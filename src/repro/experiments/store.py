@@ -43,7 +43,17 @@ import os
 import sqlite3
 import threading
 import time
-from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Set
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Set,
+)
 
 from repro.experiments.campaign import retry_identity, row_retry_identity
 from repro.experiments.sweep import (
@@ -308,6 +318,22 @@ class ResultStore:
             (scenario, params_blob(params)),
         )
         return [json.loads(blob) for (blob,) in rows]
+
+    def export_lines(self) -> Iterator[str]:
+        """Every stored row back as JSONL lines, in insertion order.
+
+        The exact inverse of :meth:`import_lines`: the ``row`` column is
+        the lossless JSON blob of what arrived, so the exported file is
+        resume-loader-compatible — completed rows keep their resume
+        keys, timed-out markers keep their ``"timed_out": true`` shape
+        (so :func:`~repro.experiments.sweep.load_completed_keys` skips
+        them and a resume retries their points, exactly as against the
+        original ``--out`` file). ``export → import`` into a fresh
+        store reproduces the key set, which is what makes
+        store-to-store merges a pipe.
+        """
+        for (blob,) in self._query("SELECT row FROM results ORDER BY id"):
+            yield blob
 
     def pending_retries(self) -> Set[str]:
         """Retry identities of every stored timed-out marker."""

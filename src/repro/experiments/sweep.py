@@ -49,6 +49,7 @@ from typing import (
 )
 
 from repro.experiments.budget import BudgetRef, as_policy
+from repro.experiments.chunking import AdaptiveChunker
 from repro.experiments.pool import WorkerCount, WorkerPool
 from repro.experiments.runner import ExperimentRunner, ExperimentResult
 from repro.experiments.scenario import Params, get_scenario
@@ -353,6 +354,8 @@ def sweep_scenario(
     completed: Optional[Collection[str]] = None,
     budget: BudgetRef = None,
     pool: Optional[WorkerPool] = None,
+    chunk_size: Optional[int] = None,
+    chunker: Optional[AdaptiveChunker] = None,
 ) -> Iterator[ExperimentResult]:
     """Run ``scenario`` at every grid point, yielding results lazily.
 
@@ -374,6 +377,13 @@ def sweep_scenario(
     processes spawn once for the whole sweep. ``budget`` switches every
     grid point from the fixed ``trials`` count to an adaptive Wilson
     stop (see :class:`~repro.experiments.budget.BudgetPolicy`).
+
+    Chunk sizing is cost-adaptive by default: one
+    :class:`~repro.experiments.chunking.AdaptiveChunker` is shared
+    across the whole grid (a fresh one unless ``chunker`` is given), so
+    the first point's measured folds size every later point's chunks.
+    An explicit ``chunk_size`` pins the size instead. Neither affects
+    the emitted rows, only scheduling.
     """
     spec = get_scenario(scenario)
     policy = as_policy(budget)
@@ -384,7 +394,15 @@ def sweep_scenario(
     resolved_points: List[Params] = [
         spec.resolve_params(point) for point in expand_grid(grid)
     ]
-    runner = ExperimentRunner(workers=workers, max_steps=max_steps, pool=pool)
+    if chunker is None and chunk_size is None:
+        chunker = AdaptiveChunker()
+    runner = ExperimentRunner(
+        workers=workers,
+        max_steps=max_steps,
+        pool=pool,
+        chunk_size=chunk_size,
+        chunker=chunker,
+    )
     done = frozenset(completed) if completed else frozenset()
     key_trials = None if policy is not None else trials
 

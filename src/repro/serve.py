@@ -22,7 +22,9 @@ measured now:
   width) on its shared :class:`~repro.experiments.pool.WorkerPool`,
   persists the converged row to the store, and returns it;
   ``"source": "computed"``. Identical queries arriving while the point
-  runs queue behind one compute lock and are answered from the store.
+  runs queue behind that point's lock and are answered from the store;
+  queries for *different* cold points take different locks and compute
+  concurrently on the shared pool.
 - **Read-only (``--read-only``):** a miss is refused with HTTP 409
   instead of computed — the mode for pointing the service at a store
   some other process owns.
@@ -45,6 +47,7 @@ from urllib.parse import parse_qsl, urlparse
 from repro.analysis.stats import wilson_interval
 from repro.experiments.budget import WilsonWidthPolicy, precision_satisfied
 from repro.experiments.campaign import CampaignPoint, run_campaign
+from repro.experiments.chunking import AdaptiveChunker
 from repro.experiments.pool import WorkerPool
 from repro.experiments.scenario import get_scenario, scenario_names
 from repro.experiments.store import ResultStore
@@ -65,11 +68,18 @@ class EstimateService:
     """The query layer: one store, one shared pool, one precision rule.
 
     Thread-safe by construction: the store serialises its connection
-    internally, and all trial-running goes through one ``_compute_lock``
-    — the HTTP layer may answer many requests concurrently, but at most
-    one adaptive point runs at a time, and whoever waited on the lock
-    re-probes the store before computing (their answer usually just
-    arrived).
+    internally, and trial-running is serialised **per point** — a
+    refcounted lock table keyed by the adaptive point's resume key
+    ``(scenario, canonical params, budget key)`` means identical
+    in-flight queries still coalesce (whoever waited re-probes the
+    store before computing; their answer usually just arrived), while
+    queries for distinct cold points hold distinct locks and run their
+    campaigns concurrently against the shared pool —
+    ``multiprocessing.Pool`` submission is thread-safe, and each
+    campaign drains its own results queue. One shared
+    :class:`~repro.experiments.chunking.AdaptiveChunker` sizes every
+    compute's chunks, so each request sharpens the cost model the next
+    one schedules by.
     """
 
     def __init__(
@@ -91,7 +101,12 @@ class EstimateService:
         self.z = z
         self._pool: Optional[WorkerPool] = None
         self._pool_lock = threading.Lock()
-        self._compute_lock = threading.Lock()
+        # Per-point compute locks: key -> [lock, waiter refcount]. The
+        # guard covers only table bookkeeping; the per-key lock is held
+        # across the (re-probe, compute, persist) critical section.
+        self._locks: Dict[str, list] = {}
+        self._locks_guard = threading.Lock()
+        self._chunker = AdaptiveChunker()
 
     # -- the one question ----------------------------------------------
 
@@ -119,16 +134,44 @@ class EstimateService:
                 "no stored row satisfies the requested precision and the "
                 "service is read-only"
             )
-        with self._compute_lock:
+        key = self._point(spec.name, resolved, ci_width).key()
+        entry = self._checkout_lock(key)
+        entry[0].acquire()
+        try:
             # Re-probe: an identical query that held the lock first has
             # usually just persisted exactly the row this one needs.
+            # Distinct points hold distinct locks, so a cold grid of
+            # queries computes concurrently instead of single-file.
             cached = self._cached(spec.name, resolved, ci_width)
             if cached is not None:
                 return cached
             row = self._compute(spec.name, resolved, ci_width)
             return self._response(row, ci_width, source="computed")
+        finally:
+            entry[0].release()
+            self._checkin_lock(key, entry)
 
     # -- internals -----------------------------------------------------
+
+    def _checkout_lock(self, key: str) -> list:
+        """The point's ``[lock, refcount]`` entry, refcount bumped. The
+        bump happens under the table guard *before* anyone blocks on the
+        lock, so a nonzero refcount proves the entry is still live and
+        zero proves no thread holds or wants it."""
+        with self._locks_guard:
+            entry = self._locks.get(key)
+            if entry is None:
+                entry = self._locks[key] = [threading.Lock(), 0]
+            entry[1] += 1
+            return entry
+
+    def _checkin_lock(self, key: str, entry: list) -> None:
+        with self._locks_guard:
+            entry[1] -= 1
+            if entry[1] == 0:
+                # Last interested thread: drop the entry so the table
+                # tracks in-flight points, not the whole query history.
+                del self._locks[key]
 
     def _policy(self, ci_width: float) -> WilsonWidthPolicy:
         return WilsonWidthPolicy(
@@ -186,7 +229,11 @@ class EstimateService:
     ) -> Dict[str, Any]:
         """Run the adaptive point on the shared pool and persist it."""
         point = self._point(scenario, params, ci_width)
-        results = list(run_campaign([point], pool=self._shared_pool()))
+        results = list(
+            run_campaign(
+                [point], pool=self._shared_pool(), chunker=self._chunker
+            )
+        )
         row = results[0].to_row()
         self.store.append_row(row)
         return row

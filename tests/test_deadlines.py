@@ -633,12 +633,19 @@ class TestCliTimingSidecarAndDryRun:
         with pytest.raises(SystemExit):
             main(["campaign", str(manifest), "--point-timeout", "nan"])
 
-    def test_sweep_leaves_no_timing_sidecar(self, tmp_path, capsys):
+    def test_sweep_records_timing_sidecar(self, tmp_path, capsys):
+        # Sweeps feed the same cost model campaigns do: the sidecar
+        # seeds longest-first scheduling and adaptive chunk sizing for
+        # every later run against the same --out.
         out = tmp_path / "rows.jsonl"
         assert main(["sweep", "--scenario", "sync/broadcast", "--trials", "3",
                      "--param", "n=4", "--out", str(out)]) == 0
         assert out.exists()
-        assert not (tmp_path / "rows.jsonl.timings").exists()
+        sidecar = tmp_path / "rows.jsonl.timings"
+        assert sidecar.exists()
+        records = [json.loads(line)
+                   for line in sidecar.read_text().splitlines() if line]
+        assert any(rec.get("scenario") == "sync/broadcast" for rec in records)
 
 
 class TestCliPointTimeoutResume:

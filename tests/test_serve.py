@@ -11,6 +11,10 @@ The load-bearing guarantees, each pinned directly:
 - a row that ran to its trial ceiling without converging is returned
   under its exact adaptive key with ``satisfied: false`` rather than
   recomputed forever;
+- distinct cold points compute *concurrently* (a barrier inside a
+  monkeypatched compute proves overlap — a global compute lock would
+  deadlock it) while identical in-flight queries still coalesce to one
+  compute;
 - the HTTP layer maps these to 200/400/404/409 end to end over a real
   ephemeral-port server.
 """
@@ -132,6 +136,109 @@ class TestEstimateService:
                     service.estimate(SCENARIO, dict(POINT), bad_width)
             with pytest.raises(ConfigurationError):
                 service.estimate("no/such-scenario", {}, WIDE)
+
+
+class TestConcurrentCompute:
+    def test_distinct_cold_points_compute_concurrently(
+        self, tmp_path, monkeypatch
+    ):
+        """Two cold queries for *different* points must both be inside
+        their compute sections at the same time. The barrier makes this
+        a proof, not a timing heuristic: under the old global compute
+        lock the first thread would block at the barrier while holding
+        the lock, the second could never enter, and both would die in
+        ``BrokenBarrierError`` — per-point locks let both arrive."""
+        barrier = threading.Barrier(2, timeout=10)
+
+        def overlapping_campaign(points, pool=None, chunker=None, **kwargs):
+            barrier.wait()
+            point = points[0]
+            yield run_scenario(
+                point.scenario,
+                trials=2,
+                params=point.params,
+                base_seed=point.base_seed,
+                keep_outcomes=False,
+            )
+
+        monkeypatch.setattr(serve_mod, "run_campaign", overlapping_campaign)
+        answers, errors = {}, []
+        with ResultStore(str(tmp_path / "r.db")) as store:
+            service = EstimateService(store, min_trials=2, max_trials=2)
+
+            def ask(n):
+                try:
+                    answers[n] = service.estimate(
+                        SCENARIO, {"n": n, "target": 5}, WIDE
+                    )
+                except Exception as exc:  # pragma: no cover - failure path
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=ask, args=(n,)) for n in (16, 24)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30)
+        assert not errors
+        assert answers[16]["source"] == "computed"
+        assert answers[24]["source"] == "computed"
+        assert answers[16]["params"]["n"] == 16
+        assert answers[24]["params"]["n"] == 24
+
+    def test_identical_inflight_queries_coalesce(self, tmp_path, monkeypatch):
+        """Identical queries racing a cold point run ONE compute: the
+        loser of the lock re-probes the store and answers from the
+        winner's just-persisted row."""
+        computes = []
+        entered = threading.Event()
+        release = threading.Event()
+
+        def gated_campaign(points, pool=None, chunker=None, **kwargs):
+            computes.append(points[0].key())
+            entered.set()
+            assert release.wait(timeout=10)
+            point = points[0]
+            yield run_scenario(
+                point.scenario,
+                trials=2,
+                params=point.params,
+                base_seed=point.base_seed,
+                keep_outcomes=False,
+            )
+
+        monkeypatch.setattr(serve_mod, "run_campaign", gated_campaign)
+        answers = []
+        with ResultStore(str(tmp_path / "r.db")) as store:
+            service = EstimateService(store, min_trials=2, max_trials=2)
+
+            def ask():
+                answers.append(
+                    service.estimate(SCENARIO, dict(POINT), WIDE)
+                )
+
+            first = threading.Thread(target=ask)
+            second = threading.Thread(target=ask)
+            first.start()
+            assert entered.wait(timeout=10)  # the winner is computing
+            second.start()  # the loser queues on the same point lock
+            release.set()
+            first.join(timeout=30)
+            second.join(timeout=30)
+        assert len(computes) == 1  # one compute, not two
+        assert sorted(a["source"] for a in answers) == ["computed", "store"]
+        assert all(a["trials"] == 2 for a in answers)
+
+    def test_lock_table_stays_empty_at_rest(self, tmp_path):
+        """Entries are refcounted away: the table tracks in-flight
+        points, not the query history."""
+        with seeded_store(tmp_path) as store:
+            service = EstimateService(store, min_trials=2, max_trials=2)
+            service.estimate(SCENARIO, {"n": 24, "target": 5}, WIDE)
+            service.estimate(SCENARIO, dict(POINT), WIDE)
+            assert service._locks == {}
+            service.close()
 
 
 @pytest.fixture

@@ -113,6 +113,53 @@ class TestImportEquivalence:
             assert store.get(row_resume_key(row)) == row
             assert store.lookup("honest/basic-lead", {"n": 6}) == [row]
 
+    def test_export_import_round_trip_keeps_the_key_set(self, tmp_path):
+        """``db import -> db export`` (and an import of the export into
+        a fresh store) preserve the key set exactly: completed rows keep
+        their resume keys, timed-out markers keep their retry
+        identities, and the exported file is resume-loader-compatible."""
+        rows = [
+            run_scenario(
+                "attack/basic-cheat", trials=2, base_seed=seed,
+                params={"n": 8, "target": 2},
+            ).to_row()
+            for seed in (0, 1)
+        ]
+        timed = dict(rows[0], trials=1, timed_out=True, base_seed=99)
+        lines = [json.dumps(r, sort_keys=True) for r in rows + [timed]]
+        with ResultStore(str(tmp_path / "a.db")) as store:
+            store.import_lines(lines)
+            exported = list(store.export_lines())
+            file_keys = store.completed_keys()
+            retries = store.pending_retries()
+        # The exported file is what load_completed_keys expects: the
+        # marker's line is skipped, completed rows keep their keys.
+        assert load_completed_keys(exported) == file_keys
+        with ResultStore(str(tmp_path / "b.db")) as merged:
+            report = merged.import_lines(exported)
+            assert report["stored"] == 2 and report["marker"] == 1
+            assert merged.completed_keys() == file_keys
+            assert merged.pending_retries() == retries
+            # and the rows themselves survived byte-for-byte
+            for row in rows:
+                assert merged.get(row_resume_key(row)) == row
+
+    def test_cli_db_export_default_path(self, tmp_path, capsys):
+        rows_file = tmp_path / "rows.jsonl"
+        row = synthetic_row(1)
+        rows_file.write_text(json.dumps(row, sort_keys=True) + "\n")
+        assert main(["db", "import", str(rows_file),
+                     "--db", str(tmp_path / "r.db")]) == 0
+        assert main(["db", "export", str(tmp_path / "r.db")]) == 0
+        out = capsys.readouterr().out
+        assert "1 line(s)" in out
+        exported = (tmp_path / "r.jsonl").read_text().splitlines()
+        assert [json.loads(line) for line in exported] == [row]
+
+    def test_cli_db_export_missing_store_is_an_error(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["db", "export", str(tmp_path / "nope.db")])
+
     def test_duplicate_resume_keys_keep_the_first_copy(self, tmp_path):
         row = synthetic_row(1)
         with ResultStore(str(tmp_path / "r.db")) as store:
