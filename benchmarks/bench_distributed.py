@@ -1,0 +1,211 @@
+"""Distributed-campaign bench: sharding overhead and the identity gate.
+
+Not a paper claim — the systems gate for the PR-9 coordinator/node
+split. A campaign sharded into ``(point, trial-range)`` leases across
+worker nodes must (a) emit byte-identical rows to the single-host
+orchestrator — the determinism contract extended over the wire — and
+(b) keep the lease protocol's overhead bounded: with in-process nodes
+(no HTTP, no process spawn), coordination must cost < 25% wall-clock
+over ``run_campaign`` on the same workload, so the protocol itself is
+cheap and real deployments pay only for their actual network.
+
+``measure()`` (run as a script) times single-host vs coordinator+nodes
+at several lease sizes and node counts and records the table in
+``BENCH_distributed.json``::
+
+    PYTHONPATH=src python benchmarks/bench_distributed.py
+
+The pytest entries keep the identity half of the gate in the regular
+benchmark suite at smoke sizes (``pytest benchmarks/ -m smoke``);
+wall-clock claims live only in the JSON, regenerated on a quiet
+machine.
+"""
+
+import json
+import os
+import platform
+import threading
+import time
+
+import pytest
+
+from repro.experiments import (
+    CampaignCoordinator,
+    WorkerPool,
+    expand_manifest,
+    lease_fold,
+    run_campaign,
+)
+
+BASE_SEED = 0
+MANIFEST = {
+    "trials": 2000,
+    "base_seed": BASE_SEED,
+    "entries": [
+        {"scenario": "attack/basic-cheat",
+         "grid": {"n": [24, 32], "target": 5}},
+        {"scenario": "cointoss/biased-coin", "grid": {"n": [8, 12]}},
+        {"scenario": "fullinfo/baton", "grid": {"n": 16, "k": 3}},
+        {"scenario": "attack/basic-cheat",
+         "grid": {"n": 28, "target": 5},
+         "budget": {"ci_width": 0.08, "min_trials": 64,
+                    "max_trials": 4096}},
+    ],
+}
+REPS = 3  # min-of-REPS per timed mode
+
+
+def _rows(results):
+    return sorted(
+        json.dumps(r.to_row(), sort_keys=True) for r in results
+    )
+
+
+def _drive(coordinator, nodes):
+    """Drain a coordinator with ``nodes`` in-process lease loops, each
+    over its own serial pool — the protocol with the network and
+    process-spawn costs subtracted out."""
+
+    def loop(name):
+        pool = WorkerPool(1)
+        node = coordinator.register(name=name)["node"]
+        try:
+            while True:
+                answer = coordinator.lease(node)
+                if answer["done"]:
+                    return
+                if not answer["leases"]:
+                    time.sleep(0.001)
+                    continue
+                for lease in answer["leases"]:
+                    report = lease_fold(lease, pool)
+                    report["node"] = node
+                    coordinator.report(report)
+        finally:
+            pool.close()
+
+    threads = [
+        threading.Thread(target=loop, args=(f"n{i}",)) for i in range(nodes)
+    ]
+    for t in threads:
+        t.start()
+    rows = _rows(coordinator.results())
+    for t in threads:
+        t.join()
+    return rows
+
+
+def _timed(fn):
+    best, rows = None, None
+    for _ in range(REPS):
+        started = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - started
+        if best is None or elapsed < best:
+            best, rows = elapsed, result
+    return best, rows
+
+
+def measure() -> dict:
+    points = expand_manifest(MANIFEST)
+    single_seconds, expected = _timed(
+        lambda: _rows(run_campaign(points, workers=1))
+    )
+    modes = {}
+    for lease_trials, nodes in [(256, 1), (256, 2), (64, 4)]:
+        label = f"lease{lease_trials}_nodes{nodes}"
+
+        def sharded(lease_trials=lease_trials, nodes=nodes):
+            coordinator = CampaignCoordinator(
+                points, lease_trials=lease_trials
+            )
+            return _drive(coordinator, nodes)
+
+        seconds, rows = _timed(sharded)
+        assert rows == expected, f"{label}: rows diverged from single-host"
+        modes[label] = {
+            "seconds": round(seconds, 4),
+            "overhead_vs_single": round(seconds / single_seconds - 1, 4),
+        }
+    return {
+        "host": platform.node(),
+        "python": platform.python_version(),
+        "workload": {
+            "points": len(points),
+            "fixed_trials": MANIFEST["trials"],
+        },
+        "single_host_seconds": round(single_seconds, 4),
+        "sharded": modes,
+        "rows_identical_across_modes": True,
+    }
+
+
+def main() -> None:
+    payload = measure()
+    out = os.path.join(
+        os.path.dirname(os.path.abspath(__file__)),
+        "..",
+        "BENCH_distributed.json",
+    )
+    with open(os.path.normpath(out), "w") as f:
+        json.dump(payload, f, indent=2)
+        f.write("\n")
+    print(json.dumps(payload, indent=2))
+
+
+# -- pytest identity gate (smoke sizes, no wall-clock claims) ----------
+
+SMOKE_MANIFEST = {
+    "trials": 60,
+    "base_seed": BASE_SEED,
+    "entries": [
+        {"scenario": "attack/basic-cheat",
+         "grid": {"n": [16, 24], "target": 5}},
+        {"scenario": "attack/basic-cheat",
+         "grid": {"n": 20, "target": 5},
+         "budget": {"ci_width": 0.2, "min_trials": 8, "max_trials": 64}},
+    ],
+}
+
+
+@pytest.mark.smoke
+def test_sharded_campaign_preserves_rows(benchmark, experiment_report):
+    """Coordinator + 2 in-process nodes == single-host rows, including
+    an adaptive-budget point (the batch-barrier contract)."""
+    points = expand_manifest(SMOKE_MANIFEST)
+    expected = _rows(run_campaign(points, workers=1))
+
+    def sharded():
+        coordinator = CampaignCoordinator(points, lease_trials=16)
+        return _drive(coordinator, nodes=2)
+
+    assert benchmark(sharded) == expected
+    experiment_report(
+        "distributed campaign: identity",
+        [
+            f"{len(points)} points across 2 nodes at lease_trials=16: "
+            "rows == single-host",
+        ],
+    )
+
+
+@pytest.mark.smoke
+def test_lease_expiry_recovers_rows(experiment_report):
+    """A node that dies holding a lease costs wall-clock, not rows."""
+    points = expand_manifest(SMOKE_MANIFEST)
+    expected = _rows(run_campaign(points, workers=1))
+    coordinator = CampaignCoordinator(
+        points, lease_trials=16, lease_ttl=0.05
+    )
+    victim = coordinator.register(name="victim")["node"]
+    stolen = coordinator.lease(victim)["leases"]
+    assert stolen  # the victim takes work and never reports
+    assert _drive(coordinator, nodes=1) == expected
+    experiment_report(
+        "distributed campaign: lease expiry",
+        ["1 lease abandoned, TTL 0.05s: survivor re-folds identical rows"],
+    )
+
+
+if __name__ == "__main__":
+    main()

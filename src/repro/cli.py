@@ -184,7 +184,10 @@ def _parse_grid(pairs):
         key, sep, values = pair.partition("=")
         if not sep or not key:
             raise SystemExit(f"--param expects KEY=VALUE[,VALUE...], got {pair!r}")
-        grid[key] = [coerce_param(v) for v in values.split(",")]
+        try:
+            grid[key] = [coerce_param(v) for v in values.split(",")]
+        except ConfigurationError as exc:
+            raise SystemExit(f"--param {pair!r}: {exc}") from None
     return grid
 
 
@@ -824,6 +827,10 @@ def _cmd_campaign(args) -> int:
         existing_lines, replaces = _hold_back_stale_timed_out(
             existing_lines, points, completed
         )
+    if args.coordinate:
+        return _coordinate_campaign(
+            args, points, scheduler, completed, existing_lines, replaces
+        )
     try:
         results = run_campaign(
             points,
@@ -870,6 +877,107 @@ def _cmd_campaign(args) -> int:
         )
         return EXIT_DEADLINE
     return 0
+
+
+def _parse_listen(text: str):
+    """``HOST:PORT`` -> ``(host, port)`` (``:PORT`` binds all
+    interfaces' loopback default; port 0 asks for an ephemeral one)."""
+    host, sep, port = text.rpartition(":")
+    if not sep:
+        raise SystemExit(f"--listen/--join expects HOST:PORT, got {text!r}")
+    try:
+        return host or "127.0.0.1", int(port)
+    except ValueError:
+        raise SystemExit(f"bad port in {text!r}") from None
+
+
+def _coordinate_campaign(
+    args, points, scheduler, completed, existing_lines, replaces
+) -> int:
+    """The ``--coordinate`` arm of ``campaign``: serve leases to runner
+    nodes instead of running trials locally, writing the identical row
+    stream to the identical ``--out`` targets."""
+    from repro.experiments.coordinator import (
+        DEFAULT_LEASE_TRIALS,
+        DEFAULT_LEASE_TTL,
+        CampaignCoordinator,
+        serve_coordinator,
+    )
+
+    if args.max_wall_clock is not None:
+        raise SystemExit(
+            "--max-wall-clock is not supported with --coordinate yet; "
+            "bound node loss with --lease-ttl / --point-timeout instead"
+        )
+    # Lease expiry IS the point-timeout machinery at distributed
+    # granularity: a range unreported within the TTL is presumed lost
+    # with its node and re-leased, exactly as a timed-out point's
+    # trials are retried.
+    lease_ttl = args.lease_ttl
+    if lease_ttl is None:
+        lease_ttl = (
+            args.point_timeout
+            if args.point_timeout is not None
+            else DEFAULT_LEASE_TTL
+        )
+    host, port = _parse_listen(args.listen)
+    try:
+        coordinator = CampaignCoordinator(
+            points,
+            completed=completed,
+            schedule=scheduler,
+            lease_trials=(
+                args.lease_trials
+                if args.lease_trials is not None
+                else DEFAULT_LEASE_TRIALS
+            ),
+            lease_ttl=lease_ttl,
+        )
+        server, thread = serve_coordinator(coordinator, host, port)
+    except ConfigurationError as exc:
+        raise SystemExit(str(exc)) from None
+    except OSError as exc:
+        raise SystemExit(f"cannot listen on {args.listen!r}: {exc}") from None
+    try:
+        outcome = _emit_rows(
+            coordinator.results(), args, existing_lines, "campaign",
+            record_timings=True, replaces=replaces,
+        )
+        # Linger until every live node has polled "done" (and so exits
+        # 0) before tearing the server down; dead nodes aren't waited on.
+        coordinator.await_nodes_done()
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+    skipped = sum(point.key() in completed for point in points)
+    notes = f"; {skipped} already in {args.out}" if args.resume else ""
+    print(
+        f"  [campaign: ran {outcome.ran} of {len(points)} points "
+        f"across worker nodes{notes}]",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_node(args) -> int:
+    """``node``: join a coordinator and run leased trial ranges."""
+    # Imported lazily, like serve: only this subcommand pays for it.
+    from repro.experiments.node import run_node
+
+    try:
+        return run_node(
+            args.join,
+            workers=resolve_workers(args.workers),
+            poll=args.poll,
+            name=args.name,
+            retries=args.retries,
+            verbose=args.verbose,
+        )
+    except ConfigurationError as exc:
+        raise SystemExit(str(exc)) from None
+    except KeyboardInterrupt:
+        return 0
 
 
 def _cmd_db(args) -> int:
@@ -1206,7 +1314,63 @@ def build_parser() -> argparse.ArgumentParser:
              "sizing from observed per-trial seconds; never affects "
              "results, only scheduling)",
     )
+    p.add_argument(
+        "--coordinate", action="store_true",
+        help="run no trials locally: serve (point, trial-range) leases "
+             "over HTTP to 'repro node' workers and fold their reports "
+             "into --out (rows are byte-identical to a local run)",
+    )
+    p.add_argument(
+        "--listen", default="127.0.0.1:8765", metavar="HOST:PORT",
+        help="coordinator listen address (with --coordinate; "
+             "port 0 binds an ephemeral port; default %(default)s)",
+    )
+    p.add_argument(
+        "--lease-trials", type=int, default=None, metavar="N",
+        help="trials per lease handed to a node (with --coordinate; "
+             "default 1024; never affects results, only scheduling)",
+    )
+    p.add_argument(
+        "--lease-ttl", type=float, default=None, metavar="SECONDS",
+        help="re-lease a range not reported within this window — the "
+             "point-timeout retry machinery applied to lost nodes "
+             "(with --coordinate; default: --point-timeout, else 30)",
+    )
     p.set_defaults(func=_cmd_campaign)
+
+    p = sub.add_parser(
+        "node",
+        help="join a 'campaign --coordinate' coordinator and run leased "
+             "trial ranges on a local worker pool",
+    )
+    p.add_argument(
+        "--join", required=True, metavar="HOST:PORT",
+        help="coordinator address (the campaign --listen value)",
+    )
+    p.add_argument(
+        "--workers", type=_workers_arg, default=1, metavar="N|auto",
+        help="worker processes for leased ranges "
+             "(auto = derive from the machine)",
+    )
+    p.add_argument(
+        "--poll", type=float, default=0.2, metavar="SECONDS",
+        help="sleep between empty lease polls (default %(default)s)",
+    )
+    p.add_argument(
+        "--name", default=None,
+        help="node name reported to the coordinator "
+             "(default: short hostname)",
+    )
+    p.add_argument(
+        "--retries", type=int, default=30,
+        help="consecutive connection failures before giving up "
+             "(default %(default)s)",
+    )
+    p.add_argument(
+        "--verbose", action="store_true",
+        help="log leases and reports to stderr",
+    )
+    p.set_defaults(func=_cmd_node)
 
     p = sub.add_parser(
         "db", help="manage a SQLite results store (import / export / stats)"

@@ -69,6 +69,7 @@ from repro.experiments.campaign import (
     CampaignPoint,
     CostModel,
     PointScheduler,
+    PointState,
     expand_manifest,
     load_cost_model,
     load_manifest,
@@ -77,6 +78,7 @@ from repro.experiments.campaign import (
     run_campaign,
     schedule_names,
     scheduled_cost,
+    slice_ranges,
     timing_record,
     timings_path,
 )
@@ -86,6 +88,14 @@ from repro.experiments.chunking import (
     TARGET_CHUNK_SECONDS,
     AdaptiveChunker,
 )
+from repro.experiments.coordinator import (
+    DEFAULT_LEASE_TRIALS,
+    DEFAULT_LEASE_TTL,
+    CampaignCoordinator,
+    make_coordinator_server,
+    serve_coordinator,
+)
+from repro.experiments.node import CoordinatorClient, lease_fold, run_node
 from repro.experiments.pool import WorkerPool, resolve_workers
 from repro.experiments.scenario import (
     Params,
@@ -136,30 +146,40 @@ __all__ = [
     "AdaptiveChunker",
     "BudgetPolicy",
     "CALIBRATION_TRIALS",
+    "CampaignCoordinator",
     "CampaignDeadline",
     "CampaignPoint",
+    "CoordinatorClient",
     "CostModel",
+    "DEFAULT_LEASE_TRIALS",
+    "DEFAULT_LEASE_TTL",
     "MIN_CHUNK_SECONDS",
     "TARGET_CHUNK_SECONDS",
     "FailRateTargetPolicy",
     "OutcomeRateTargetPolicy",
     "PointScheduler",
+    "PointState",
     "RelativePrecisionPolicy",
     "RowWriter",
     "WilsonWidthPolicy",
     "WorkerPool",
     "as_policy",
     "expand_manifest",
+    "lease_fold",
     "load_cost_model",
     "load_manifest",
+    "make_coordinator_server",
     "policy_names",
     "register_policy",
     "resolve_workers",
     "retry_identity",
     "row_retry_identity",
     "run_campaign",
+    "run_node",
     "schedule_names",
     "scheduled_cost",
+    "serve_coordinator",
+    "slice_ranges",
     "timing_record",
     "timings_path",
     "Params",

@@ -683,8 +683,42 @@ def _campaign_chunk(tagged: Tuple[int, Any]) -> Tuple[int, Any]:
     return (point_id, _run_chunk_folded(payload))
 
 
-class _PointState:
-    """Master-side fold state of one in-flight campaign point."""
+def slice_ranges(
+    start: int, end: int, lease_trials: int
+) -> List[Tuple[int, int]]:
+    """Split the trial range ``[start, end)`` into consecutive
+    ``[s, e)`` slices of at most ``lease_trials`` trials each.
+
+    The distributed coordinator's shard rule: trial ``i``'s seed is a
+    pure function of ``(base_seed, i)`` and folds are commutative, so a
+    batch sliced into leases produces byte-identical rows however the
+    slices land on nodes — slicing is pure scheduling metadata, exactly
+    like chunk sizing.
+    """
+    if isinstance(lease_trials, bool) or not isinstance(lease_trials, int):
+        raise ConfigurationError(
+            f"lease_trials must be an integer, got {lease_trials!r}"
+        )
+    if lease_trials < 1:
+        raise ConfigurationError(
+            f"lease_trials must be >= 1, got {lease_trials}"
+        )
+    return [
+        (s, min(s + lease_trials, end)) for s in range(start, end, lease_trials)
+    ]
+
+
+class PointState:
+    """Master-side fold state of one in-flight campaign point.
+
+    Shared between :func:`run_campaign`'s interleaved orchestrator and
+    the distributed coordinator: batching (``next_batch`` — where stop
+    decisions are allowed to happen), folding (commutative counters),
+    the stop rule (``converged``), and finalization into an
+    :class:`ExperimentResult` are one implementation, which is most of
+    why a distributed campaign's rows match a single-host run's
+    byte for byte.
+    """
 
     def __init__(
         self,
@@ -982,7 +1016,7 @@ def _run_interleaved(
     """
     results: "queue.Queue" = queue.Queue()
     waiting = deque(enumerate(todo))
-    active: Dict[int, _PointState] = {}
+    active: Dict[int, PointState] = {}
     payload_queue: deque = deque()  # (point_id, chunk payload)
     max_active = max(2 * pool.workers, 4)
     # In-flight cap: the pool's oversubscription window when workers
@@ -1010,7 +1044,7 @@ def _run_interleaved(
             )
             inflight += 1
 
-    def _abandon(state: _PointState) -> None:
+    def _abandon(state: PointState) -> None:
         """Mark the point timed out and drop its not-yet-submitted
         chunks; in-flight chunks drain normally (cooperative cutoff)."""
         state.timed_out = True
@@ -1019,7 +1053,7 @@ def _run_interleaved(
         payload_queue.clear()
         payload_queue.extend(kept)
 
-    def _enqueue_batch(state: _PointState) -> bool:
+    def _enqueue_batch(state: PointState) -> bool:
         """Queue the point's next batch; False when no work is left to
         send (zero-trial points, exhausted schedules)."""
         batch = state.next_batch()
@@ -1062,7 +1096,7 @@ def _run_interleaved(
                 probe = chunker.calibration_trials(
                     point.scenario, point.trials or 0
                 )
-            state = _PointState(point_id, point, specs[point.scenario], probe=probe)
+            state = PointState(point_id, point, specs[point.scenario], probe=probe)
             if _enqueue_batch(state):
                 active[point_id] = state
             else:

@@ -105,8 +105,21 @@ class AdaptiveChunker:
         self._lock = threading.Lock()
 
     def per_trial_seconds(self, scenario: str) -> Optional[float]:
-        """The model's EWMA per-trial seconds (None when unseen)."""
-        return self.cost_model.per_trial_seconds(scenario)
+        """The model's EWMA per-trial seconds (None when unseen).
+
+        Locked like every other path to the shared model: the estimate
+        service (and now the campaign coordinator) reads this from
+        request threads while compute threads ``observe()`` — an
+        unlocked read races the model's internal dict writes.
+        """
+        with self._lock:
+            return self.cost_model.per_trial_seconds(scenario)
+
+    def scenarios(self) -> list:
+        """Sorted scenario names with an observed cost (locked snapshot
+        — the ``/metrics`` per-scenario cost gauge iterates this)."""
+        with self._lock:
+            return self.cost_model.scenarios()
 
     def observe(self, scenario: str, trials: int, elapsed: float) -> bool:
         """Fold one chunk's measured ``(trials, elapsed)`` into the model.

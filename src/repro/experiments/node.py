@@ -1,0 +1,209 @@
+"""The runner node: lease trial ranges, run them locally, report folds.
+
+``python -m repro node --join HOST:PORT --workers N`` is the worker
+half of the distributed campaign (see
+:mod:`repro.experiments.coordinator`): register once, then loop
+``lease → run → report`` until the coordinator answers ``done``. Each
+lease is a ``(point, [start, end))`` trial range; the node builds the
+same chunk payloads the single-host runner would
+(:func:`~repro.experiments.runner.chunk_payloads` over its local
+:class:`~repro.experiments.pool.WorkerPool`), folds the chunk results
+into commutative counters, and reports ``(counts, successes,
+steps_total, trials, elapsed)``. Outcome keys cross the wire as
+``str(outcome)`` — exactly the stringification
+:meth:`ExperimentResult.to_row` applies — so the coordinator's fold
+and the rows it emits are byte-identical to a single-host run.
+
+Failure model: the node is disposable. Connection errors are retried
+with backoff up to ``--retries`` consecutive failures (a coordinator
+restart mid-campaign looks like this); a failed report is abandoned —
+the lease expires coordinator-side and the range is re-leased, and
+determinism guarantees the retry folds the same numbers. ``kill -9``
+needs no cleanup for the same reason.
+"""
+
+import json
+import socket
+import sys
+import time
+import urllib.error
+import urllib.request
+from collections import Counter
+from typing import Any, Dict, Mapping, Optional
+
+from repro.experiments.chunking import AdaptiveChunker
+from repro.experiments.pool import WorkerCount, WorkerPool
+from repro.experiments.runner import _run_chunk_folded, chunk_payloads
+from repro.experiments.scenario import get_scenario
+from repro.util.errors import ConfigurationError
+
+#: Seconds between empty lease polls (every range is out on lease, or
+#: the active points are between batch barriers).
+DEFAULT_POLL_SECONDS = 0.2
+
+
+class CoordinatorClient:
+    """A minimal JSON-POST client for the coordinator protocol."""
+
+    def __init__(self, base_url: str, timeout: float = 10.0):
+        if "://" not in base_url:
+            base_url = "http://" + base_url
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def post(self, path: str, payload: Mapping[str, Any]) -> Dict[str, Any]:
+        """POST ``payload`` as JSON; returns the parsed response object.
+
+        Raises :class:`ConfigurationError` on a 4xx (a protocol bug —
+        retrying cannot help) and ``OSError`` on connection trouble
+        (the retry loop's signal)."""
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=json.dumps(payload).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                return json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            try:
+                detail = json.loads(error.read().decode("utf-8")).get("error")
+            except Exception:
+                detail = None
+            raise ConfigurationError(
+                f"coordinator rejected {path}: "
+                f"{detail or f'HTTP {error.code}'}"
+            ) from None
+        except urllib.error.URLError as error:
+            reason = error.reason
+            if isinstance(reason, OSError):
+                raise reason
+            raise OSError(str(reason)) from None
+
+
+def lease_fold(
+    lease: Mapping[str, Any],
+    pool: WorkerPool,
+    chunker: Optional[AdaptiveChunker] = None,
+) -> Dict[str, Any]:
+    """Run one lease's trial range and return its report payload.
+
+    Pure with respect to the wire: everything network-related lives in
+    :func:`run_node`, so tests drive a coordinator with this function
+    in-process and the byte-identity contract is pinned without HTTP.
+    """
+    spec = get_scenario(lease["scenario"])
+    params = spec.resolve_params(dict(lease.get("params") or {}))
+    start, end = int(lease["start"]), int(lease["end"])
+    payloads = chunk_payloads(
+        spec,
+        params,
+        int(lease["base_seed"]),
+        range(start, end),
+        False,
+        lease.get("max_steps"),
+        workers=pool.workers,
+        chunker=chunker,
+    )
+    counts: Counter = Counter()
+    successes = steps_total = trials = 0
+    started = time.perf_counter()
+    for fold in pool.imap_unordered(_run_chunk_folded, payloads):
+        chunk_counts, chunk_successes, chunk_steps, chunk_trials = fold[:4]
+        for outcome, count in chunk_counts.items():
+            # str(outcome): the same stringification to_row applies, so
+            # the coordinator's JSON-keyed fold matches a local fold.
+            counts[str(outcome)] += count
+        successes += chunk_successes
+        steps_total += chunk_steps
+        trials += chunk_trials
+        if chunker is not None and len(fold) > 4:
+            chunker.observe(spec.name, chunk_trials, fold[4])
+    return {
+        "lease": lease.get("lease"),
+        "point": lease["point"],
+        "start": start,
+        "end": end,
+        "counts": dict(counts),
+        "successes": successes,
+        "steps_total": steps_total,
+        "trials": trials,
+        "elapsed": round(time.perf_counter() - started, 6),
+    }
+
+
+def run_node(
+    join: str,
+    workers: WorkerCount = 1,
+    poll: float = DEFAULT_POLL_SECONDS,
+    name: Optional[str] = None,
+    retries: int = 30,
+    retry_delay: float = 1.0,
+    verbose: bool = False,
+) -> int:
+    """``python -m repro node``: serve leases until the campaign is done.
+
+    Returns 0 when the coordinator reports completion, 1 after
+    ``retries`` consecutive connection failures (the coordinator is
+    gone for good)."""
+    client = CoordinatorClient(join)
+    pool = WorkerPool(workers)
+    chunker = AdaptiveChunker()
+    node_id: Optional[str] = None
+    failures = 0
+    if name is None:
+        name = socket.gethostname().split(".")[0] or None
+
+    def log(message: str) -> None:
+        if verbose:
+            print(f"[node] {message}", file=sys.stderr)
+
+    try:
+        while True:
+            try:
+                if node_id is None:
+                    answer = client.post(
+                        "/register", {"name": name, "workers": pool.workers}
+                    )
+                    node_id = answer["node"]
+                    log(
+                        f"registered as {node_id} "
+                        f"(lease_trials={answer.get('lease_trials')})"
+                    )
+                answer = client.post("/lease", {"node": node_id})
+            except OSError as exc:
+                failures += 1
+                if failures > retries:
+                    print(
+                        f"node: giving up after {failures} connection "
+                        f"failures: {exc}",
+                        file=sys.stderr,
+                    )
+                    return 1
+                time.sleep(retry_delay)
+                continue
+            failures = 0
+            if answer.get("done"):
+                log("campaign complete")
+                return 0
+            leases = answer.get("leases") or []
+            if not leases:
+                time.sleep(poll)
+                continue
+            for lease in leases:
+                log(
+                    f"lease {lease.get('lease')}: {lease.get('scenario')} "
+                    f"[{lease.get('start')}, {lease.get('end')})"
+                )
+                report = lease_fold(lease, pool, chunker)
+                report["node"] = node_id
+                try:
+                    client.post("/report", report)
+                except OSError as exc:
+                    # The lease expires and re-leases; determinism makes
+                    # the retry's fold identical, so losing this report
+                    # costs wall-clock only.
+                    log(f"report failed ({exc}); lease will be retried")
+    finally:
+        pool.close()

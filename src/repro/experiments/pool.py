@@ -31,9 +31,10 @@ trial hot loop.
 import gc
 import multiprocessing
 import os
+import threading
 import weakref
 from collections import deque
-from typing import Any, Callable, Iterable, Iterator, Optional, Union
+from typing import Any, Callable, Dict, Iterable, Iterator, Optional, Union
 
 from repro.util.errors import ConfigurationError
 
@@ -127,6 +128,33 @@ class WorkerPool:
         self._pool: Optional[Any] = None
         self._finalizer = None
         self._closed = False
+        # Lifetime chunk counters — observability only (the /metrics
+        # endpoints mirror them); scheduling never consults them.
+        self._counters_lock = threading.Lock()
+        self._dispatched = 0
+        self._completed = 0
+        self._failed = 0
+
+    def _count(self, dispatched: int = 0, completed: int = 0, failed: int = 0) -> None:
+        with self._counters_lock:
+            self._dispatched += dispatched
+            self._completed += completed
+            self._failed += failed
+
+    def counters(self) -> Dict[str, int]:
+        """Lifetime chunk counts: ``dispatched``/``completed``/``failed``.
+
+        Best-effort bookkeeping for the metrics endpoints: a chunk
+        abandoned by an early-exiting consumer stays dispatched without
+        ever completing, and an exception raised out of
+        :meth:`imap_unordered` counts the failing chunk only.
+        """
+        with self._counters_lock:
+            return {
+                "dispatched": self._dispatched,
+                "completed": self._completed,
+                "failed": self._failed,
+            }
 
     # -- lifecycle -----------------------------------------------------
 
@@ -242,7 +270,14 @@ class WorkerPool:
         """
         if not self.parallel:
             for payload in payloads:
-                yield fn(payload)
+                self._count(dispatched=1)
+                try:
+                    result = fn(payload)
+                except BaseException:
+                    self._count(failed=1)
+                    raise
+                self._count(completed=1)
+                yield result
             return
         pool = self._ensure_pool()
         payloads = list(payloads)
@@ -252,7 +287,14 @@ class WorkerPool:
             # task queue already caps concurrency at the process count,
             # and pre-loading it lets finished workers grab the next
             # chunk with no master round-trip.
-            yield from pool.imap_unordered(fn, payloads)
+            self._count(dispatched=len(payloads))
+            try:
+                for result in pool.imap_unordered(fn, payloads):
+                    self._count(completed=1)
+                    yield result
+            except BaseException:
+                self._count(failed=1)
+                raise
             return
         # Bounded-window dispatch for oversubscribed pools (more workers
         # than cores): at most ``window`` chunks are enqueued at a time,
@@ -262,13 +304,20 @@ class WorkerPool:
         queued = iter(payloads)
         for payload in queued:
             pending.append(pool.apply_async(fn, (payload,)))
+            self._count(dispatched=1)
             if len(pending) >= window:
                 break
         while pending:
-            result = pending.popleft().get()
+            try:
+                result = pending.popleft().get()
+            except BaseException:
+                self._count(failed=1)
+                raise
+            self._count(completed=1)
             nxt = next(queued, _NO_MORE_PAYLOADS)
             if nxt is not _NO_MORE_PAYLOADS:
                 pending.append(pool.apply_async(fn, (nxt,)))
+                self._count(dispatched=1)
             yield result
 
     def submit(
@@ -290,6 +339,16 @@ class WorkerPool:
             raise ConfigurationError(
                 "submit() requires a parallel pool; run serial work inline"
             )
+
+        def counted(result, _callback=callback):
+            self._count(completed=1)
+            _callback(result)
+
+        def counted_error(exc, _callback=error_callback):
+            self._count(failed=1)
+            _callback(exc)
+
+        self._count(dispatched=1)
         self._ensure_pool().apply_async(
-            fn, (payload,), callback=callback, error_callback=error_callback
+            fn, (payload,), callback=counted, error_callback=counted_error
         )

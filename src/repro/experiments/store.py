@@ -123,6 +123,11 @@ class ResultStore:
     def __init__(self, path: str, read_only: bool = False, timeout: float = 30.0):
         self.path = path
         self.read_only = read_only
+        #: Optional callable fed every :meth:`append_row` outcome string
+        #: ("stored"/"duplicate"/"marker"/"superseded") — the metrics
+        #: endpoints hang append counters here. Observability only:
+        #: called outside the store lock, after the row is durable.
+        self.observer: Optional[Callable[[str], None]] = None
         if read_only and not os.path.exists(path):
             raise ConfigurationError(
                 f"results store {path!r} does not exist (read-only mode "
@@ -220,6 +225,7 @@ class ResultStore:
             time.time(),
             json.dumps(row, sort_keys=True),
         )
+        outcome = None
         with self._lock, self._conn:
             cursor = self._conn.cursor()
             if timed_out:
@@ -229,19 +235,25 @@ class ResultStore:
                     (retry,),
                 )
                 if cursor.fetchone() is not None:
-                    return "superseded"
+                    outcome = "superseded"
+                else:
+                    cursor.execute(
+                        "DELETE FROM results "
+                        "WHERE retry_key = ? AND timed_out = 1",
+                        (retry,),
+                    )
+                    cursor.execute(_INSERT, values)
+                    outcome = "marker"
+            else:
                 cursor.execute(
                     "DELETE FROM results WHERE retry_key = ? AND timed_out = 1",
                     (retry,),
                 )
-                cursor.execute(_INSERT, values)
-                return "marker"
-            cursor.execute(
-                "DELETE FROM results WHERE retry_key = ? AND timed_out = 1",
-                (retry,),
-            )
-            cursor.execute(_INSERT_OR_IGNORE, values)
-            return "stored" if cursor.rowcount else "duplicate"
+                cursor.execute(_INSERT_OR_IGNORE, values)
+                outcome = "stored" if cursor.rowcount else "duplicate"
+        if self.observer is not None:
+            self.observer(outcome)
+        return outcome
 
     def import_lines(
         self,

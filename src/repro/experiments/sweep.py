@@ -116,7 +116,17 @@ def coerce_param(text: str) -> Any:
     values on the CLI and query-string parameters on the estimate
     service — so ``n=8`` means the integer 8 everywhere a parameter can
     be spelled as text.
+
+    Blank text is rejected outright: an empty query-string value
+    (``?flag=``) or grid entry (``--param n=``) is a spelling mistake,
+    and quietly coercing it to the empty *string* let it masquerade as
+    a legal parameter value downstream.
     """
+    if not text.strip():
+        raise ConfigurationError(
+            "blank parameter value (spell the literal out, e.g. n=8; "
+            "use 'none' for null)"
+        )
     for cast in (int, float):
         try:
             return cast(text)

@@ -1,0 +1,88 @@
+"""Shared stdlib-HTTP scaffolding for the served surfaces.
+
+Both HTTP front ends — the estimate service (:mod:`repro.serve`) and
+the campaign coordinator (:mod:`repro.experiments.coordinator`) — are
+``http.server`` threading servers speaking JSON. This module holds the
+plumbing they share so the two stay behaviourally identical where it
+matters:
+
+- :class:`JsonRequestHandler`: response writers (``_send`` for JSON,
+  ``_send_text`` for Prometheus text) that guard the *entire* response
+  write against client disconnects. A client that gives up mid-compute
+  (curl timing out during a long cold estimate) used to raise
+  ``BrokenPipeError``/``ConnectionResetError`` out of the handler and
+  dump a traceback per request; now the write is abandoned quietly and
+  counted on the bound ``disconnects`` counter so the operator sees the
+  rate on ``/metrics`` instead of in a log flood.
+- :func:`bind_handler`: the bound-subclass pattern — ``BaseHTTPServer``
+  instantiates the handler class itself, so per-server state (the
+  service object, verbosity, counters) rides on class attributes of a
+  throwaway subclass rather than globals.
+"""
+
+import json
+from http.server import BaseHTTPRequestHandler
+
+from repro.metrics import TEXT_CONTENT_TYPE
+
+
+class JsonRequestHandler(BaseHTTPRequestHandler):
+    """Request-handler base with disconnect-guarded response writers.
+
+    Subclasses route in ``do_GET``/``do_POST`` and answer via
+    :meth:`_send` / :meth:`_send_text`; class attributes ``verbose``
+    and ``disconnects`` (a :class:`repro.metrics.Counter` or ``None``)
+    are bound per server by :func:`bind_handler`.
+    """
+
+    #: Bound per server: a metrics Counter fed one inc() per client
+    #: that vanished mid-response, or None to only swallow the error.
+    disconnects = None
+    verbose = False
+
+    def _send(self, status, payload):
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self._send_bytes(status, body, "application/json")
+
+    def _send_text(self, status, text, content_type=TEXT_CONTENT_TYPE):
+        self._send_bytes(status, text.encode("utf-8"), content_type)
+
+    def _send_bytes(self, status, body, content_type):
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        except ConnectionError:
+            # The client hung up somewhere between our compute finishing
+            # and the last byte going out (BrokenPipeError and
+            # ConnectionResetError are both ConnectionError). There is
+            # nobody left to answer; drop the connection and count it.
+            self.close_connection = True
+            if self.disconnects is not None:
+                self.disconnects.inc()
+
+    def read_json_body(self):
+        """The request body parsed as a JSON object, or ``None`` when
+        absent/malformed (callers answer 400)."""
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except (TypeError, ValueError):
+            return None
+        if length <= 0:
+            return None
+        try:
+            parsed = json.loads(self.rfile.read(length).decode("utf-8"))
+        except (ValueError, UnicodeDecodeError, ConnectionError):
+            return None
+        return parsed if isinstance(parsed, dict) else None
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if self.verbose:
+            BaseHTTPRequestHandler.log_message(self, format, *args)
+
+
+def bind_handler(base, name, **attrs):
+    """A throwaway subclass of ``base`` carrying per-server state."""
+    return type(name, (base,), attrs)

@@ -30,17 +30,21 @@ measured now:
   some other process owns.
 
 Endpoints: ``GET /estimate`` (query string: ``scenario``, ``ci_width``,
-every other key a parameter literal — same grammar as ``--param``),
-``POST /estimate`` (JSON body ``{"scenario": ..., "ci_width": ...,
-"params": {...}}``), ``GET /scenarios``, ``GET /healthz``. Errors:
-400 for malformed queries, 404 for unknown paths, 409 for a read-only
-refusal.
+every other key a parameter literal — same grammar as ``--param``;
+repeated keys and blank values are rejected with 400 rather than
+silently last-winning or vanishing), ``POST /estimate`` (JSON body
+``{"scenario": ..., "ci_width": ..., "params": {...}}``),
+``GET /scenarios``, ``GET /healthz``, and ``GET /metrics`` (Prometheus
+text format — store hit/miss counters, trials/sec, in-flight computes,
+pool chunk counters, per-scenario EWMA cost, client disconnects).
+Errors: 400 for malformed queries, 404 for unknown paths, 409 for a
+read-only refusal.
 """
 
 import json
 import sys
 import threading
-from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from http.server import ThreadingHTTPServer
 from typing import Any, Dict, Mapping, Optional
 from urllib.parse import parse_qsl, urlparse
 
@@ -52,6 +56,8 @@ from repro.experiments.pool import WorkerPool
 from repro.experiments.scenario import get_scenario, scenario_names
 from repro.experiments.store import ResultStore
 from repro.experiments.sweep import coerce_param
+from repro.httpd import JsonRequestHandler, bind_handler
+from repro.metrics import MetricsRegistry, ThroughputMeter
 from repro.util.errors import ConfigurationError
 
 #: Default adaptive bounds for cold queries (overridable per service).
@@ -80,6 +86,13 @@ class EstimateService:
     :class:`~repro.experiments.chunking.AdaptiveChunker` sizes every
     compute's chunks, so each request sharpens the cost model the next
     one schedules by.
+
+    Every service owns a :class:`~repro.metrics.MetricsRegistry`
+    (``self.metrics``) rendered by ``GET /metrics``: store hits/misses,
+    refusals, trials run and trials/sec, in-flight computes (the lock
+    table's live size), the shared pool's chunk counters, per-scenario
+    EWMA cost from the chunker, and client disconnects counted by the
+    HTTP layer.
     """
 
     def __init__(
@@ -91,6 +104,7 @@ class EstimateService:
         max_trials: int = DEFAULT_MAX_TRIALS,
         base_seed: int = 0,
         z: float = 1.96,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.store = store
         self.workers = workers
@@ -107,6 +121,77 @@ class EstimateService:
         self._locks: Dict[str, list] = {}
         self._locks_guard = threading.Lock()
         self._chunker = AdaptiveChunker()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._wire_metrics()
+
+    def _wire_metrics(self) -> None:
+        metrics = self.metrics
+        self._hits = metrics.counter(
+            "repro_store_hits_total",
+            "Estimates answered from a stored row without running trials",
+        )
+        self._misses = metrics.counter(
+            "repro_store_misses_total",
+            "Estimates that had to compute (no stored row was precise enough)",
+        )
+        self._refusals = metrics.counter(
+            "repro_compute_refused_total",
+            "Cold estimates refused because the service is read-only",
+        )
+        self._trials_total = metrics.counter(
+            "repro_trials_total", "Trials run by this process"
+        )
+        self.disconnects = metrics.counter(
+            "repro_http_disconnects_total",
+            "Clients that hung up before the response was fully written",
+        )
+        if self.store.observer is None:
+            appends = metrics.counter(
+                "repro_store_appends_total",
+                "Rows offered to the results store, by append outcome",
+            )
+            self.store.observer = lambda outcome: appends.inc(outcome=outcome)
+        self._meter = ThroughputMeter()
+        rate = metrics.gauge(
+            "repro_trials_per_second",
+            "Trials folded over the last sliding window",
+        )
+        inflight = metrics.gauge(
+            "repro_inflight_computes",
+            "Points currently holding or queued on a compute lock",
+        )
+        pool_workers = metrics.gauge(
+            "repro_pool_workers", "Configured worker-process count"
+        )
+        pool_alive = metrics.gauge(
+            "repro_pool_alive", "Whether the shared worker pool is started"
+        )
+        chunks = metrics.counter(
+            "repro_pool_chunks_total",
+            "Chunks through the shared pool, by state",
+        )
+        cost = metrics.gauge(
+            "repro_per_trial_seconds",
+            "EWMA per-trial seconds by scenario (observed cost model)",
+        )
+
+        def scrape() -> None:
+            rate.set(self._meter.rate())
+            with self._locks_guard:
+                inflight.set(len(self._locks))
+            pool_workers.set(self.workers)
+            with self._pool_lock:
+                pool = self._pool
+            pool_alive.set(0 if pool is None else 1)
+            if pool is not None:
+                for state, total in pool.counters().items():
+                    chunks.set_total(total, state=state)
+            for scenario in self._chunker.scenarios():
+                per = self._chunker.per_trial_seconds(scenario)
+                if per is not None:
+                    cost.set(per, scenario=scenario)
+
+        metrics.collect(scrape)
 
     # -- the one question ----------------------------------------------
 
@@ -128,8 +213,10 @@ class EstimateService:
         resolved = spec.resolve_params(dict(params or {}))
         cached = self._cached(spec.name, resolved, ci_width)
         if cached is not None:
+            self._hits.inc()
             return cached
         if self.read_only:
+            self._refusals.inc()
             raise ComputeRefused(
                 "no stored row satisfies the requested precision and the "
                 "service is read-only"
@@ -144,7 +231,9 @@ class EstimateService:
             # queries computes concurrently instead of single-file.
             cached = self._cached(spec.name, resolved, ci_width)
             if cached is not None:
+                self._hits.inc()
                 return cached
+            self._misses.inc()
             row = self._compute(spec.name, resolved, ci_width)
             return self._response(row, ci_width, source="computed")
         finally:
@@ -200,7 +289,15 @@ class EstimateService:
         best = None
         for row in self.store.lookup(scenario, params):
             trials, successes = row.get("trials"), row.get("successes")
-            if not isinstance(trials, int) or not isinstance(successes, int):
+            # bool is excluded explicitly: isinstance(True, int) holds,
+            # so a foreign row with "successes": true would otherwise
+            # pass this guard and poison the Wilson arithmetic below.
+            if (
+                isinstance(trials, bool)
+                or isinstance(successes, bool)
+                or not isinstance(trials, int)
+                or not isinstance(successes, int)
+            ):
                 continue
             if precision_satisfied(successes, trials, ci_width, self.z):
                 if best is None or trials > best["trials"]:
@@ -236,6 +333,10 @@ class EstimateService:
         )
         row = results[0].to_row()
         self.store.append_row(row)
+        trials = row.get("trials")
+        if isinstance(trials, int) and not isinstance(trials, bool):
+            self._trials_total.inc(trials)
+            self._meter.observe(trials)
         return row
 
     def _shared_pool(self) -> WorkerPool:
@@ -278,13 +379,15 @@ class EstimateService:
 # ----------------------------------------------------------------------
 
 
-class EstimateHandler(BaseHTTPRequestHandler):
+class EstimateHandler(JsonRequestHandler):
     """Routes requests to the class-attribute ``service`` (installed by
-    :func:`make_server`, so each server instance binds its own)."""
+    :func:`make_server`, so each server instance binds its own).
+
+    Response writing (and the disconnect guard + counter around it)
+    lives on :class:`~repro.httpd.JsonRequestHandler`.
+    """
 
     service: EstimateService = None  # type: ignore[assignment]
-    #: Flip to True to get http.server's per-request stderr log lines.
-    verbose = False
 
     def do_GET(self) -> None:  # noqa: N802 (http.server's casing)
         parsed = urlparse(self.path)
@@ -292,13 +395,37 @@ class EstimateHandler(BaseHTTPRequestHandler):
             self._send(
                 200, {"status": "ok", "read_only": self.service.read_only}
             )
+        elif parsed.path == "/metrics":
+            self._send_text(200, self.service.metrics.render())
         elif parsed.path == "/scenarios":
             self._send(200, {"scenarios": scenario_names()})
         elif parsed.path == "/estimate":
-            query = dict(parse_qsl(parsed.query))
+            # keep_blank_values: "?flag=" must reach coerce_param and be
+            # rejected there, not silently vanish from the params dict.
+            pairs = parse_qsl(parsed.query, keep_blank_values=True)
+            keys = [key for key, _ in pairs]
+            duplicates = sorted({key for key in keys if keys.count(key) > 1})
+            if duplicates:
+                # "?n=8&n=64" used to estimate n=64 (dict() last-wins);
+                # an ambiguous query is the client's bug to hear about.
+                self._send(
+                    400,
+                    {
+                        "error": "duplicate query parameter(s): "
+                        + ", ".join(duplicates)
+                    },
+                )
+                return
+            query = dict(pairs)
             scenario = query.pop("scenario", None)
             ci_width = query.pop("ci_width", None)
-            params = {key: coerce_param(value) for key, value in query.items()}
+            params = {}
+            for key, value in query.items():
+                try:
+                    params[key] = coerce_param(value)
+                except ConfigurationError as exc:
+                    self._send(400, {"error": f"{key}: {exc}"})
+                    return
             self._estimate(scenario, params, ci_width)
         else:
             self._send(404, {"error": f"unknown path {parsed.path!r}"})
@@ -345,25 +472,18 @@ class EstimateHandler(BaseHTTPRequestHandler):
             return
         self._send(200, payload)
 
-    def _send(self, status: int, payload: Dict[str, Any]) -> None:
-        body = json.dumps(payload, sort_keys=True).encode()
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
-
-    def log_message(self, format, *args) -> None:  # noqa: A002
-        if self.verbose:
-            super().log_message(format, *args)
-
 
 def make_server(
     service: EstimateService, host: str = "127.0.0.1", port: int = 0
 ) -> ThreadingHTTPServer:
     """A threading HTTP server bound to ``service`` (``port=0`` binds an
     ephemeral port — read it back from ``server.server_address``)."""
-    handler = type("BoundEstimateHandler", (EstimateHandler,), {"service": service})
+    handler = bind_handler(
+        EstimateHandler,
+        "BoundEstimateHandler",
+        service=service,
+        disconnects=service.disconnects,
+    )
     return ThreadingHTTPServer((host, port), handler)
 
 

@@ -20,6 +20,7 @@ Two layers, pinned separately:
 
 import json
 import random
+import threading
 
 import pytest
 
@@ -288,3 +289,51 @@ class TestDispatchReduction:
         # workers=1 static would be 4 chunks; the probe path does better
         # and proves the default engaged.
         assert result.dispatches <= 3
+
+
+class TestThreadSafety:
+    def test_concurrent_observe_and_read_paths(self):
+        """The coordinator's HTTP threads and a campaign's fold loop
+        share one chunker: observations, sizing reads, cost reads, and
+        scenario listings race freely. Every read path must take the
+        model lock — a torn read surfaces here as an exception or an
+        impossible value under threading."""
+        chunker = AdaptiveChunker()
+        scenarios = [f"s{i}" for i in range(4)]
+        errors = []
+        stop = threading.Event()
+
+        def writer():
+            try:
+                for i in range(2000):
+                    chunker.observe(
+                        scenarios[i % 4], 100 + i % 7, 1e-4 * (1 + i % 3)
+                    )
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+            finally:
+                stop.set()
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    for name in scenarios:
+                        per = chunker.per_trial_seconds(name)
+                        assert per is None or per > 0
+                        size = chunker.chunk_size(name, 10_000, workers=4)
+                        assert size is None or size >= 1
+                        probe = chunker.calibration_trials(name, 10_000)
+                        assert probe >= 0
+                    assert set(chunker.scenarios()) <= set(scenarios)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer)] + [
+            threading.Thread(target=reader) for _ in range(3)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not errors
+        assert set(chunker.scenarios()) == set(scenarios)

@@ -1,0 +1,177 @@
+"""The Prometheus text-format metrics layer (:mod:`repro.metrics`).
+
+The format itself is the contract here: every rendering test round-trips
+through :func:`parse_text`, the same validator the CI smoke pipes the
+live ``/metrics`` endpoints through.
+"""
+
+import threading
+
+import pytest
+
+from repro.metrics import (
+    TEXT_CONTENT_TYPE,
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    ThroughputMeter,
+    parse_text,
+)
+from repro.util.errors import ConfigurationError
+
+
+class TestFamilies:
+    def test_counter_accumulates_and_renders(self):
+        c = Counter("repro_things_total", "Things counted.")
+        c.inc()
+        c.inc(4)
+        assert c.value() == 5
+        lines = c.render()
+        assert "# HELP repro_things_total Things counted." in lines
+        assert "# TYPE repro_things_total counter" in lines
+        assert "repro_things_total 5" in lines
+
+    def test_counter_rejects_decrease(self):
+        c = Counter("repro_things_total")
+        with pytest.raises(ConfigurationError):
+            c.inc(-1)
+        c.set_total(10)
+        with pytest.raises(ConfigurationError):
+            c.set_total(9)
+        c.set_total(10)  # equal is fine (idempotent mirror)
+        assert c.value() == 10
+
+    def test_labeled_samples_are_independent(self):
+        c = Counter("repro_reports_total")
+        c.inc(status="accepted")
+        c.inc(2, status="duplicate")
+        assert c.value(status="accepted") == 1
+        assert c.value(status="duplicate") == 2
+        assert c.value(status="unknown") == 0
+
+    def test_gauge_set_inc_dec(self):
+        g = Gauge("repro_depth")
+        g.set(7)
+        g.dec(2)
+        g.inc()
+        assert g.value() == 6
+
+    def test_untouched_family_renders_zero_line(self):
+        # "the counter exists and is zero" must be distinguishable from
+        # "the endpoint forgot the counter".
+        assert "repro_quiet_total 0" in Counter("repro_quiet_total").render()
+
+    def test_invalid_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Counter("bad name")
+        with pytest.raises(ConfigurationError):
+            Gauge("repro_ok").set(1, **{"bad-label": "x"})
+
+    def test_clear_drops_one_label_set(self):
+        g = Gauge("repro_node_healthy")
+        g.set(1, node="a")
+        g.set(0, node="b")
+        g.clear(node="a")
+        assert g.samples() == {(("node", "b"),): 0.0}
+
+
+class TestRegistry:
+    def test_families_are_idempotent_per_name(self):
+        reg = MetricsRegistry()
+        assert reg.counter("repro_x_total") is reg.counter("repro_x_total")
+        with pytest.raises(ConfigurationError):
+            reg.gauge("repro_x_total")
+
+    def test_collectors_refresh_gauges_at_render_time(self):
+        reg = MetricsRegistry()
+        depth = reg.gauge("repro_queue_depth")
+        queue = [1, 2, 3]
+        reg.collect(lambda: depth.set(len(queue)))
+        assert "repro_queue_depth 3" in reg.render()
+        queue.append(4)
+        assert "repro_queue_depth 4" in reg.render()
+
+    def test_render_round_trips_through_parse_text(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_trials_total", "Trials folded.").inc(123)
+        reg.gauge("repro_node_per_trial_seconds").set(
+            0.25, node='weird"name\\with\nstuff'
+        )
+        reg.counter("repro_untouched_total", "Never incremented.")
+        families = parse_text(reg.render())
+        assert families["repro_trials_total"] == [({}, 123.0)]
+        assert families["repro_untouched_total"] == [({}, 0.0)]
+        ((labels, value),) = families["repro_node_per_trial_seconds"]
+        assert labels == {"node": 'weird"name\\with\nstuff'}
+        assert value == 0.25
+
+    def test_content_type_names_the_text_format(self):
+        assert "version=0.0.4" in TEXT_CONTENT_TYPE
+
+    def test_concurrent_increments_do_not_lose_counts(self):
+        reg = MetricsRegistry()
+        c = reg.counter("repro_hot_total")
+
+        def spin():
+            for _ in range(1000):
+                c.inc(worker="w")
+
+        threads = [threading.Thread(target=spin) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value(worker="w") == 8000
+
+
+class TestThroughputMeter:
+    def test_rate_over_fake_clock(self):
+        now = [0.0]
+        meter = ThroughputMeter(window=10.0, clock=lambda: now[0])
+        meter.observe(50)
+        now[0] = 5.0
+        meter.observe(50)
+        assert meter.rate() == pytest.approx(100 / 5.0)
+
+    def test_old_events_age_out(self):
+        now = [0.0]
+        meter = ThroughputMeter(window=10.0, clock=lambda: now[0])
+        meter.observe(1000)
+        now[0] = 11.0
+        meter.observe(10)
+        # Window span is clamped to the window; only the young event counts.
+        assert meter.rate() == pytest.approx(10 / 10.0)
+
+    def test_early_burst_is_not_an_absurd_rate(self):
+        now = [0.0]
+        meter = ThroughputMeter(window=60.0, clock=lambda: now[0])
+        meter.observe(500)
+        now[0] = 0.001
+        # Span clamps at one second: 500/s, not 500000/s.
+        assert meter.rate() == pytest.approx(500.0)
+
+    def test_rejects_nonpositive_window(self):
+        with pytest.raises(ConfigurationError):
+            ThroughputMeter(window=0)
+
+
+class TestParseText:
+    def test_rejects_untyped_samples(self):
+        with pytest.raises(ConfigurationError):
+            parse_text("repro_mystery_total 5\n")
+
+    def test_rejects_malformed_lines(self):
+        bad = "# TYPE repro_x counter\nrepro_x{open 5\n"
+        with pytest.raises(ConfigurationError):
+            parse_text(bad)
+        with pytest.raises(ConfigurationError):
+            parse_text("# TYPE repro_x counter\nrepro_x not-a-number\n")
+
+    def test_accepts_comments_and_blank_lines(self):
+        doc = (
+            "# HELP repro_x_total help text\n"
+            "# TYPE repro_x_total counter\n"
+            "\n"
+            'repro_x_total{a="1",b="2"} 3\n'
+        )
+        assert parse_text(doc)["repro_x_total"] == [({"a": "1", "b": "2"}, 3.0)]

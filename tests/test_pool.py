@@ -477,3 +477,53 @@ class TestStreamedOutcomes:
         assert sorted(t.index for t in seen) == list(range(300))
         assert streamed.outcomes == serial.outcomes  # both index-sorted
         assert streamed.to_row() == serial.to_row()
+
+
+def _double(x):
+    return x * 2
+
+
+def _explode(x):
+    raise ValueError(f"boom on {x}")
+
+
+class TestLifetimeCounters:
+    """``pool.counters()``: the observability mirror behind the
+    ``repro_pool_chunks_total`` metric. Counters never affect
+    scheduling; they just have to be consistent."""
+
+    def test_fresh_pool_reports_zeros(self):
+        with WorkerPool(1) as pool:
+            assert pool.counters() == {
+                "dispatched": 0, "completed": 0, "failed": 0
+            }
+
+    def test_serial_path_counts_each_payload(self):
+        with WorkerPool(1) as pool:
+            assert list(pool.imap_unordered(_double, [1, 2, 3])) == [2, 4, 6]
+            assert pool.counters() == {
+                "dispatched": 3, "completed": 3, "failed": 0
+            }
+
+    def test_serial_failure_is_counted_and_reraised(self):
+        with WorkerPool(1) as pool:
+            with pytest.raises(ValueError):
+                list(pool.imap_unordered(_explode, [1]))
+            counters = pool.counters()
+            assert counters["failed"] == 1
+            assert counters["completed"] == 0
+
+    def test_parallel_path_counts_match_the_work(self):
+        with WorkerPool(2) as pool:
+            results = sorted(pool.imap_unordered(_double, [1, 2, 3, 4, 5]))
+            assert results == [2, 4, 6, 8, 10]
+            counters = pool.counters()
+        assert counters["dispatched"] == 5
+        assert counters["completed"] == 5
+        assert counters["failed"] == 0
+
+    def test_counters_accumulate_across_runs(self):
+        with WorkerPool(1) as pool:
+            list(pool.imap_unordered(_double, [1]))
+            list(pool.imap_unordered(_double, [2, 3]))
+            assert pool.counters()["completed"] == 3

@@ -20,7 +20,10 @@ The load-bearing guarantees, each pinned directly:
 """
 
 import json
+import socket
+import struct
 import threading
+import time
 import urllib.error
 import urllib.request
 
@@ -28,6 +31,7 @@ import pytest
 
 import repro.serve as serve_mod
 from repro.experiments import ResultStore, run_scenario
+from repro.metrics import parse_text
 from repro.serve import ComputeRefused, EstimateService, make_server
 from repro.util.errors import ConfigurationError
 
@@ -307,6 +311,31 @@ class TestHttpLayer:
         status, _ = fetch(http_service + "/scenarios")
         assert status == 200
 
+    def test_duplicate_query_params_are_rejected(self, http_service):
+        """``?n=8&n=64`` used to silently last-win through
+        ``dict(parse_qsl(...))``; ambiguity is now a 400."""
+        status, payload = fetch(
+            http_service
+            + f"/estimate?scenario={SCENARIO}&ci_width={WIDE}"
+            + "&n=8&n=64&target=5"
+        )
+        assert status == 400
+        assert "duplicate query parameter" in payload["error"]
+        assert "n" in payload["error"]
+
+    def test_blank_query_value_is_rejected_not_dropped(self, http_service):
+        """``&target=`` used to vanish from ``parse_qsl`` entirely,
+        turning a typo into a silent default; it is now an explicit
+        error naming the parameter."""
+        status, payload = fetch(
+            http_service
+            + f"/estimate?scenario={SCENARIO}&ci_width={WIDE}"
+            + "&n=16&target="
+        )
+        assert status == 400
+        assert "target" in payload["error"]
+        assert "blank" in payload["error"]
+
     def test_read_only_miss_maps_to_409(self, tmp_path, monkeypatch):
         no_trials_allowed(monkeypatch)
         seeded_store(tmp_path).close()
@@ -333,3 +362,94 @@ class TestHttpLayer:
             server.server_close()
             thread.join()
             store.close()
+
+
+class TestForeignRows:
+    def test_bool_successes_row_does_not_poison_the_cache(
+        self, tmp_path, monkeypatch
+    ):
+        """``isinstance(True, int)`` holds, so a foreign row carrying
+        ``"successes": true`` used to sail through the cache's integer
+        guard and into the Wilson arithmetic. It must be skipped — a
+        read-only service then *refuses* rather than answering from
+        garbage."""
+        no_trials_allowed(monkeypatch)
+        with ResultStore(str(tmp_path / "r.db")) as store:
+            row = run_scenario(SCENARIO, trials=2, params=dict(POINT)).to_row()
+            row["successes"] = True
+            assert store.append_row(row) == "stored"
+        with ResultStore(str(tmp_path / "r.db"), read_only=True) as store:
+            service = EstimateService(store, min_trials=2, max_trials=2)
+            with pytest.raises(ComputeRefused):
+                service.estimate(SCENARIO, dict(POINT), WIDE)
+
+
+class TestDisconnects:
+    @pytest.fixture()
+    def live_service(self, tmp_path, monkeypatch):
+        no_trials_allowed(monkeypatch)
+        store = seeded_store(tmp_path)
+        service = EstimateService(store, min_trials=2, max_trials=2)
+        server = make_server(service)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        yield service, host, port
+        server.shutdown()
+        server.server_close()
+        thread.join()
+        store.close()
+
+    def test_client_hangup_is_counted_not_a_traceback(self, live_service):
+        """A client that disconnects before reading its response used to
+        blow an unguarded ``wfile.write`` into a BrokenPipeError
+        traceback on the server. It is now swallowed and counted, and
+        the server keeps answering."""
+        service, host, port = live_service
+        path = (
+            f"/estimate?scenario={SCENARIO}&ci_width={WIDE}&n=16&target=5"
+        )
+        assert service.disconnects.value() == 0
+        sock = socket.create_connection((host, port), timeout=5)
+        # RST on close (SO_LINGER 0): the server's response write hits a
+        # dead connection deterministically instead of racing the FIN.
+        sock.setsockopt(
+            socket.SOL_SOCKET, socket.SO_LINGER, struct.pack("ii", 1, 0)
+        )
+        sock.sendall(
+            f"GET {path} HTTP/1.1\r\nHost: {host}\r\n\r\n".encode()
+        )
+        sock.close()
+        deadline = time.monotonic() + 5
+        while (
+            service.disconnects.value() == 0
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.01)
+        assert service.disconnects.value() >= 1
+        # The server survived: a well-behaved request still answers.
+        status, payload = fetch(f"http://{host}:{port}" + path)
+        assert status == 200
+        assert payload["source"] == "store"
+
+
+class TestMetricsEndpoint:
+    def test_metrics_render_store_hits_and_misses(self, http_service):
+        hit = (
+            f"/estimate?scenario={SCENARIO}&ci_width={WIDE}&n=16&target=5"
+        )
+        assert fetch(http_service + hit)[0] == 200
+        assert fetch(http_service + hit)[0] == 200
+        with urllib.request.urlopen(http_service + "/metrics") as resp:
+            assert resp.headers["Content-Type"].startswith("text/plain")
+            families = parse_text(resp.read().decode("utf-8"))
+        assert families["repro_store_hits_total"][0][1] == 2
+        for family in (
+            "repro_store_misses_total",
+            "repro_trials_total",
+            "repro_trials_per_second",
+            "repro_http_disconnects_total",
+            "repro_pool_workers",
+            "repro_inflight_computes",
+        ):
+            assert family in families

@@ -384,3 +384,39 @@ class TestCli:
                 )
                 for n in (8, 12)
             }
+
+
+class TestObserver:
+    def test_observer_sees_every_append_outcome(self, tmp_path):
+        """The ``store.observer`` hook feeds the
+        ``repro_store_appends_total{outcome=}`` metric: one call per
+        append, with the same disposition string ``append_row``
+        returns."""
+        seen = []
+        with ResultStore(str(tmp_path / "r.db")) as store:
+            store.observer = lambda outcome: seen.append(outcome)
+            assert store.append_row(synthetic_row(1)) == "stored"
+            assert store.append_row(synthetic_row(1)) == "duplicate"
+            assert store.append_row(synthetic_row(2, timed_out=True)) == (
+                "marker"
+            )
+            assert store.append_row(synthetic_row(1, timed_out=True)) == (
+                "superseded"
+            )
+        assert seen == ["stored", "duplicate", "marker", "superseded"]
+
+    def test_observer_errors_do_not_corrupt_the_store(self, tmp_path):
+        """The hook is observability only: it runs outside the store
+        lock and after the transaction committed, so a broken observer
+        loses telemetry, not rows."""
+        with ResultStore(str(tmp_path / "r.db")) as store:
+            def explode(outcome):
+                raise RuntimeError("metrics backend fell over")
+
+            store.observer = explode
+            with pytest.raises(RuntimeError):
+                store.append_row(synthetic_row(1))
+            store.observer = None
+            # The row committed before the observer ran.
+            assert store.append_row(synthetic_row(1)) == "duplicate"
+            assert store.stats()["completed"] == 1
