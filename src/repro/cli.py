@@ -38,6 +38,7 @@ from repro.experiments import (
     RowWriter,
     StoreRowWriter,
     WilsonWidthPolicy,
+    WorkerPool,
     all_scenarios,
     coerce_param,
     expand_grid,
@@ -764,6 +765,75 @@ def _campaign_dry_run(args, points, scheduler, completed) -> int:
     return 0
 
 
+def _campaign_metrics(pool, chunker, total_points):
+    """Registry + row observer behind ``campaign --metrics-port``.
+
+    Returns ``(registry, observe)``: the registry scrapes the pool's
+    chunk counters and the chunker's per-trial costs live, and
+    ``observe`` wraps the campaign's result iterator so every emitted
+    row feeds the trial/point counters and the throughput meter as it
+    streams past — the same numbers the coordinator exports for
+    distributed runs, for the single-host case.
+    """
+    from repro.metrics import MetricsRegistry, ThroughputMeter
+
+    registry = MetricsRegistry()
+    trials = registry.counter(
+        "repro_trials_total", "Trials folded into emitted rows"
+    )
+    points_done = registry.counter(
+        "repro_points_completed",
+        "Campaign points emitted (timed-out partials included)",
+    )
+    timed_out = registry.counter(
+        "repro_points_timed_out_total", "Timed-out partial rows emitted"
+    )
+    points_total = registry.gauge(
+        "repro_points_total", "Points in the expanded manifest"
+    )
+    points_total.set(total_points)
+    workers = registry.gauge(
+        "repro_pool_workers", "Worker processes in the shared pool"
+    )
+    workers.set(pool.workers)
+    chunks = registry.counter(
+        "repro_pool_chunks_total",
+        "Worker chunks by disposition (pool lifetime)",
+    )
+    meter = ThroughputMeter()
+    rate = registry.gauge(
+        "repro_trials_per_second",
+        "Trials folded over the last sliding window",
+    )
+    per_trial = registry.gauge(
+        "repro_per_trial_seconds",
+        "Observed EWMA per-trial seconds by scenario",
+    )
+
+    def scrape():
+        rate.set(meter.rate())
+        for disposition, count in sorted(pool.counters().items()):
+            chunks.set_total(count, disposition=disposition)
+        if chunker is not None:
+            for scenario in chunker.scenarios():
+                cost = chunker.per_trial_seconds(scenario)
+                if cost is not None:
+                    per_trial.set(cost, scenario=scenario)
+
+    registry.collect(scrape)
+
+    def observe(results):
+        for result in results:
+            points_done.inc()
+            if result.timed_out:
+                timed_out.inc()
+            trials.inc(result.trials)
+            meter.observe(result.trials)
+            yield result
+
+    return registry, observe
+
+
 def _cmd_campaign(args) -> int:
     # Validation order mirrors blame order: the schedule name first
     # (listing the known schedulers — argparse choices already catch the
@@ -828,26 +898,78 @@ def _cmd_campaign(args) -> int:
             existing_lines, points, completed
         )
     if args.coordinate:
+        if args.metrics_port is not None:
+            raise SystemExit(
+                "--metrics-port is redundant with --coordinate: the "
+                "coordinator already serves /metrics on --listen"
+            )
         return _coordinate_campaign(
             args, points, scheduler, completed, existing_lines, replaces
         )
-    try:
-        results = run_campaign(
-            points,
-            workers=resolve_workers(args.workers),
-            completed=completed,
-            schedule=scheduler,
-            point_timeout=args.point_timeout,
-            max_wall_clock=args.max_wall_clock,
-            chunk_size=args.chunk_size,
-            chunker=_cli_chunker(args, cost_model=cost_model),
+    # --metrics-port: the CLI owns the pool (run_campaign never closes
+    # an injected one) so the /metrics scrape reads live chunk counters
+    # while trials run; without the flag, run_campaign manages its own
+    # pool exactly as before.
+    chunker = _cli_chunker(args, cost_model=cost_model)
+    pool = None
+    observe = None
+    metrics_server = None
+    metrics_thread = None
+    if args.metrics_port is not None:
+        from repro.httpd import serve_metrics
+
+        pool = WorkerPool(resolve_workers(args.workers))
+        registry, observe = _campaign_metrics(pool, chunker, len(points))
+        try:
+            metrics_server, metrics_thread = serve_metrics(
+                registry, port=args.metrics_port
+            )
+        except OSError as exc:
+            pool.terminate()
+            raise SystemExit(
+                f"cannot serve /metrics on port {args.metrics_port}: {exc}"
+            ) from None
+        bound_host, bound_port = metrics_server.server_address[:2]
+        print(
+            f"  [campaign: serving http://{bound_host}:{bound_port}"
+            "/metrics]",
+            file=sys.stderr,
         )
-    except ConfigurationError as exc:
-        raise SystemExit(str(exc)) from None
-    outcome = _emit_rows(
-        results, args, existing_lines, "campaign", record_timings=True,
-        replaces=replaces,
-    )
+    try:
+        try:
+            results = run_campaign(
+                points,
+                workers=resolve_workers(args.workers),
+                pool=pool,
+                completed=completed,
+                schedule=scheduler,
+                point_timeout=args.point_timeout,
+                max_wall_clock=args.max_wall_clock,
+                chunk_size=args.chunk_size,
+                chunker=chunker,
+            )
+            if observe is not None:
+                results = observe(results)
+            outcome = _emit_rows(
+                results, args, existing_lines, "campaign",
+                record_timings=True, replaces=replaces,
+            )
+        except ConfigurationError as exc:
+            raise SystemExit(str(exc)) from None
+    except BaseException:
+        # Mirror run_campaign's own-pool semantics for the CLI-owned
+        # pool: terminate on any early exit, close on success.
+        if pool is not None:
+            pool.terminate()
+        raise
+    else:
+        if pool is not None:
+            pool.close()
+    finally:
+        if metrics_server is not None:
+            metrics_server.shutdown()
+            metrics_server.server_close()
+            metrics_thread.join(timeout=5)
     # Count skips from the completed set, not len(points) - ran: under a
     # deadline, points that never started are pending, not "already in".
     skipped = sum(point.key() in completed for point in points)
@@ -989,6 +1111,7 @@ def _cmd_db(args) -> int:
         out = args.out or os.path.splitext(args.db)[0] + ".jsonl"
         exported = 0
         try:
+            # repro-lint: allow[R301] db export IS the blessed store->JSONL path: lines come straight from the store's resume-keyed rows
             with ResultStore(args.db, read_only=True) as store, open(
                 out, "w"
             ) as f:
@@ -1140,6 +1263,33 @@ def _cmd_fuzz(args) -> int:
     print(f"max outcome rate   : {report.max_outcome_rate:.3f} "
           f"(attack-level forcing would be ~1.0)")
     return 0
+
+
+def _cmd_lint(args) -> int:
+    """``lint``: run the project-invariant static analyzer.
+
+    Exit status is the gate CI keys on: 0 means no findings, non-zero
+    otherwise (configuration mistakes — unknown rule selectors, missing
+    paths — report on stderr with no findings listing).
+    """
+    # Imported lazily, like serve/node: only this subcommand pays for it.
+    from repro.lint import lint_paths, render_json, render_text
+
+    try:
+        findings = lint_paths(
+            args.paths, select=args.select, ignore=args.ignore
+        )
+    except ConfigurationError as exc:
+        raise SystemExit(str(exc)) from None
+    if args.format == "json":
+        sys.stdout.write(render_json(findings))
+    else:
+        sys.stdout.write(render_text(findings))
+        print(
+            f"  [lint: {len(findings)} finding(s)]",
+            file=sys.stderr,
+        )
+    return 1 if findings else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -1315,6 +1465,14 @@ def build_parser() -> argparse.ArgumentParser:
              "results, only scheduling)",
     )
     p.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="serve Prometheus-text /metrics (and /healthz) on "
+             "127.0.0.1:PORT for the duration of the run — live trial "
+             "throughput, point progress, and pool chunk counters "
+             "(port 0 binds an ephemeral port; not with --coordinate, "
+             "whose --listen endpoint already serves /metrics)",
+    )
+    p.add_argument(
         "--coordinate", action="store_true",
         help="run no trials locally: serve (point, trial-range) leases "
              "over HTTP to 'repro node' workers and fold their reports "
@@ -1486,6 +1644,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes (auto = derive from the machine)",
     )
     p.set_defaults(func=_cmd_fuzz)
+
+    p = sub.add_parser(
+        "lint",
+        help="static invariant checks: determinism (R1), lock "
+             "discipline (R2), row integrity (R3); exit 1 on findings",
+    )
+    p.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    p.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="text: path:line:col: RULE message per finding; "
+             "json: a stable {\"findings\": [...]} document",
+    )
+    p.add_argument(
+        "--select", default=None, metavar="RULES",
+        help="only report these comma-separated rule ids/prefixes "
+             "(R2 selects every R2xx rule)",
+    )
+    p.add_argument(
+        "--ignore", default=None, metavar="RULES",
+        help="drop these comma-separated rule ids/prefixes from the "
+             "report",
+    )
+    p.set_defaults(func=_cmd_lint)
     return parser
 
 

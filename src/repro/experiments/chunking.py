@@ -77,6 +77,12 @@ class AdaptiveChunker:
     explicit user ``chunk_size`` always wins before either is consulted.
     """
 
+    #: Lock discipline, checked by ``python -m repro lint`` (R201):
+    #: the shared CostModel is read by every dispatching thread and
+    #: written by observe() — PR 9 fixed exactly this class of
+    #: unlocked-read bug by hand.
+    _GUARDED_BY = {"cost_model": "_lock"}
+
     def __init__(
         self,
         cost_model: Optional["CostModel"] = None,

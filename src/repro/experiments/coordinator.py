@@ -135,6 +135,23 @@ class CampaignCoordinator:
     campaign uses.
     """
 
+    #: Lock discipline, checked by ``python -m repro lint`` (R201).
+    #: Not listed: ``_results`` (a thread-safe queue.Queue), ``_meter``
+    #: and the metric objects (internally locked), and ``_specs``
+    #: (immutable after __init__).
+    _GUARDED_BY = {
+        "_waiting": "_lock",
+        "_active": "_lock",
+        "_leasable": "_lock",
+        "_ranges": "_lock",
+        "_leases": "_lock",
+        "_nodes": "_lock",
+        "_outstanding": "_lock",
+        "_finished": "_lock",
+        "_lease_ids": "_lock",
+        "_node_ids": "_lock",
+    }
+
     def __init__(
         self,
         points: List[CampaignPoint],

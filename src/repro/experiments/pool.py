@@ -123,8 +123,24 @@ class WorkerPool:
     processes. A ``weakref.finalize`` terminates leaked pools at GC.
     """
 
+    #: Lock discipline, checked by ``python -m repro lint`` (R201):
+    #: lifecycle state under ``_pool_guard`` — serve.py dispatches
+    #: campaigns from concurrent request threads, and two racing
+    #: ``_ensure_pool`` calls used to each spawn a multiprocessing.Pool
+    #: (the loser's workers leaked until GC) — counters under their own
+    #: lock so dispatch bookkeeping never contends with lifecycle.
+    _GUARDED_BY = {
+        "_pool": "_pool_guard",
+        "_closed": "_pool_guard",
+        "_finalizer": "_pool_guard",
+        "_dispatched": "_counters_lock",
+        "_completed": "_counters_lock",
+        "_failed": "_counters_lock",
+    }
+
     def __init__(self, workers: WorkerCount = 1):
         self.workers = resolve_workers(workers)
+        self._pool_guard = threading.Lock()
         self._pool: Optional[Any] = None
         self._finalizer = None
         self._closed = False
@@ -166,7 +182,8 @@ class WorkerPool:
     @property
     def started(self) -> bool:
         """Whether the worker processes currently exist."""
-        return self._pool is not None
+        with self._pool_guard:
+            return self._pool is not None
 
     def warm_up(self) -> "WorkerPool":
         """Spawn the worker processes now (no-op when ``workers == 1``)."""
@@ -183,9 +200,13 @@ class WorkerPool:
         :meth:`terminate` instead, or teardown blocks on every chunk
         still in the queue.
         """
-        self._closed = True
-        if self._pool is not None:
-            pool = self._detach_pool()
+        with self._pool_guard:
+            self._closed = True
+            pool = self._detach_pool_locked()
+        # Joining outside the guard: a graceful close can block for as
+        # long as the queued chunks take, and holding the guard that
+        # whole time would stall every counters()/started probe.
+        if pool is not None:
             pool.close()
             pool.join()
 
@@ -198,13 +219,14 @@ class WorkerPool:
         sends SIGTERM and joins, so Ctrl-C tears the whole process tree
         down promptly. The pool stays closed afterwards.
         """
-        self._closed = True
-        if self._pool is not None:
-            pool = self._detach_pool()
+        with self._pool_guard:
+            self._closed = True
+            pool = self._detach_pool_locked()
+        if pool is not None:
             pool.terminate()
             pool.join()
 
-    def _detach_pool(self):
+    def _detach_pool_locked(self):
         pool, self._pool = self._pool, None
         if self._finalizer is not None:
             self._finalizer.detach()
@@ -223,14 +245,21 @@ class WorkerPool:
             self.close()
 
     def _ensure_pool(self):
-        if self._closed:
-            raise ConfigurationError("worker pool is closed")
-        if self._pool is None:
-            self._pool = multiprocessing.Pool(
-                processes=self.workers, initializer=_init_worker
-            )
-            self._finalizer = weakref.finalize(self, _terminate, self._pool)
-        return self._pool
+        # The check and the spawn are one critical section: concurrent
+        # dispatches (the estimate service runs campaigns from several
+        # request threads against one shared pool) must agree on a
+        # single multiprocessing.Pool rather than each creating one.
+        with self._pool_guard:
+            if self._closed:
+                raise ConfigurationError("worker pool is closed")
+            if self._pool is None:
+                self._pool = multiprocessing.Pool(
+                    processes=self.workers, initializer=_init_worker
+                )
+                self._finalizer = weakref.finalize(
+                    self, _terminate, self._pool
+                )
+            return self._pool
 
     # -- dispatch ------------------------------------------------------
 

@@ -120,6 +120,12 @@ class ResultStore:
     :mod:`repro.serve` answers each request on its own thread.
     """
 
+    #: Lock discipline, checked by ``python -m repro lint`` (R201):
+    #: sqlite3 connections are not concurrency-safe under
+    #: ``check_same_thread=False`` — ours, uniquely, is shared across
+    #: the HTTP threads, so every use holds the store lock.
+    _GUARDED_BY = {"_conn": "_lock"}
+
     def __init__(self, path: str, read_only: bool = False, timeout: float = 30.0):
         self.path = path
         self.read_only = read_only
@@ -222,6 +228,7 @@ class ResultStore:
             else None,
             row.get("steps_total"),
             int(timed_out),
+            # repro-lint: allow[R101] created-marker timestamp: scheduling metadata for the timed-out lifecycle, never part of row identity
             time.time(),
             json.dumps(row, sort_keys=True),
         )
@@ -388,7 +395,11 @@ class ResultStore:
             )
 
     def close(self) -> None:
-        self._conn.close()
+        # Under the lock: closing mid-_query on another HTTP thread
+        # turns that thread's cursor into a ProgrammingError; waiting
+        # for the in-flight statement is the whole point of the lock.
+        with self._lock:
+            self._conn.close()
 
     def __enter__(self) -> "ResultStore":
         return self

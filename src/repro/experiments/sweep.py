@@ -321,6 +321,7 @@ class RowWriter:
     def __init__(self, path: str, append: bool = False):
         self.path = path
         existed = os.path.exists(path)
+        # repro-lint: allow[R301] RowWriter IS the blessed row sink — the fsync'd appender every other write routes through
         self._file = open(path, "a" if append else "w")
         if not existed:
             # A freshly created file is only durable once its directory

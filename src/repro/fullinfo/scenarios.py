@@ -62,6 +62,7 @@ GAMES = {
 }
 
 
+# repro-lint: allow[R302] exact backward-induction evaluation: consumes no randomness, every trial is the same closed-form number
 def run_sequential_coin_trial(
     params: Params, registry, max_steps: Optional[int]
 ) -> Tuple[object, int]:

@@ -21,7 +21,8 @@ matters:
 """
 
 import json
-from http.server import BaseHTTPRequestHandler
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.metrics import TEXT_CONTENT_TYPE
 
@@ -86,3 +87,42 @@ class JsonRequestHandler(BaseHTTPRequestHandler):
 def bind_handler(base, name, **attrs):
     """A throwaway subclass of ``base`` carrying per-server state."""
     return type(name, (base,), attrs)
+
+
+class MetricsHandler(JsonRequestHandler):
+    """GET-only handler exposing one registry: ``/metrics`` (Prometheus
+    text), ``/healthz``. The campaign CLI binds this for plain
+    single-host runs; the coordinator and estimate service keep their
+    own richer handlers."""
+
+    #: Bound per server by :func:`bind_handler`.
+    registry = None
+
+    def do_GET(self):
+        path = self.path.split("?", 1)[0]
+        if path == "/metrics":
+            self._send_text(200, self.registry.render())
+        elif path == "/healthz":
+            self._send(200, {"ok": True})
+        else:
+            self._send(404, {"error": f"no such path: {path}"})
+
+
+def serve_metrics(registry, host="127.0.0.1", port=0, verbose=False):
+    """Serve ``registry`` on a daemon thread; returns ``(server, thread)``.
+
+    Port 0 binds an ephemeral port (read it back from
+    ``server.server_address``). Callers own the teardown:
+    ``server.shutdown(); server.server_close(); thread.join()``.
+    """
+    handler = bind_handler(
+        MetricsHandler, "BoundMetricsHandler",
+        registry=registry, verbose=verbose,
+    )
+    server = ThreadingHTTPServer((host, port), handler)
+    server.daemon_threads = True
+    thread = threading.Thread(
+        target=server.serve_forever, name="metrics-http", daemon=True
+    )
+    thread.start()
+    return server, thread

@@ -1,0 +1,28 @@
+"""``repro.lint`` — the project-invariant static analyzer.
+
+Importing this package registers the three rule packs (R1 determinism,
+R2 lock discipline, R3 row integrity) with the engine; ``lint_paths``
+then runs all of them. See ``engine.py`` for the pragma grammar and
+``INVARIANTS.md`` at the repo root for what each rule protects.
+"""
+
+from repro.lint.engine import (
+    CATALOG,
+    Finding,
+    lint_paths,
+    render_json,
+    render_text,
+)
+
+# Imported for their register_check side effects.
+from repro.lint import rules_determinism  # noqa: F401
+from repro.lint import rules_locks  # noqa: F401
+from repro.lint import rules_rows  # noqa: F401
+
+__all__ = [
+    "CATALOG",
+    "Finding",
+    "lint_paths",
+    "render_json",
+    "render_text",
+]

@@ -1,0 +1,189 @@
+"""R2 — lock discipline for classes that opt in via ``_GUARDED_BY``.
+
+A class declares which lock protects which attribute::
+
+    class WorkerPool:
+        _GUARDED_BY = {"_pool": "_pool_guard", "_dispatched": "_counters_lock"}
+
+and the linter then flags every ``self.<attr>`` read/write/delete that
+is not lexically inside a ``with self.<lock>:`` block (R201). The
+declaration itself must be a literal ``{str: str}`` dict so the check
+needs no evaluation — anything else is R202.
+
+The analysis is lexical and intra-procedural, matching the codebase's
+conventions rather than chasing aliasing:
+
+* ``__init__``/``__del__`` are exempt (no concurrent access before
+  construction completes or during teardown);
+* methods named ``*_locked`` are exempt — the repo-wide convention for
+  "caller holds the lock" helpers (see ``coordinator.py``);
+* a ``with`` that acquires several context managers counts every one of
+  its items as executed under the acquired locks (``with self._lock,
+  self._conn:`` is the store's idiom);
+* nested ``def``/``lambda`` bodies reset the held-lock set to empty:
+  closures run later, when the enclosing ``with`` has long exited;
+* ``_GUARDED_BY`` maps are inherited from base classes *named in the
+  same module* (``Counter(Metric)`` inherits Metric's map).
+"""
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.engine import (
+    Finding,
+    ModuleContext,
+    dotted_name,
+    register_check,
+)
+
+EXEMPT_METHODS = ("__init__", "__del__")
+
+
+def _self_attr(node: ast.AST) -> Optional[str]:
+    """``self.<name>`` → ``name``, else None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _extract_guarded(
+    cls: ast.ClassDef, ctx: ModuleContext
+) -> Tuple[Optional[Dict[str, str]], Optional[Finding]]:
+    """The class's own ``_GUARDED_BY`` literal, or an R202 finding."""
+    for stmt in cls.body:
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        else:
+            continue
+        for target in targets:
+            if not (isinstance(target, ast.Name) and target.id == "_GUARDED_BY"):
+                continue
+            bad = Finding(
+                "R202", ctx.path, stmt.lineno, stmt.col_offset,
+                f"_GUARDED_BY on {cls.name} must be a literal "
+                "{'attr': 'lock'} dict of strings so the linter can "
+                "read it without evaluating the module",
+            )
+            if not isinstance(value, ast.Dict):
+                return None, bad
+            guarded: Dict[str, str] = {}
+            for key, lock in zip(value.keys, value.values):
+                if not (
+                    isinstance(key, ast.Constant)
+                    and isinstance(key.value, str)
+                    and isinstance(lock, ast.Constant)
+                    and isinstance(lock.value, str)
+                ):
+                    return None, bad
+                guarded[key.value] = lock.value
+            return guarded, None
+    return None, None
+
+
+def _scan(
+    node: ast.AST,
+    held: Set[str],
+    guarded: Dict[str, str],
+    ctx: ModuleContext,
+    out: List[Finding],
+) -> None:
+    """Walk one method body tracking which self.<lock>s are held."""
+    if isinstance(node, (ast.With, ast.AsyncWith)):
+        acquired = set(held)
+        for item in node.items:
+            lock = _self_attr(item.context_expr)
+            if lock is not None:
+                acquired.add(lock)
+        # Every withitem is part of the same With: `with self._lock,
+        # self._conn:` acquires the lock before touching the guarded
+        # connection, so the items are scanned with the acquired set.
+        for item in node.items:
+            _scan(item.context_expr, acquired, guarded, ctx, out)
+        for stmt in node.body:
+            _scan(stmt, acquired, guarded, ctx, out)
+        return
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+        # Deferred execution: by the time a closure runs, the lock the
+        # enclosing `with` held is gone. Defaults evaluate at def time.
+        for default in list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]:
+            _scan(default, held, guarded, ctx, out)
+        body = [node.body] if isinstance(node, ast.Lambda) else node.body
+        for stmt in body:
+            _scan(stmt, set(), guarded, ctx, out)
+        return
+    if isinstance(node, ast.ClassDef):
+        for stmt in node.body:
+            _scan(stmt, set(), guarded, ctx, out)
+        return
+    attr = _self_attr(node)
+    if attr is not None and attr in guarded:
+        lock = guarded[attr]
+        if lock not in held:
+            out.append(
+                Finding(
+                    "R201", ctx.path, node.lineno, node.col_offset,
+                    f"self.{attr} is declared guarded by self.{lock} "
+                    f"(_GUARDED_BY) but is accessed without holding it; "
+                    "wrap in `with self." + lock + ":` or move into a "
+                    "*_locked helper",
+                )
+            )
+        return
+    for child in ast.iter_child_nodes(node):
+        _scan(child, held, guarded, ctx, out)
+
+
+@register_check
+def check_lock_discipline(ctx: ModuleContext) -> Iterator[Finding]:
+    classes: Dict[str, ast.ClassDef] = {}
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.ClassDef):
+            classes.setdefault(node.name, node)
+
+    own: Dict[str, Optional[Dict[str, str]]] = {}
+    for name, cls in classes.items():
+        guarded, malformed = _extract_guarded(cls, ctx)
+        if malformed is not None:
+            yield malformed
+        own[name] = guarded
+
+    def resolve(name: str, trail: Set[str]) -> Dict[str, str]:
+        # Same-module base classes contribute their maps; derived
+        # declarations win on conflict. Cycles terminate via `trail`.
+        if name in trail or name not in classes:
+            return {}
+        trail = trail | {name}
+        merged: Dict[str, str] = {}
+        for base in classes[name].bases:
+            parts = dotted_name(base)
+            if parts is not None and parts[-1] in classes:
+                merged.update(resolve(parts[-1], trail))
+        merged.update(own.get(name) or {})
+        return merged
+
+    for name, cls in classes.items():
+        guarded = resolve(name, set())
+        if not guarded:
+            continue
+        out: List[Finding] = []
+        for stmt in cls.body:
+            if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if stmt.name in EXEMPT_METHODS or stmt.name.endswith("_locked"):
+                continue
+            for default in list(stmt.args.defaults) + [
+                d for d in stmt.args.kw_defaults if d is not None
+            ]:
+                _scan(default, set(), guarded, ctx, out)
+            for inner in stmt.body:
+                _scan(inner, set(), guarded, ctx, out)
+        for finding in out:
+            yield finding

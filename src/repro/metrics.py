@@ -90,6 +90,10 @@ class Metric:
 
     kind = "untyped"
 
+    #: Lock discipline, checked by ``python -m repro lint`` (R201);
+    #: Counter/Gauge inherit both the samples dict and its lock.
+    _GUARDED_BY = {"_samples": "_lock"}
+
     def __init__(self, name: str, help_text: str = ""):
         if not _NAME_RE.match(name or ""):
             raise ConfigurationError(f"invalid metric name {name!r}")
@@ -208,6 +212,9 @@ class MetricsRegistry:
     per event.
     """
 
+    #: Lock discipline, checked by ``python -m repro lint`` (R201).
+    _GUARDED_BY = {"_metrics": "_lock", "_collectors": "_lock"}
+
     def __init__(self):
         self._metrics: Dict[str, Metric] = {}
         self._collectors: List[Callable[[], None]] = []
@@ -260,6 +267,9 @@ class ThroughputMeter:
     ages out.
     """
 
+    #: Lock discipline, checked by ``python -m repro lint`` (R201).
+    _GUARDED_BY = {"_events": "_lock"}
+
     def __init__(self, window: float = 60.0, clock=time.monotonic):
         if not window > 0:
             raise ConfigurationError(f"window must be positive, got {window!r}")
@@ -269,7 +279,7 @@ class ThroughputMeter:
         self._started = clock()
         self._lock = threading.Lock()
 
-    def _trim(self, now: float) -> None:
+    def _trim_locked(self, now: float) -> None:
         horizon = now - self.window
         while self._events and self._events[0][0] < horizon:
             self._events.popleft()
@@ -278,12 +288,12 @@ class ThroughputMeter:
         now = self._clock()
         with self._lock:
             self._events.append((now, count))
-            self._trim(now)
+            self._trim_locked(now)
 
     def rate(self) -> float:
         now = self._clock()
         with self._lock:
-            self._trim(now)
+            self._trim_locked(now)
             total = sum(count for _, count in self._events)
             span = min(now - self._started, self.window)
         return total / max(span, 1.0)

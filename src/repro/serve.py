@@ -95,6 +95,9 @@ class EstimateService:
     HTTP layer.
     """
 
+    #: Lock discipline, checked by ``python -m repro lint`` (R201).
+    _GUARDED_BY = {"_pool": "_pool_lock", "_locks": "_locks_guard"}
+
     def __init__(
         self,
         store: ResultStore,

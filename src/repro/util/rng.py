@@ -37,6 +37,7 @@ class RngRegistry:
 
     def __init__(self, seed: Optional[int] = None):
         if seed is None:
+            # repro-lint: allow[R102] explicit seed=None opt-in: non-reproducible by contract, and the drawn seed is recorded on .seed
             seed = random.SystemRandom().randrange(2**63)
         self.seed = seed
         self._streams: Dict[str, random.Random] = {}

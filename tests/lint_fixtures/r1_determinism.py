@@ -1,0 +1,48 @@
+"""R1 fixture: determinism violations the linter must pin.
+
+Parsed by the linter, never imported — undefined names are fine.
+Line numbers are pinned in expected.json; append, don't reorder.
+"""
+
+
+def wall_clock_stamp(row):
+    row["elapsed"] = time.time()  # line 9: R101
+    row["when"] = datetime.datetime.now()  # line 10: R101
+    return row
+
+
+def global_randomness(n):
+    draw = random.random()  # line 15: R102
+    state = np.random.RandomState()  # line 16: R102 (un-seeded)
+    noise = np.random.normal(0.0, 1.0)  # line 17: R102 (global generator)
+    token = os.urandom(8)  # line 18: R103
+    return draw, state, noise, token
+
+
+def seeded_randomness_is_fine(seed):
+    rng = random.Random(seed)  # no finding: instance, not module-level
+    state = np.random.RandomState(seed)  # no finding: seeded
+    return rng.random() + state.normal()
+
+
+def set_iteration(mapping):
+    total = 0
+    for key in {"b", "a", "c"}:  # line 30: R104
+        total += mapping[key]
+    order = [v for v in set(mapping.values())]  # line 32: R104
+    fold = sorted(set(mapping))  # no finding: sorted() normalises order
+    peak = max(v for v in set(mapping.values()))  # no finding: reducer
+    return total, order, fold, peak
+
+
+def audited_scheduling_metadata(row):
+    # repro-lint: allow[R101] fixture: pragma on the line above suppresses
+    row["scheduled_at"] = time.time()
+    row["noted_at"] = time.time()  # repro-lint: allow[R101] fixture: trailing pragma suppresses
+    return row
+
+
+def bad_pragma(row):
+    row["t"] = time.time()  # repro-lint: allow[R101]
+    # line 46 above: R002 (no reason) and R101 (pragma void, not honoured)
+    return row

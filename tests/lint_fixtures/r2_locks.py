@@ -1,0 +1,53 @@
+"""R2 fixture: lock-discipline violations the linter must pin.
+
+Parsed by the linter, never imported — undefined names are fine.
+Line numbers are pinned in expected.json; append, don't reorder.
+"""
+
+import threading
+
+
+class Guarded:
+    _GUARDED_BY = {"_items": "_lock", "_total": "_lock"}
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = []  # no finding: __init__ is exempt
+        self._total = 0
+
+    def racy_read(self):
+        return len(self._items)  # line 19: R201
+
+    def racy_write(self, item):
+        self._items.append(item)  # line 22: R201
+        with self._lock:
+            self._total += 1  # no finding: lock held
+
+    def guarded_ok(self, item):
+        with self._lock:
+            self._items.append(item)
+            return self._total
+
+    def _drain_locked(self):
+        return self._items.pop()  # no finding: *_locked convention
+
+    def closure_escapes_lock(self):
+        with self._lock:
+            def later():
+                return self._items[:]  # line 37: R201 (runs after release)
+            return later
+
+    def audited(self):
+        return self._total  # repro-lint: allow[R201] fixture: trailing pragma suppresses
+
+
+class Derived(Guarded):
+    def inherited_racy(self):
+        return list(self._items)  # line 46: R201 (map inherited)
+
+
+class Broken:
+    _GUARDED_BY = ["_value"]  # line 50: R202 (not a {str: str} literal)
+
+    def touch(self):
+        return self._value  # no finding: malformed map guards nothing

@@ -1,0 +1,42 @@
+"""R3 fixture: row-integrity violations the linter must pin.
+
+Parsed by the linter, never imported — undefined names are fine.
+Line numbers are pinned in expected.json; append, don't reorder.
+"""
+
+
+def dump_rows_directly(rows, path):
+    with open(path, "w") as handle:  # line 9: R301
+        json.dump(rows, handle)  # line 10: R301
+
+
+def read_rows_back(path):
+    with open(path) as handle:  # no finding: default read mode
+        return handle.read()
+    with open(path, mode="rb") as handle:  # no finding: read mode
+        return handle.read()
+
+
+def run_fixture_trial(params, registry, max_steps):
+    return params["target"], 0  # registry unused -> R302 at the def (line 20)
+
+
+def run_fixture_batch(seeds, params, max_steps):
+    return {"win": 1}  # seeds unused -> R302 at the def (line 24)
+
+
+def run_honest_trial(params, registry, max_steps):
+    return registry.stream("scenario").random() < params["p"], 1
+
+
+# repro-lint: allow[R302] fixture: pragma on the line above suppresses
+def run_audited_trial(params, registry, max_steps):
+    return params["target"], 0
+
+
+SPECS = [
+    ScenarioSpec(name="fixture", run_trial=run_fixture_trial,
+                 run_batch=run_fixture_batch),
+    ScenarioSpec(name="honest", run_trial=run_honest_trial),
+    ScenarioSpec(name="audited", run_trial=run_audited_trial),
+]

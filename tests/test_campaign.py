@@ -608,3 +608,55 @@ class TestManifestBudgetPolicies:
                 "budget": {"policy": "no-such", "min_trials": 1,
                            "max_trials": 2},
             }])
+
+
+class TestCampaignMetricsPort:
+    """``campaign --metrics-port``: the single-host /metrics surface."""
+
+    def _manifest(self, tmp_path):
+        manifest = tmp_path / "m.json"
+        manifest.write_text(json.dumps({
+            "trials": 4,
+            "entries": [
+                {"scenario": "attack/basic-cheat",
+                 "grid": {"n": [8, 12], "target": 2}},
+            ],
+        }))
+        return manifest
+
+    def test_rows_are_identical_with_and_without_the_endpoint(
+        self, tmp_path, capsys
+    ):
+        manifest = self._manifest(tmp_path)
+        plain, metered = tmp_path / "plain.jsonl", tmp_path / "metered.jsonl"
+        assert main(["campaign", str(manifest), "--out", str(plain)]) == 0
+        assert main(["campaign", str(manifest), "--out", str(metered),
+                     "--metrics-port", "0"]) == 0
+        err = capsys.readouterr().err
+        assert "/metrics" in err
+        assert sorted(plain.read_text().splitlines()) == sorted(
+            metered.read_text().splitlines()
+        )
+
+    def test_registry_observes_the_result_stream(self, tmp_path):
+        from repro.cli import _campaign_metrics
+        from repro.experiments import WorkerPool
+        from repro.metrics import parse_text
+
+        points = load_manifest(str(self._manifest(tmp_path)))
+        with WorkerPool(1) as pool:
+            registry, observe = _campaign_metrics(pool, None, len(points))
+            results = list(observe(run_campaign(points, pool=pool)))
+        assert len(results) == 2
+        families = parse_text(registry.render())
+        assert families["repro_points_total"] == [({}, 2.0)]
+        assert families["repro_points_completed"] == [({}, 2.0)]
+        assert families["repro_trials_total"] == [({}, 8.0)]
+        assert families["repro_pool_workers"] == [({}, 1.0)]
+
+    def test_rejected_alongside_coordinate(self, tmp_path):
+        manifest = self._manifest(tmp_path)
+        with pytest.raises(SystemExit, match="redundant with --coordinate"):
+            main(["campaign", str(manifest), "--coordinate",
+                  "--listen", "127.0.0.1:0", "--metrics-port", "0",
+                  "--out", str(tmp_path / "rows.jsonl")])

@@ -175,3 +175,55 @@ class TestParseText:
             'repro_x_total{a="1",b="2"} 3\n'
         )
         assert parse_text(doc)["repro_x_total"] == [({"a": "1", "b": "2"}, 3.0)]
+
+
+class TestServeMetrics:
+    """The standalone /metrics endpoint (httpd.serve_metrics) behind
+    ``campaign --metrics-port``."""
+
+    @pytest.fixture()
+    def served(self):
+        from repro.httpd import serve_metrics
+
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_test_total", "Test counter.")
+        counter.inc(3)
+        server, thread = serve_metrics(registry, port=0)
+        try:
+            host, port = server.server_address[:2]
+            yield f"{host}:{port}", registry
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+
+    def test_metrics_is_valid_prometheus_text(self, served):
+        import urllib.request
+
+        address, _ = served
+        with urllib.request.urlopen(f"http://{address}/metrics") as resp:
+            assert resp.headers["Content-Type"] == TEXT_CONTENT_TYPE
+            families = parse_text(resp.read().decode("utf-8"))
+        assert families["repro_test_total"] == [({}, 3.0)]
+
+    def test_scrape_runs_collectors(self, served):
+        import urllib.request
+
+        address, registry = served
+        gauge = registry.gauge("repro_live", "Scrape-time gauge.")
+        registry.collect(lambda: gauge.set(7))
+        with urllib.request.urlopen(f"http://{address}/metrics") as resp:
+            families = parse_text(resp.read().decode("utf-8"))
+        assert families["repro_live"] == [({}, 7.0)]
+
+    def test_healthz_and_unknown_path(self, served):
+        import json as json_module
+        import urllib.error
+        import urllib.request
+
+        address, _ = served
+        with urllib.request.urlopen(f"http://{address}/healthz") as resp:
+            assert json_module.loads(resp.read()) == {"ok": True}
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(f"http://{address}/nope")
+        assert excinfo.value.code == 404
